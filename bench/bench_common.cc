@@ -1,0 +1,167 @@
+#include "bench/bench_common.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace gaia::bench {
+
+BenchScale GetBenchScale() {
+  const char* env = std::getenv("GAIA_BENCH_SCALE");
+  const std::string which = env != nullptr ? env : "small";
+  uint64_t seed = 42;
+  if (const char* seed_env = std::getenv("GAIA_BENCH_SEED")) {
+    seed = static_cast<uint64_t>(std::strtoull(seed_env, nullptr, 10));
+  }
+  if (which == "full") {
+    return BenchScale{"full", 700, 250, 32, seed};
+  }
+  return BenchScale{"small", 300, 150, 32, seed};
+}
+
+int GetBenchReps() {
+  if (const char* env = std::getenv("GAIA_BENCH_REPS")) {
+    const int reps = std::atoi(env);
+    if (reps >= 1) return reps;
+  }
+  return 1;
+}
+
+namespace {
+
+ts::ForecastMetrics AverageMetrics(
+    const std::vector<const ts::ForecastMetrics*>& parts) {
+  ts::ForecastMetrics out;
+  for (const ts::ForecastMetrics* m : parts) {
+    out.mae += m->mae;
+    out.rmse += m->rmse;
+    out.mape += m->mape;
+    out.count += m->count;
+    out.mape_count += m->mape_count;
+  }
+  const auto n = static_cast<double>(parts.size());
+  out.mae /= n;
+  out.rmse /= n;
+  out.mape /= n;
+  return out;
+}
+
+}  // namespace
+
+core::EvaluationReport AverageReports(
+    const std::vector<core::EvaluationReport>& reports) {
+  GAIA_CHECK(!reports.empty());
+  core::EvaluationReport out;
+  out.method = reports.front().method;
+  const size_t months = reports.front().per_month.size();
+  for (size_t h = 0; h < months; ++h) {
+    std::vector<const ts::ForecastMetrics*> parts;
+    for (const auto& r : reports) parts.push_back(&r.per_month[h]);
+    out.per_month.push_back(AverageMetrics(parts));
+  }
+  auto collect = [&](auto member) {
+    std::vector<const ts::ForecastMetrics*> parts;
+    for (const auto& r : reports) parts.push_back(&(r.*member));
+    return AverageMetrics(parts);
+  };
+  out.overall = collect(&core::EvaluationReport::overall);
+  out.new_shop = collect(&core::EvaluationReport::new_shop);
+  out.old_shop = collect(&core::EvaluationReport::old_shop);
+  return out;
+}
+
+data::MarketConfig MakeMarketConfig(const BenchScale& scale) {
+  data::MarketConfig cfg;
+  cfg.num_shops = scale.num_shops;
+  cfg.history_months = 24;
+  cfg.horizon_months = 3;
+  cfg.seed = scale.seed;
+  return cfg;
+}
+
+core::TrainConfig MakeTrainConfig(const BenchScale& scale) {
+  core::TrainConfig cfg;
+  cfg.max_epochs = scale.train_epochs;
+  cfg.learning_rate = 3e-3f;
+  cfg.eval_every = 5;
+  cfg.patience = 10;
+  cfg.seed = scale.seed + 1;
+  return cfg;
+}
+
+std::unique_ptr<data::ForecastDataset> BuildDataset(const BenchScale& scale) {
+  auto market = data::MarketSimulator(MakeMarketConfig(scale)).Generate();
+  GAIA_CHECK(market.ok()) << market.status().ToString();
+  data::DatasetOptions options;
+  options.split_seed = scale.seed + 2;
+  auto dataset = data::ForecastDataset::Create(market.value(), options);
+  GAIA_CHECK(dataset.ok()) << dataset.status().ToString();
+  return std::make_unique<data::ForecastDataset>(std::move(dataset).value());
+}
+
+core::EvaluationReport TrainAndEvaluate(core::ForecastModel* model,
+                                        const data::ForecastDataset& dataset,
+                                        const core::TrainConfig& config) {
+  Stopwatch watch;
+  core::TrainResult result = core::Trainer(config).Fit(model, dataset);
+  core::EvaluationReport report =
+      core::Evaluator::Evaluate(model, dataset, dataset.test_nodes());
+  std::cerr << "[bench] " << model->name() << ": " << result.epochs_run
+            << " epochs, val=" << result.best_val_loss << ", "
+            << watch.ElapsedSeconds() << "s\n";
+  return report;
+}
+
+std::string HorizonMonthName(const data::MarketConfig& config, int h) {
+  static const char* kNames[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                 "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  const int cal =
+      (config.start_calendar_month + config.history_months + h) % 12;
+  return kNames[cal];
+}
+
+const std::vector<PaperRow>& PaperTable1() {
+  static const std::vector<PaperRow>* kTable = new std::vector<PaperRow>{
+      {"ARIMA",
+       {39493, 40329, 38148},
+       {139405, 142378, 104654},
+       {0.2145, 0.2427, 0.2010}},
+      {"LogTrans",
+       {43337, 42895, 41884},
+       {550485, 532192, 550884},
+       {0.1293, 0.1165, 0.1041}},
+      {"GAT",
+       {42119, 39961, 37952},
+       {472615, 441983, 452788},
+       {0.1557, 0.1462, 0.1258}},
+      {"GraphSage",
+       {40195, 38417, 37278},
+       {503052, 472788, 482840},
+       {0.1386, 0.1314, 0.1168}},
+      {"Geniepath",
+       {40472, 38543, 36753},
+       {480509, 457190, 466391},
+       {0.1475, 0.1380, 0.1189}},
+      {"STGCN",
+       {42413, 39099, 36368},
+       {544015, 514525, 522495},
+       {0.1389, 0.1261, 0.1042}},
+      {"GMAN",
+       {39889, 37467, 34240},
+       {412678, 400293, 402699},
+       {0.1391, 0.1298, 0.1101}},
+      {"MTGNN",
+       {28721, 26346, 24357},
+       {158596, 141067, 167072},
+       {0.1089, 0.0992, 0.0871}},
+      {"Gaia",
+       {24064, 22467, 20473},
+       {112516, 95518, 95051},
+       {0.0909, 0.0860, 0.0771}},
+  };
+  return *kTable;
+}
+
+}  // namespace gaia::bench

@@ -1,0 +1,72 @@
+#ifndef GAIA_BENCH_BENCH_COMMON_H_
+#define GAIA_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/forecast_model.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "data/market_simulator.h"
+
+namespace gaia::bench {
+
+/// \brief Workload scale shared by all experiment drivers.
+///
+/// Controlled by the GAIA_BENCH_SCALE environment variable: "small"
+/// (default, minutes on one core) or "full" (larger market, more epochs,
+/// smoother curves). Every driver prints the scale and seed it used.
+struct BenchScale {
+  std::string name;
+  int64_t num_shops;
+  int train_epochs;
+  int64_t channels;
+  uint64_t seed;
+};
+
+/// Reads GAIA_BENCH_SCALE (and GAIA_BENCH_SEED) from the environment.
+BenchScale GetBenchScale();
+
+/// Number of independent market repetitions (GAIA_BENCH_REPS, default 1).
+/// Rep r uses market seed scale.seed + 1000 * r; headline tables report the
+/// across-rep average to damp market-to-market variance.
+int GetBenchReps();
+
+/// Element-wise average of per-rep evaluation reports (same method).
+core::EvaluationReport AverageReports(
+    const std::vector<core::EvaluationReport>& reports);
+
+/// Market config used by the paper-reproduction drivers at this scale.
+data::MarketConfig MakeMarketConfig(const BenchScale& scale);
+
+/// Training config used for every trainable model at this scale.
+core::TrainConfig MakeTrainConfig(const BenchScale& scale);
+
+/// Builds market + dataset, aborting on (programmer) config errors.
+std::unique_ptr<data::ForecastDataset> BuildDataset(const BenchScale& scale);
+
+/// Trains `model` and evaluates it on the dataset's test split; prints a
+/// one-line progress note to stderr.
+core::EvaluationReport TrainAndEvaluate(core::ForecastModel* model,
+                                        const data::ForecastDataset& dataset,
+                                        const core::TrainConfig& config);
+
+/// Month label of horizon step h given the dataset calendar (Oct/Nov/Dec for
+/// the default configuration).
+std::string HorizonMonthName(const data::MarketConfig& config, int h);
+
+/// Paper-reported Table I values for qualitative side-by-side printing.
+struct PaperRow {
+  std::string method;
+  double mae[3];
+  double rmse[3];
+  double mape[3];
+};
+const std::vector<PaperRow>& PaperTable1();
+
+}  // namespace gaia::bench
+
+#endif  // GAIA_BENCH_BENCH_COMMON_H_

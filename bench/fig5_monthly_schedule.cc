@@ -1,0 +1,64 @@
+// Reproduces the operational loop of paper Fig. 5: the monthly-scheduled
+// pipeline re-extracts features and relations from a fresh market snapshot,
+// retrains Gaia offline, publishes a checkpoint, and the online server
+// hot-swaps and serves that month's requests. Shape to check: the pipeline
+// keeps working as the graph changes month over month, with stable online
+// error and latency.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "serving/monthly_scheduler.h"
+#include "util/table_printer.h"
+
+namespace gaia::bench {
+namespace {
+
+int Run() {
+  const BenchScale scale = GetBenchScale();
+  std::cout << "=== Fig. 5 reproduction: monthly offline/online schedule ===\n";
+  std::cout << "scale=" << scale.name << " seed=" << scale.seed << "\n\n";
+
+  serving::MonthlyScheduler::Config cfg;
+  cfg.market = MakeMarketConfig(scale);
+  cfg.market.num_shops = scale.num_shops / 2;  // per-cycle retrain budget
+  cfg.offline.model.channels = scale.channels;
+  cfg.offline.model.seed = scale.seed;
+  cfg.offline.train = MakeTrainConfig(scale);
+  cfg.offline.train.max_epochs = scale.train_epochs / 3;
+  cfg.offline.checkpoint_path = "/tmp/gaia_fig5_checkpoint.bin";
+  cfg.num_cycles = 3;
+
+  serving::MonthlyScheduler scheduler(cfg);
+  auto reports = scheduler.Run();
+  if (!reports.ok()) {
+    std::cerr << reports.status().ToString() << "\n";
+    return 1;
+  }
+
+  static const char* kNames[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                 "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  TablePrinter table({"Cycle", "Window start", "Graph edges", "Train epochs",
+                      "Online MAPE", "Mean latency (ms)"});
+  for (const auto& report : reports.value()) {
+    table.AddRow({std::to_string(report.cycle),
+                  kNames[report.calendar_start_month],
+                  std::to_string(report.graph_edges),
+                  std::to_string(report.train.epochs_run),
+                  TablePrinter::FormatDouble(report.online.overall.mape, 4),
+                  TablePrinter::FormatDouble(report.mean_latency_ms, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nEach cycle retrains on a changed e-seller graph and the\n"
+               "server hot-swaps the published checkpoint — the paper's\n"
+               "offline periodical training -> online real-time prediction\n"
+               "loop.\n";
+  std::remove("/tmp/gaia_fig5_checkpoint.bin");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gaia::bench
+
+int main() { return gaia::bench::Run(); }

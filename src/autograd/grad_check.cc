@@ -1,0 +1,59 @@
+#include "autograd/grad_check.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace gaia::autograd {
+
+GradCheckResult CheckGradients(
+    const std::function<Var(const std::vector<Var>&)>& build,
+    std::vector<Var> params, double epsilon, double tolerance) {
+  // Analytic pass.
+  for (const Var& p : params) p->ZeroGrad();
+  Var out = build(params);
+  GAIA_CHECK_EQ(out->value.size(), 1) << "grad check needs scalar output";
+  Backward(out);
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (const Var& p : params) {
+    p->EnsureGrad();
+    analytic.push_back(p->grad);
+  }
+
+  GradCheckResult result;
+  result.ok = true;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Var& p = params[pi];
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      const float original = p->value.data()[i];
+      p->value.data()[i] = original + static_cast<float>(epsilon);
+      const double f_plus = build(params)->value.data()[0];
+      p->value.data()[i] = original - static_cast<float>(epsilon);
+      const double f_minus = build(params)->value.data()[0];
+      p->value.data()[i] = original;
+      const double numeric = (f_plus - f_minus) / (2.0 * epsilon);
+      const double exact = analytic[pi].data()[i];
+      const double abs_err = std::fabs(numeric - exact);
+      const double denom = std::max(1.0, std::max(std::fabs(numeric),
+                                                  std::fabs(exact)));
+      const double rel_err = abs_err / denom;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (rel_err > tolerance) {
+        result.ok = false;
+        if (result.detail.empty()) {
+          std::ostringstream os;
+          os << "param " << pi << " elem " << i << ": analytic " << exact
+             << " vs numeric " << numeric;
+          result.detail = os.str();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gaia::autograd

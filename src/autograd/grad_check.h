@@ -1,0 +1,32 @@
+#ifndef GAIA_AUTOGRAD_GRAD_CHECK_H_
+#define GAIA_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace gaia::autograd {
+
+/// \brief Result of a finite-difference gradient check.
+struct GradCheckResult {
+  bool ok = false;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::string detail;  ///< Describes the worst element when the check fails.
+};
+
+/// \brief Compares the analytic gradient of a scalar-valued graph against
+/// central finite differences.
+///
+/// `build` must construct a scalar (shape [1]) output from the given
+/// parameter vars each time it is called; it is re-invoked after each
+/// perturbation, so it must be a pure function of the parameters.
+GradCheckResult CheckGradients(
+    const std::function<Var(const std::vector<Var>&)>& build,
+    std::vector<Var> params, double epsilon = 1e-3, double tolerance = 1e-2);
+
+}  // namespace gaia::autograd
+
+#endif  // GAIA_AUTOGRAD_GRAD_CHECK_H_

@@ -1,0 +1,77 @@
+#include "autograd/variable.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace gaia::autograd {
+
+namespace {
+std::atomic<uint64_t> g_next_id{1};
+}  // namespace
+
+AutogradNode::AutogradNode(Tensor value_in)
+    : value(std::move(value_in)), id(g_next_id.fetch_add(1)) {}
+
+void AutogradNode::EnsureGrad() {
+  if (grad.empty() && value.size() > 0) grad = Tensor(value.shape());
+}
+
+void AutogradNode::AccumulateGrad(const Tensor& delta) {
+  EnsureGrad();
+  grad.Accumulate(delta);
+}
+
+void AutogradNode::ZeroGrad() {
+  if (!grad.empty()) grad.Fill(0.0f);
+}
+
+Var Constant(Tensor value) {
+  return std::make_shared<AutogradNode>(std::move(value));
+}
+
+Var Parameter(Tensor value) {
+  Var node = std::make_shared<AutogradNode>(std::move(value));
+  node->requires_grad = true;
+  return node;
+}
+
+void Backward(const Var& root, const Tensor& seed) {
+  GAIA_CHECK(root != nullptr);
+  GAIA_CHECK(root->value.SameShape(seed));
+  // Collect all reachable nodes that require grad.
+  std::vector<AutogradNode*> order;
+  std::unordered_set<AutogradNode*> seen;
+  std::vector<AutogradNode*> stack = {root.get()};
+  seen.insert(root.get());
+  while (!stack.empty()) {
+    AutogradNode* node = stack.back();
+    stack.pop_back();
+    order.push_back(node);
+    for (const Var& parent : node->parents) {
+      if (parent->requires_grad && seen.insert(parent.get()).second) {
+        stack.push_back(parent.get());
+      }
+    }
+  }
+  // Descending creation id == reverse topological order.
+  std::sort(order.begin(), order.end(),
+            [](const AutogradNode* a, const AutogradNode* b) {
+              return a->id > b->id;
+            });
+  root->AccumulateGrad(seed);
+  for (AutogradNode* node : order) {
+    if (node->backward_fn && node->requires_grad && !node->grad.empty()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+void Backward(const Var& root) {
+  GAIA_CHECK(root != nullptr);
+  Backward(root, Tensor::Ones(root->value.shape()));
+}
+
+}  // namespace gaia::autograd

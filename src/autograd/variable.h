@@ -1,0 +1,72 @@
+#ifndef GAIA_AUTOGRAD_VARIABLE_H_
+#define GAIA_AUTOGRAD_VARIABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gaia::autograd {
+
+class AutogradNode;
+
+/// A differentiable value: shared handle to a node in the dynamically built
+/// computation graph. Ops (see ops.h) take and return Vars.
+using Var = std::shared_ptr<AutogradNode>;
+
+/// \brief One node of the reverse-mode tape.
+///
+/// Nodes are created in forward order with monotonically increasing ids, so
+/// descending-id order is a valid reverse topological order for backprop.
+/// Leaf parameters persist across steps (grads accumulate until ZeroGrad);
+/// interior nodes are released when the last Var referencing the loss dies.
+class AutogradNode {
+ public:
+  explicit AutogradNode(Tensor value_in);
+
+  /// Value computed in the forward pass.
+  Tensor value;
+
+  /// Accumulated gradient dL/d(value); empty until first touched.
+  Tensor grad;
+
+  /// True when this node or any ancestor is a trainable parameter.
+  bool requires_grad = false;
+
+  /// Creation sequence number (reverse topological key).
+  uint64_t id = 0;
+
+  /// Direct inputs of the op that produced this node.
+  std::vector<Var> parents;
+
+  /// Propagates this->grad into parents' grads. Null for leaves.
+  std::function<void(AutogradNode&)> backward_fn;
+
+  /// Lazily allocates a zero gradient matching `value`'s shape.
+  void EnsureGrad();
+
+  /// Adds `delta` into the gradient (allocating it first if needed).
+  void AccumulateGrad(const Tensor& delta);
+
+  /// Clears the gradient to zeros (keeps allocation if present).
+  void ZeroGrad();
+};
+
+/// Wraps a tensor as a non-trainable graph input.
+Var Constant(Tensor value);
+
+/// Wraps a tensor as a trainable parameter (requires_grad = true).
+Var Parameter(Tensor value);
+
+/// Runs backpropagation from `root`, seeding d(root)/d(root) with ones.
+/// Typically `root` is a scalar loss of shape [1].
+void Backward(const Var& root);
+
+/// Runs backpropagation with an explicit seed gradient (same shape as root).
+void Backward(const Var& root, const Tensor& seed);
+
+}  // namespace gaia::autograd
+
+#endif  // GAIA_AUTOGRAD_VARIABLE_H_

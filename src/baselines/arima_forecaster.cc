@@ -1,0 +1,38 @@
+#include "baselines/arima_forecaster.h"
+
+namespace gaia::baselines {
+
+std::vector<double> ArimaForecaster::RawHistory(
+    const data::ForecastDataset& dataset, int32_t v) {
+  const Tensor& z = dataset.z(v);
+  const int64_t t_len = z.dim(0);
+  const int64_t start = t_len - dataset.series_length(v);
+  std::vector<double> history;
+  history.reserve(static_cast<size_t>(t_len - start));
+  for (int64_t t = start; t < t_len; ++t) {
+    history.push_back(dataset.Denormalize(v, z.at(t)));
+  }
+  return history;
+}
+
+std::vector<std::vector<double>> ArimaForecaster::ForecastNodes(
+    const data::ForecastDataset& dataset,
+    const std::vector<int32_t>& nodes) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(nodes.size());
+  const int horizon = static_cast<int>(dataset.horizon());
+  for (int32_t v : nodes) {
+    out.push_back(ts::ForecastWithFallback(RawHistory(dataset, v), horizon,
+                                           max_p_, max_d_, max_q_));
+  }
+  return out;
+}
+
+core::EvaluationReport ArimaForecaster::Evaluate(
+    const data::ForecastDataset& dataset,
+    const std::vector<int32_t>& nodes) const {
+  return core::Evaluator::FromPredictions("ARIMA", dataset, nodes,
+                                          ForecastNodes(dataset, nodes));
+}
+
+}  // namespace gaia::baselines

@@ -1,0 +1,44 @@
+#ifndef GAIA_BASELINES_ARIMA_FORECASTER_H_
+#define GAIA_BASELINES_ARIMA_FORECASTER_H_
+
+#include <vector>
+
+#include "core/evaluator.h"
+#include "data/dataset.h"
+#include "ts/arima.h"
+
+namespace gaia::baselines {
+
+/// \brief Per-shop classical ARIMA baseline (Table I row 1).
+///
+/// Each shop's raw GMV history (active months only) is fitted independently
+/// with AutoArima(max p = max q = 2, as in the paper's grid) and the horizon
+/// is forecast directly in GMV units; degenerate histories fall back to a
+/// recent-mean forecast.
+class ArimaForecaster {
+ public:
+  ArimaForecaster(int max_p = 2, int max_d = 1, int max_q = 2)
+      : max_p_(max_p), max_d_(max_d), max_q_(max_q) {}
+
+  /// Raw active-history GMV series of one shop (GMV units).
+  static std::vector<double> RawHistory(const data::ForecastDataset& dataset,
+                                        int32_t v);
+
+  /// Forecasts for each node, in GMV units; [i][h] is node i, month h.
+  std::vector<std::vector<double>> ForecastNodes(
+      const data::ForecastDataset& dataset,
+      const std::vector<int32_t>& nodes) const;
+
+  /// Convenience: forecasts + metric report.
+  core::EvaluationReport Evaluate(const data::ForecastDataset& dataset,
+                                  const std::vector<int32_t>& nodes) const;
+
+ private:
+  int max_p_;
+  int max_d_;
+  int max_q_;
+};
+
+}  // namespace gaia::baselines
+
+#endif  // GAIA_BASELINES_ARIMA_FORECASTER_H_

@@ -1,0 +1,69 @@
+#include "baselines/common.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace gaia::baselines {
+
+namespace ag = autograd;
+
+int64_t FlatFeatureDim(const data::ForecastDataset& dataset) {
+  return dataset.history_len() + dataset.temporal_dim() + dataset.static_dim();
+}
+
+Tensor FlatNodeFeatures(const data::ForecastDataset& dataset, int32_t v) {
+  const Tensor& z = dataset.z(v);
+  const Tensor& temporal = dataset.temporal(v);
+  const Tensor& statics = dataset.static_features(v);
+  Tensor out({FlatFeatureDim(dataset)});
+  int64_t idx = 0;
+  for (int64_t t = 0; t < z.dim(0); ++t) out.at(idx++) = z.at(t);
+  for (int64_t d = 0; d < temporal.dim(1); ++d) {
+    double mean = 0.0;
+    for (int64_t t = 0; t < temporal.dim(0); ++t) mean += temporal.at(t, d);
+    out.at(idx++) = static_cast<float>(mean / temporal.dim(0));
+  }
+  for (int64_t d = 0; d < statics.dim(0); ++d) out.at(idx++) = statics.at(d);
+  return out;
+}
+
+Tensor SequenceFeatures(const data::ForecastDataset& dataset, int32_t v) {
+  const Tensor& z = dataset.z(v);
+  const Tensor& temporal = dataset.temporal(v);
+  const int64_t t_len = z.dim(0);
+  Tensor out({t_len, 1 + temporal.dim(1)});
+  for (int64_t t = 0; t < t_len; ++t) {
+    out.at(t, 0) = z.at(t);
+    for (int64_t d = 0; d < temporal.dim(1); ++d) {
+      out.at(t, 1 + d) = temporal.at(t, d);
+    }
+  }
+  return out;
+}
+
+Var MeanVars(const std::vector<Var>& parts) {
+  GAIA_CHECK(!parts.empty());
+  return ag::ScalarMul(ag::AddN(parts),
+                       1.0f / static_cast<float>(parts.size()));
+}
+
+TemporalReadout::TemporalReadout(int64_t channels, int64_t t_len,
+                                 int64_t horizon, Rng* rng)
+    : t_len_(t_len), horizon_(horizon) {
+  pool_conv_ = AddModule("pool", std::make_shared<nn::Conv1dLayer>(
+                                     channels, 1, 1, PadMode::kCausal, rng));
+  weight_ = AddParameter("weight", nn::LinearInit(t_len, horizon, rng));
+  // Positive init keeps the ReLU readout alive (normalized GMV mean ~1).
+  bias_ = AddParameter("bias", Tensor::Ones({horizon}));
+}
+
+Var TemporalReadout::Forward(const Var& h) const {
+  GAIA_CHECK_EQ(h->value.dim(0), t_len_);
+  Var pooled = pool_conv_->Forward(h);                    // [T, 1]
+  Var row = ag::Reshape(pooled, {1, t_len_});             // [1, T]
+  Var out = ag::AddRowVector(ag::MatMul(row, weight_), bias_);
+  return ag::Relu(ag::Reshape(out, {horizon_}));
+}
+
+}  // namespace gaia::baselines

@@ -1,0 +1,51 @@
+#ifndef GAIA_BASELINES_COMMON_H_
+#define GAIA_BASELINES_COMMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/eseller_graph.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace gaia::baselines {
+
+using autograd::Var;
+
+/// Flattened per-node feature vector used by the pure-GNN baselines (GAT,
+/// GraphSAGE, GeniePath), which per the paper "only consider the graph
+/// structure": [ z (T values) || per-column means of F^T (D^T) || f^S ].
+Tensor FlatNodeFeatures(const data::ForecastDataset& dataset, int32_t v);
+
+/// Dimension of FlatNodeFeatures for the given dataset.
+int64_t FlatFeatureDim(const data::ForecastDataset& dataset);
+
+/// Sequence input for the temporal baselines: [ z_t || F^T_t ] rows, shape
+/// [T, 1 + D^T].
+Tensor SequenceFeatures(const data::ForecastDataset& dataset, int32_t v);
+
+/// Differentiable mean over a set of same-shaped vars (mean aggregator).
+Var MeanVars(const std::vector<Var>& parts);
+
+/// \brief Readout head shared by the sequence models: width-1 conv to a
+/// single channel over [T, C], then a dense map from T to the horizon T',
+/// with ReLU to keep GMV non-negative (same form as Gaia's Eq. 9 head).
+class TemporalReadout : public nn::Module {
+ public:
+  TemporalReadout(int64_t channels, int64_t t_len, int64_t horizon, Rng* rng);
+
+  /// h: [T, C] -> prediction: [T'].
+  Var Forward(const Var& h) const;
+
+ private:
+  int64_t t_len_;
+  int64_t horizon_;
+  std::shared_ptr<nn::Conv1dLayer> pool_conv_;
+  Var weight_;  ///< [T, T']
+  Var bias_;    ///< [T']
+};
+
+}  // namespace gaia::baselines
+
+#endif  // GAIA_BASELINES_COMMON_H_

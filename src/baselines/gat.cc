@@ -1,0 +1,107 @@
+#include "baselines/gat.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace gaia::baselines {
+
+namespace ag = autograd;
+
+Gat::Layer::Layer(int64_t in_dim, int64_t out_dim, float leaky_slope, Rng* rng)
+    : out_dim_(out_dim), slope_(leaky_slope) {
+  proj_ = AddModule("proj", std::make_shared<nn::Linear>(in_dim, out_dim, rng,
+                                                         /*use_bias=*/false));
+  attn_self_ = AddParameter(
+      "attn_self", Tensor::RandUniform({out_dim}, rng, -0.3f, 0.3f));
+  attn_neigh_ = AddParameter(
+      "attn_neigh", Tensor::RandUniform({out_dim}, rng, -0.3f, 0.3f));
+}
+
+Var Gat::Layer::LeakyRelu(const Var& x) const {
+  // leaky_relu(x) = relu(x) - slope * relu(-x)
+  return ag::Sub(ag::Relu(x), ag::ScalarMul(ag::Relu(ag::Neg(x)), slope_));
+}
+
+std::vector<Var> Gat::Layer::Forward(const graph::EsellerGraph& graph,
+                                     const std::vector<Var>& h) const {
+  const auto n = static_cast<int32_t>(h.size());
+  std::vector<Var> projected;
+  std::vector<Var> self_score, neigh_score;  // [1] scalars per node
+  projected.reserve(h.size());
+  for (int32_t u = 0; u < n; ++u) {
+    Var p = proj_->Forward(ag::Reshape(h[static_cast<size_t>(u)],
+                                       {1, h[static_cast<size_t>(u)]->value.dim(0)}));
+    p = ag::Reshape(p, {out_dim_});
+    projected.push_back(p);
+    self_score.push_back(ag::Dot(p, attn_self_));
+    neigh_score.push_back(ag::Dot(p, attn_neigh_));
+  }
+  std::vector<Var> out;
+  out.reserve(h.size());
+  for (int32_t u = 0; u < n; ++u) {
+    // Self edge plus in-neighbours, softmax over additive scores.
+    std::vector<int32_t> sources = {u};
+    for (const graph::Neighbor& nb : graph.InNeighbors(u)) {
+      sources.push_back(nb.node);
+    }
+    std::vector<Var> scores;
+    scores.reserve(sources.size());
+    for (int32_t v : sources) {
+      scores.push_back(LeakyRelu(
+          ag::Add(self_score[static_cast<size_t>(u)],
+                  neigh_score[static_cast<size_t>(v)])));
+    }
+    Var alpha = ag::Softmax1D(ag::StackScalars(scores));
+    std::vector<Var> messages;
+    messages.reserve(sources.size());
+    for (size_t i = 0; i < sources.size(); ++i) {
+      messages.push_back(ag::ScaleByScalar(
+          projected[static_cast<size_t>(sources[i])],
+          ag::SelectScalar(alpha, static_cast<int64_t>(i))));
+    }
+    out.push_back(ag::Relu(ag::AddN(messages)));
+  }
+  return out;
+}
+
+Gat::Gat(const GatConfig& config, const data::ForecastDataset& dataset)
+    : config_(config) {
+  Rng rng(config.seed);
+  int64_t in_dim = FlatFeatureDim(dataset);
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(AddModule(
+        "layer" + std::to_string(l),
+        std::make_shared<Layer>(in_dim, config.hidden, config.leaky_slope,
+                                &rng)));
+    in_dim = config.hidden;
+  }
+  head_ = AddModule("head", std::make_shared<nn::Mlp>(
+                                config.hidden, config.hidden,
+                                dataset.horizon(), &rng,
+                                /*out_bias_init=*/1.0f));
+}
+
+std::vector<Var> Gat::PredictNodes(const data::ForecastDataset& dataset,
+                                   const std::vector<int32_t>& nodes,
+                                   bool /*training*/, Rng* /*rng*/) {
+  const auto n = static_cast<int32_t>(dataset.num_nodes());
+  std::vector<Var> h;
+  h.reserve(static_cast<size_t>(n));
+  for (int32_t v = 0; v < n; ++v) {
+    h.push_back(ag::Constant(FlatNodeFeatures(dataset, v)));
+  }
+  for (const auto& layer : layers_) {
+    h = layer->Forward(dataset.graph(), h);
+  }
+  std::vector<Var> out;
+  out.reserve(nodes.size());
+  for (int32_t v : nodes) {
+    Var pred = head_->Forward(
+        ag::Reshape(h[static_cast<size_t>(v)], {1, config_.hidden}));
+    out.push_back(ag::Relu(ag::Reshape(pred, {dataset.horizon()})));
+  }
+  return out;
+}
+
+}  // namespace gaia::baselines

@@ -1,0 +1,57 @@
+#ifndef GAIA_BASELINES_GAT_H_
+#define GAIA_BASELINES_GAT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/forecast_model.h"
+
+namespace gaia::baselines {
+
+struct GatConfig {
+  int64_t hidden = 32;
+  int64_t num_layers = 2;
+  float leaky_slope = 0.2f;
+  uint64_t seed = 31;
+};
+
+/// \brief Graph Attention Network (Veličković et al., 2018) on flattened
+/// node features: 2 attention layers, additive attention with LeakyReLU
+/// scoring, then an MLP readout to the T' horizon. Represents the "GNN
+/// structure only" family of Table I.
+class Gat : public core::ForecastModel {
+ public:
+  Gat(const GatConfig& config, const data::ForecastDataset& dataset);
+
+  std::vector<Var> PredictNodes(const data::ForecastDataset& dataset,
+                                const std::vector<int32_t>& nodes,
+                                bool training, Rng* rng) override;
+  std::string name() const override { return "GAT"; }
+
+ private:
+  /// One additive-attention layer over in-neighbours (self included).
+  class Layer : public nn::Module {
+   public:
+    Layer(int64_t in_dim, int64_t out_dim, float leaky_slope, Rng* rng);
+    std::vector<Var> Forward(const graph::EsellerGraph& graph,
+                             const std::vector<Var>& h) const;
+
+   private:
+    Var LeakyRelu(const Var& x) const;
+    int64_t out_dim_;
+    float slope_;
+    std::shared_ptr<nn::Linear> proj_;
+    Var attn_self_;   ///< [out_dim] half of the attention vector
+    Var attn_neigh_;  ///< [out_dim] other half
+  };
+
+  GatConfig config_;
+  std::vector<std::shared_ptr<Layer>> layers_;
+  std::shared_ptr<nn::Mlp> head_;
+};
+
+}  // namespace gaia::baselines
+
+#endif  // GAIA_BASELINES_GAT_H_

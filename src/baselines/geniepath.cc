@@ -1,0 +1,111 @@
+#include "baselines/geniepath.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace gaia::baselines {
+
+namespace ag = autograd;
+
+GeniePath::BreadthLayer::BreadthLayer(int64_t dim, Rng* rng) : dim_(dim) {
+  proj_ = AddModule("proj", std::make_shared<nn::Linear>(dim, dim, rng,
+                                                         /*use_bias=*/false));
+  attn_self_ =
+      AddParameter("attn_self", Tensor::RandUniform({dim}, rng, -0.3f, 0.3f));
+  attn_neigh_ =
+      AddParameter("attn_neigh", Tensor::RandUniform({dim}, rng, -0.3f, 0.3f));
+}
+
+std::vector<Var> GeniePath::BreadthLayer::Forward(
+    const graph::EsellerGraph& graph, const std::vector<Var>& h) const {
+  const auto n = static_cast<int32_t>(h.size());
+  std::vector<Var> projected, self_score, neigh_score;
+  projected.reserve(h.size());
+  for (int32_t u = 0; u < n; ++u) {
+    Var p = proj_->Forward(ag::Reshape(h[static_cast<size_t>(u)], {1, dim_}));
+    p = ag::Reshape(p, {dim_});
+    projected.push_back(p);
+    self_score.push_back(ag::Dot(ag::Tanh(p), attn_self_));
+    neigh_score.push_back(ag::Dot(ag::Tanh(p), attn_neigh_));
+  }
+  std::vector<Var> out;
+  out.reserve(h.size());
+  for (int32_t u = 0; u < n; ++u) {
+    std::vector<int32_t> sources = {u};
+    for (const graph::Neighbor& nb : graph.InNeighbors(u)) {
+      sources.push_back(nb.node);
+    }
+    std::vector<Var> scores;
+    scores.reserve(sources.size());
+    for (int32_t v : sources) {
+      scores.push_back(ag::Add(self_score[static_cast<size_t>(u)],
+                               neigh_score[static_cast<size_t>(v)]));
+    }
+    Var alpha = ag::Softmax1D(ag::StackScalars(scores));
+    std::vector<Var> messages;
+    messages.reserve(sources.size());
+    for (size_t i = 0; i < sources.size(); ++i) {
+      messages.push_back(ag::ScaleByScalar(
+          projected[static_cast<size_t>(sources[i])],
+          ag::SelectScalar(alpha, static_cast<int64_t>(i))));
+    }
+    out.push_back(ag::Tanh(ag::AddN(messages)));
+  }
+  return out;
+}
+
+GeniePath::GeniePath(const GeniePathConfig& config,
+                     const data::ForecastDataset& dataset)
+    : config_(config) {
+  Rng rng(config.seed);
+  input_proj_ = AddModule(
+      "input", std::make_shared<nn::Linear>(FlatFeatureDim(dataset),
+                                            config.hidden, &rng));
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    breadth_.push_back(AddModule("breadth" + std::to_string(l),
+                                 std::make_shared<BreadthLayer>(config.hidden,
+                                                                &rng)));
+  }
+  depth_ = AddModule("depth", std::make_shared<nn::LstmCell>(
+                                  config.hidden, config.hidden, &rng));
+  head_ = AddModule("head", std::make_shared<nn::Mlp>(
+                                config.hidden, config.hidden,
+                                dataset.horizon(), &rng,
+                                /*out_bias_init=*/1.0f));
+}
+
+std::vector<Var> GeniePath::PredictNodes(const data::ForecastDataset& dataset,
+                                         const std::vector<int32_t>& nodes,
+                                         bool /*training*/, Rng* /*rng*/) {
+  const auto n = static_cast<int32_t>(dataset.num_nodes());
+  std::vector<Var> h;
+  std::vector<nn::LstmCell::State> states;
+  h.reserve(static_cast<size_t>(n));
+  states.reserve(static_cast<size_t>(n));
+  for (int32_t v = 0; v < n; ++v) {
+    Var x = input_proj_->Forward(
+        ag::Reshape(ag::Constant(FlatNodeFeatures(dataset, v)),
+                    {1, FlatFeatureDim(dataset)}));
+    h.push_back(ag::Tanh(ag::Reshape(x, {config_.hidden})));
+    states.push_back(depth_->InitialState());
+  }
+  // Adaptive path: breadth explores, the shared depth LSTM gates.
+  for (const auto& layer : breadth_) {
+    std::vector<Var> breadth_out = layer->Forward(dataset.graph(), h);
+    for (int32_t v = 0; v < n; ++v) {
+      states[static_cast<size_t>(v)] = depth_->Forward(
+          breadth_out[static_cast<size_t>(v)], states[static_cast<size_t>(v)]);
+      h[static_cast<size_t>(v)] = states[static_cast<size_t>(v)].h;
+    }
+  }
+  std::vector<Var> out;
+  out.reserve(nodes.size());
+  for (int32_t v : nodes) {
+    Var pred = head_->Forward(
+        ag::Reshape(h[static_cast<size_t>(v)], {1, config_.hidden}));
+    out.push_back(ag::Relu(ag::Reshape(pred, {dataset.horizon()})));
+  }
+  return out;
+}
+
+}  // namespace gaia::baselines

@@ -1,0 +1,57 @@
+#ifndef GAIA_BASELINES_GENIEPATH_H_
+#define GAIA_BASELINES_GENIEPATH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/forecast_model.h"
+
+namespace gaia::baselines {
+
+struct GeniePathConfig {
+  int64_t hidden = 32;
+  int64_t num_layers = 2;
+  uint64_t seed = 51;
+};
+
+/// \brief GeniePath (Liu et al., AAAI 2019): adaptive receptive paths.
+/// Each layer couples a *breadth* function (GAT-style additive attention
+/// over neighbours) with a *depth* function (an LSTM cell that gates how
+/// much of the new neighbourhood signal enters the node memory).
+class GeniePath : public core::ForecastModel {
+ public:
+  GeniePath(const GeniePathConfig& config,
+            const data::ForecastDataset& dataset);
+
+  std::vector<Var> PredictNodes(const data::ForecastDataset& dataset,
+                                const std::vector<int32_t>& nodes,
+                                bool training, Rng* rng) override;
+  std::string name() const override { return "Geniepath"; }
+
+ private:
+  /// Breadth: tanh-additive attention over {u} ∪ N(u).
+  class BreadthLayer : public nn::Module {
+   public:
+    BreadthLayer(int64_t dim, Rng* rng);
+    std::vector<Var> Forward(const graph::EsellerGraph& graph,
+                             const std::vector<Var>& h) const;
+
+   private:
+    int64_t dim_;
+    std::shared_ptr<nn::Linear> proj_;
+    Var attn_self_;
+    Var attn_neigh_;
+  };
+
+  GeniePathConfig config_;
+  std::shared_ptr<nn::Linear> input_proj_;
+  std::vector<std::shared_ptr<BreadthLayer>> breadth_;
+  std::shared_ptr<nn::LstmCell> depth_;  ///< shared depth gate across layers
+  std::shared_ptr<nn::Mlp> head_;
+};
+
+}  // namespace gaia::baselines
+
+#endif  // GAIA_BASELINES_GENIEPATH_H_

@@ -1,0 +1,133 @@
+#include "baselines/gman.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace gaia::baselines {
+
+namespace ag = autograd;
+
+Gman::Block::Block(int64_t channels, int64_t num_heads, Rng* rng)
+    : channels_(channels) {
+  spatial_proj_ = AddModule(
+      "s_proj", std::make_shared<nn::Linear>(channels, channels, rng));
+  spatial_query_ = AddParameter(
+      "s_query", Tensor::RandUniform({channels}, rng, -0.3f, 0.3f));
+  spatial_key_ = AddParameter(
+      "s_key", Tensor::RandUniform({channels}, rng, -0.3f, 0.3f));
+  temporal_ = AddModule(
+      "temporal", std::make_shared<nn::SelfAttention>(channels, num_heads,
+                                                      rng));
+  gate_spatial_ = AddModule(
+      "g_s", std::make_shared<nn::Linear>(channels, channels, rng));
+  gate_temporal_ = AddModule(
+      "g_t", std::make_shared<nn::Linear>(channels, channels, rng));
+}
+
+std::vector<Var> Gman::Block::Forward(const graph::EsellerGraph& graph,
+                                      const std::vector<Var>& h) const {
+  const auto n = static_cast<int32_t>(h.size());
+  const int64_t t_len = h.front()->value.dim(0);
+  const Tensor mask = CausalMask(t_len);
+
+  // Pooled summaries drive the (timestep-shared) spatial scores.
+  std::vector<Var> pooled_q, pooled_k, projected;
+  pooled_q.reserve(h.size());
+  pooled_k.reserve(h.size());
+  projected.reserve(h.size());
+  for (int32_t u = 0; u < n; ++u) {
+    Var p = spatial_proj_->Forward(h[static_cast<size_t>(u)]);  // [T, C]
+    projected.push_back(p);
+    Var mean = ag::ScalarMul(
+        ag::Reshape(ag::MatMul(ag::Constant(Tensor::Ones({1, t_len})), p),
+                    {channels_}),
+        1.0f / static_cast<float>(t_len));
+    pooled_q.push_back(ag::Dot(mean, spatial_query_));
+    pooled_k.push_back(ag::Dot(mean, spatial_key_));
+  }
+
+  std::vector<Var> out;
+  out.reserve(h.size());
+  for (int32_t u = 0; u < n; ++u) {
+    // Spatial attention over {u} ∪ N(u).
+    std::vector<int32_t> sources = {u};
+    for (const graph::Neighbor& nb : graph.InNeighbors(u)) {
+      sources.push_back(nb.node);
+    }
+    std::vector<Var> scores;
+    scores.reserve(sources.size());
+    for (int32_t v : sources) {
+      scores.push_back(ag::Add(pooled_q[static_cast<size_t>(u)],
+                               pooled_k[static_cast<size_t>(v)]));
+    }
+    Var alpha = ag::Softmax1D(ag::StackScalars(scores));
+    std::vector<Var> messages;
+    messages.reserve(sources.size());
+    for (size_t i = 0; i < sources.size(); ++i) {
+      messages.push_back(ag::ScaleByScalar(
+          projected[static_cast<size_t>(sources[i])],
+          ag::SelectScalar(alpha, static_cast<int64_t>(i))));
+    }
+    Var hs = ag::AddN(messages);
+
+    // Temporal self-attention on the node's own sequence.
+    Var ht = temporal_->Forward(h[static_cast<size_t>(u)], mask);
+
+    // Gated fusion with residual.
+    Var z = ag::Sigmoid(ag::Add(gate_spatial_->Forward(hs),
+                                gate_temporal_->Forward(ht)));
+    Var ones = ag::Constant(Tensor::Ones(z->value.shape()));
+    Var fused = ag::Add(ag::Mul(z, hs), ag::Mul(ag::Sub(ones, z), ht));
+    out.push_back(ag::Add(fused, h[static_cast<size_t>(u)]));
+  }
+  return out;
+}
+
+Gman::Gman(const GmanConfig& config, const data::ForecastDataset& dataset)
+    : config_(config) {
+  Rng rng(config.seed);
+  input_proj_ = AddModule(
+      "input", std::make_shared<nn::Linear>(1 + dataset.temporal_dim(),
+                                            config.channels, &rng));
+  ste_proj_ = AddModule(
+      "ste", std::make_shared<nn::Linear>(dataset.static_dim(),
+                                          config.channels, &rng));
+  for (int64_t b = 0; b < config.num_blocks; ++b) {
+    blocks_.push_back(AddModule(
+        "block" + std::to_string(b),
+        std::make_shared<Block>(config.channels, config.num_heads, &rng)));
+  }
+  readout_ = AddModule(
+      "readout", std::make_shared<TemporalReadout>(
+                     config.channels, dataset.history_len(),
+                     dataset.horizon(), &rng));
+}
+
+std::vector<Var> Gman::PredictNodes(const data::ForecastDataset& dataset,
+                                    const std::vector<int32_t>& nodes,
+                                    bool /*training*/, Rng* /*rng*/) {
+  const auto n = static_cast<int32_t>(dataset.num_nodes());
+  const int64_t t_len = dataset.history_len();
+  std::vector<Var> h;
+  h.reserve(static_cast<size_t>(n));
+  for (int32_t v = 0; v < n; ++v) {
+    Var x = input_proj_->Forward(ag::Constant(SequenceFeatures(dataset, v)));
+    // Spatio-temporal embedding: static node identity added per row.
+    Var ste = ste_proj_->Forward(
+        ag::Reshape(ag::Constant(dataset.static_features(v)),
+                    {1, dataset.static_dim()}));
+    h.push_back(ag::Add(
+        x, ag::MatMul(ag::Constant(Tensor::Ones({t_len, 1})), ste)));
+  }
+  for (const auto& block : blocks_) {
+    h = block->Forward(dataset.graph(), h);
+  }
+  std::vector<Var> out;
+  out.reserve(nodes.size());
+  for (int32_t v : nodes) {
+    out.push_back(readout_->Forward(h[static_cast<size_t>(v)]));
+  }
+  return out;
+}
+
+}  // namespace gaia::baselines

@@ -1,0 +1,67 @@
+#ifndef GAIA_BASELINES_GMAN_H_
+#define GAIA_BASELINES_GMAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/forecast_model.h"
+
+namespace gaia::baselines {
+
+struct GmanConfig {
+  int64_t channels = 16;
+  int64_t num_blocks = 2;
+  int64_t num_heads = 2;
+  uint64_t seed = 71;
+};
+
+/// \brief GMAN (Zheng et al., AAAI 2020): spatio-temporal embedding plus
+/// ST-attention blocks where a *spatial* attention over neighbours and a
+/// *temporal* self-attention over timestamps are combined by a learned
+/// gated fusion H = z ⊙ HS + (1 - z) ⊙ HT.
+///
+/// Simplification vs. the original (documented in DESIGN.md): spatial
+/// attention weights are shared across timestamps (scored from mean-pooled
+/// hidden states) rather than computed per timestep, which keeps the
+/// per-edge cost linear in T.
+class Gman : public core::ForecastModel {
+ public:
+  Gman(const GmanConfig& config, const data::ForecastDataset& dataset);
+
+  std::vector<Var> PredictNodes(const data::ForecastDataset& dataset,
+                                const std::vector<int32_t>& nodes,
+                                bool training, Rng* rng) override;
+  std::string name() const override { return "GMAN"; }
+
+ private:
+  class Block : public nn::Module {
+   public:
+    Block(int64_t channels, int64_t num_heads, Rng* rng);
+    std::vector<Var> Forward(const graph::EsellerGraph& graph,
+                             const std::vector<Var>& h) const;
+
+   private:
+    int64_t channels_;
+    // Spatial attention.
+    std::shared_ptr<nn::Linear> spatial_proj_;
+    Var spatial_query_;   ///< [C]
+    Var spatial_key_;     ///< [C]
+    // Temporal attention.
+    std::shared_ptr<nn::SelfAttention> temporal_;
+    // Gated fusion.
+    std::shared_ptr<nn::Linear> gate_spatial_;
+    std::shared_ptr<nn::Linear> gate_temporal_;
+  };
+
+  GmanConfig config_;
+  std::shared_ptr<nn::Linear> input_proj_;
+  std::shared_ptr<nn::Linear> ste_proj_;  ///< spatio-temporal embedding
+  std::vector<std::shared_ptr<Block>> blocks_;
+  std::shared_ptr<TemporalReadout> readout_;
+};
+
+}  // namespace gaia::baselines
+
+#endif  // GAIA_BASELINES_GMAN_H_

@@ -1,0 +1,87 @@
+#include "baselines/graphsage.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace gaia::baselines {
+
+namespace ag = autograd;
+
+GraphSage::Layer::Layer(int64_t in_dim, int64_t out_dim, Rng* rng) {
+  proj_ = AddModule("proj",
+                    std::make_shared<nn::Linear>(2 * in_dim, out_dim, rng));
+}
+
+std::vector<Var> GraphSage::Layer::Forward(const graph::EsellerGraph& graph,
+                                           const std::vector<Var>& h,
+                                           int64_t fanout, Rng* rng) const {
+  const auto n = static_cast<int32_t>(h.size());
+  std::vector<Var> out;
+  out.reserve(h.size());
+  for (int32_t u = 0; u < n; ++u) {
+    const Var& self = h[static_cast<size_t>(u)];
+    std::vector<graph::Neighbor> neighbors =
+        fanout > 0 ? graph.SampleInNeighbors(u, fanout, rng)
+                   : graph.InNeighbors(u);
+    Var agg;
+    if (neighbors.empty()) {
+      agg = ag::Constant(Tensor(self->value.shape()));
+    } else {
+      std::vector<Var> parts;
+      parts.reserve(neighbors.size());
+      for (const graph::Neighbor& nb : neighbors) {
+        parts.push_back(h[static_cast<size_t>(nb.node)]);
+      }
+      agg = MeanVars(parts);
+    }
+    const int64_t dim = self->value.dim(0);
+    Var concat = ag::ConcatCols({ag::Reshape(self, {1, dim}),
+                                 ag::Reshape(agg, {1, dim})});
+    Var next = ag::Relu(proj_->Forward(concat));
+    out.push_back(ag::Reshape(next, {next->value.dim(1)}));
+  }
+  return out;
+}
+
+GraphSage::GraphSage(const GraphSageConfig& config,
+                     const data::ForecastDataset& dataset)
+    : config_(config) {
+  Rng rng(config.seed);
+  int64_t in_dim = FlatFeatureDim(dataset);
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(AddModule("layer" + std::to_string(l),
+                                std::make_shared<Layer>(in_dim, config.hidden,
+                                                        &rng)));
+    in_dim = config.hidden;
+  }
+  head_ = AddModule("head", std::make_shared<nn::Mlp>(
+                                config.hidden, config.hidden,
+                                dataset.horizon(), &rng,
+                                /*out_bias_init=*/1.0f));
+}
+
+std::vector<Var> GraphSage::PredictNodes(const data::ForecastDataset& dataset,
+                                         const std::vector<int32_t>& nodes,
+                                         bool training, Rng* rng) {
+  const auto n = static_cast<int32_t>(dataset.num_nodes());
+  std::vector<Var> h;
+  h.reserve(static_cast<size_t>(n));
+  for (int32_t v = 0; v < n; ++v) {
+    h.push_back(ag::Constant(FlatNodeFeatures(dataset, v)));
+  }
+  // Sampling only during training; evaluation uses the full neighbourhood.
+  const int64_t fanout = training ? config_.fanout : 0;
+  for (const auto& layer : layers_) {
+    h = layer->Forward(dataset.graph(), h, fanout, rng);
+  }
+  std::vector<Var> out;
+  out.reserve(nodes.size());
+  for (int32_t v : nodes) {
+    Var pred = head_->Forward(
+        ag::Reshape(h[static_cast<size_t>(v)], {1, config_.hidden}));
+    out.push_back(ag::Relu(ag::Reshape(pred, {dataset.horizon()})));
+  }
+  return out;
+}
+
+}  // namespace gaia::baselines

@@ -1,0 +1,52 @@
+#ifndef GAIA_BASELINES_GRAPHSAGE_H_
+#define GAIA_BASELINES_GRAPHSAGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/forecast_model.h"
+
+namespace gaia::baselines {
+
+struct GraphSageConfig {
+  int64_t hidden = 32;
+  int64_t num_layers = 2;
+  /// Neighbours sampled per node per layer (GraphSAGE fanout); 0 = all.
+  int64_t fanout = 10;
+  uint64_t seed = 41;
+};
+
+/// \brief GraphSAGE (Hamilton et al., 2017) with the mean aggregator:
+/// h_u' = ReLU(W [h_u || mean_{v in N(u)} h_v]), 2 layers, MLP readout.
+class GraphSage : public core::ForecastModel {
+ public:
+  GraphSage(const GraphSageConfig& config,
+            const data::ForecastDataset& dataset);
+
+  std::vector<Var> PredictNodes(const data::ForecastDataset& dataset,
+                                const std::vector<int32_t>& nodes,
+                                bool training, Rng* rng) override;
+  std::string name() const override { return "GraphSage"; }
+
+ private:
+  class Layer : public nn::Module {
+   public:
+    Layer(int64_t in_dim, int64_t out_dim, Rng* rng);
+    std::vector<Var> Forward(const graph::EsellerGraph& graph,
+                             const std::vector<Var>& h, int64_t fanout,
+                             Rng* rng) const;
+
+   private:
+    std::shared_ptr<nn::Linear> proj_;  ///< [2 * in] -> out
+  };
+
+  GraphSageConfig config_;
+  std::vector<std::shared_ptr<Layer>> layers_;
+  std::shared_ptr<nn::Mlp> head_;
+};
+
+}  // namespace gaia::baselines
+
+#endif  // GAIA_BASELINES_GRAPHSAGE_H_

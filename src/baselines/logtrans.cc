@@ -1,0 +1,102 @@
+#include "baselines/logtrans.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace gaia::baselines {
+
+namespace ag = autograd;
+
+LogTrans::Block::Block(int64_t channels, int64_t num_heads, float dropout,
+                       Rng* rng)
+    : channels_(channels),
+      num_heads_(num_heads),
+      head_dim_(channels / num_heads) {
+  GAIA_CHECK_EQ(head_dim_ * num_heads_, channels_);
+  conv_q_ = AddModule("q", std::make_shared<nn::Conv1dLayer>(
+                               channels, channels, 3, PadMode::kCausal, rng));
+  conv_k_ = AddModule("k", std::make_shared<nn::Conv1dLayer>(
+                               channels, channels, 3, PadMode::kCausal, rng));
+  conv_v_ = AddModule("v", std::make_shared<nn::Conv1dLayer>(
+                               channels, channels, 1, PadMode::kCausal, rng));
+  proj_out_ = AddModule("out", std::make_shared<nn::Linear>(channels, channels,
+                                                            rng));
+  norm1_ = AddModule("norm1", std::make_shared<nn::LayerNorm>(channels));
+  norm2_ = AddModule("norm2", std::make_shared<nn::LayerNorm>(channels));
+  ffn1_ = AddModule("ffn1",
+                    std::make_shared<nn::Linear>(channels, 2 * channels, rng));
+  ffn2_ = AddModule("ffn2",
+                    std::make_shared<nn::Linear>(2 * channels, channels, rng));
+  dropout_ = AddModule("dropout", std::make_shared<nn::Dropout>(dropout));
+}
+
+Var LogTrans::Block::Forward(const Var& x, const Tensor& mask, bool training,
+                             Rng* rng) const {
+  Var q = conv_q_->Forward(x);
+  Var k = conv_k_->Forward(x);
+  Var v = conv_v_->Forward(x);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Var> heads;
+  heads.reserve(static_cast<size_t>(num_heads_));
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    Var qh = ag::SliceCols(q, h * head_dim_, head_dim_);
+    Var kh = ag::SliceCols(k, h * head_dim_, head_dim_);
+    Var vh = ag::SliceCols(v, h * head_dim_, head_dim_);
+    Var logits = ag::ScalarMul(ag::MatMul(qh, ag::Transpose(kh)), scale);
+    logits = ag::Add(logits, ag::Constant(mask));
+    heads.push_back(ag::MatMul(ag::SoftmaxRows(logits), vh));
+  }
+  Var attended = proj_out_->Forward(ag::ConcatCols(heads));
+  attended = dropout_->Forward(attended, training, rng);
+  Var x1 = norm1_->Forward(ag::Add(x, attended));
+  Var ffn = ffn2_->Forward(ag::Relu(ffn1_->Forward(x1)));
+  ffn = dropout_->Forward(ffn, training, rng);
+  return norm2_->Forward(ag::Add(x1, ffn));
+}
+
+LogTrans::LogTrans(const LogTransConfig& config, int64_t t_len,
+                   int64_t horizon, int64_t d_temporal, int64_t d_static)
+    : config_(config), t_len_(t_len), horizon_(horizon), d_static_(d_static) {
+  Rng rng(config.seed);
+  input_proj_ = AddModule(
+      "input",
+      std::make_shared<nn::Linear>(1 + d_temporal, config.channels, &rng));
+  static_proj_ = AddModule(
+      "static", std::make_shared<nn::Linear>(d_static, config.channels, &rng));
+  for (int64_t b = 0; b < config.num_blocks; ++b) {
+    blocks_.push_back(AddModule(
+        "block" + std::to_string(b),
+        std::make_shared<Block>(config.channels, config.num_heads,
+                                config.dropout, &rng)));
+  }
+  readout_ = AddModule("readout", std::make_shared<TemporalReadout>(
+                                      config.channels, t_len, horizon, &rng));
+}
+
+Var LogTrans::PredictOne(const data::ForecastDataset& dataset, int32_t v,
+                         bool training, Rng* rng) const {
+  Var seq = ag::Constant(SequenceFeatures(dataset, v));  // [T, 1 + D^T]
+  Var x = input_proj_->Forward(seq);
+  // Static context added to every timestep.
+  Var stat = static_proj_->Forward(
+      ag::Reshape(ag::Constant(dataset.static_features(v)), {1, d_static_}));
+  x = ag::Add(x, ag::MatMul(ag::Constant(Tensor::Ones({t_len_, 1})), stat));
+  const Tensor mask = CausalMask(t_len_);
+  for (const auto& block : blocks_) {
+    x = block->Forward(x, mask, training, rng);
+  }
+  return readout_->Forward(x);
+}
+
+std::vector<Var> LogTrans::PredictNodes(const data::ForecastDataset& dataset,
+                                        const std::vector<int32_t>& nodes,
+                                        bool training, Rng* rng) {
+  std::vector<Var> out;
+  out.reserve(nodes.size());
+  for (int32_t v : nodes) out.push_back(PredictOne(dataset, v, training, rng));
+  return out;
+}
+
+}  // namespace gaia::baselines

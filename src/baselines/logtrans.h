@@ -1,0 +1,77 @@
+#ifndef GAIA_BASELINES_LOGTRANS_H_
+#define GAIA_BASELINES_LOGTRANS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/forecast_model.h"
+#include "nn/layers.h"
+
+namespace gaia::baselines {
+
+/// \brief Hyper-parameters for LogTrans (paper setting: 3 blocks, 3 heads).
+struct LogTransConfig {
+  int64_t channels = 18;  ///< must be divisible by num_heads
+  int64_t num_blocks = 3;
+  int64_t num_heads = 3;
+  float dropout = 0.1f;
+  uint64_t seed = 21;
+};
+
+/// \brief LogTrans (Li et al., NeurIPS 2019): Transformer for time series
+/// with *convolutional* (locality-aware, causal) Q/K projections and causal
+/// masking. A pure sequence model — each shop is forecast from its own
+/// series and auxiliary features only, no graph.
+class LogTrans : public core::ForecastModel {
+ public:
+  LogTrans(const LogTransConfig& config, int64_t t_len, int64_t horizon,
+           int64_t d_temporal, int64_t d_static);
+
+  std::vector<Var> PredictNodes(const data::ForecastDataset& dataset,
+                                const std::vector<int32_t>& nodes,
+                                bool training, Rng* rng) override;
+  std::string name() const override { return "LogTrans"; }
+
+  /// Forecast for one node (used by the serving comparison).
+  Var PredictOne(const data::ForecastDataset& dataset, int32_t v,
+                 bool training, Rng* rng) const;
+
+ private:
+  /// One encoder block: causal conv attention + FFN, both with residual
+  /// connections and layer normalization.
+  class Block : public nn::Module {
+   public:
+    Block(int64_t channels, int64_t num_heads, float dropout, Rng* rng);
+    Var Forward(const Var& x, const Tensor& mask, bool training,
+                Rng* rng) const;
+
+   private:
+    int64_t channels_;
+    int64_t num_heads_;
+    int64_t head_dim_;
+    std::shared_ptr<nn::Conv1dLayer> conv_q_;  ///< width 3, causal
+    std::shared_ptr<nn::Conv1dLayer> conv_k_;  ///< width 3, causal
+    std::shared_ptr<nn::Conv1dLayer> conv_v_;  ///< width 1
+    std::shared_ptr<nn::Linear> proj_out_;
+    std::shared_ptr<nn::LayerNorm> norm1_;
+    std::shared_ptr<nn::LayerNorm> norm2_;
+    std::shared_ptr<nn::Linear> ffn1_;
+    std::shared_ptr<nn::Linear> ffn2_;
+    std::shared_ptr<nn::Dropout> dropout_;
+  };
+
+  LogTransConfig config_;
+  int64_t t_len_;
+  int64_t horizon_;
+  int64_t d_static_;
+  std::shared_ptr<nn::Linear> input_proj_;    ///< [1 + D^T] -> C
+  std::shared_ptr<nn::Linear> static_proj_;   ///< [D^S] -> C, added to rows
+  std::vector<std::shared_ptr<Block>> blocks_;
+  std::shared_ptr<TemporalReadout> readout_;
+};
+
+}  // namespace gaia::baselines
+
+#endif  // GAIA_BASELINES_LOGTRANS_H_

@@ -1,0 +1,100 @@
+#include "baselines/lstm_forecaster.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace gaia::baselines {
+
+namespace ag = autograd;
+
+LstmForecaster::LstmForecaster(const LstmConfig& config,
+                               const data::ForecastDataset& dataset)
+    : config_(config) {
+  Rng rng(config.seed);
+  cell_ = AddModule("cell", std::make_shared<nn::LstmCell>(
+                                1 + dataset.temporal_dim(), config.hidden,
+                                &rng));
+  static_proj_ = AddModule(
+      "static", std::make_shared<nn::Linear>(dataset.static_dim(),
+                                             config.hidden, &rng));
+  head_ = AddModule("head", std::make_shared<nn::Mlp>(
+                                config.hidden, config.hidden,
+                                dataset.horizon(), &rng,
+                                /*out_bias_init=*/1.0f));
+}
+
+std::vector<Var> LstmForecaster::PredictNodes(
+    const data::ForecastDataset& dataset, const std::vector<int32_t>& nodes,
+    bool /*training*/, Rng* /*rng*/) {
+  std::vector<Var> out;
+  out.reserve(nodes.size());
+  const int64_t t_len = dataset.history_len();
+  const int64_t in_dim = 1 + dataset.temporal_dim();
+  for (int32_t v : nodes) {
+    Var seq = ag::Constant(SequenceFeatures(dataset, v));  // [T, in_dim]
+    auto state = cell_->InitialState();
+    for (int64_t t = 0; t < t_len; ++t) {
+      Var x_t = ag::Reshape(ag::SliceRows(seq, t, 1), {in_dim});
+      state = cell_->Forward(x_t, state);
+    }
+    Var context = ag::Reshape(
+        static_proj_->Forward(
+            ag::Reshape(ag::Constant(dataset.static_features(v)),
+                        {1, dataset.static_dim()})),
+        {config_.hidden});
+    Var pred = head_->Forward(
+        ag::Reshape(ag::Add(state.h, context), {1, config_.hidden}));
+    out.push_back(ag::Relu(ag::Reshape(pred, {dataset.horizon()})));
+  }
+  return out;
+}
+
+LstNet::LstNet(const Config& config, const data::ForecastDataset& dataset)
+    : config_(config) {
+  GAIA_CHECK_LE(config.ar_window, dataset.history_len());
+  Rng rng(config.seed);
+  conv_ = AddModule("conv", std::make_shared<nn::Conv1dLayer>(
+                                1 + dataset.temporal_dim(), config.channels,
+                                3, PadMode::kCausal, &rng));
+  cell_ = AddModule("cell", std::make_shared<nn::LstmCell>(
+                                config.channels, config.hidden, &rng));
+  head_ = AddModule("head", std::make_shared<nn::Mlp>(
+                                config.hidden, config.hidden,
+                                dataset.horizon(), &rng));
+  ar_weight_ = AddParameter(
+      "ar_weight", nn::LinearInit(config.ar_window, dataset.horizon(), &rng));
+  // AR highway initialized near persistence: bias opens the ReLU.
+  ar_bias_ = AddParameter("ar_bias", Tensor::Ones({dataset.horizon()}));
+}
+
+std::vector<Var> LstNet::PredictNodes(const data::ForecastDataset& dataset,
+                                      const std::vector<int32_t>& nodes,
+                                      bool /*training*/, Rng* /*rng*/) {
+  std::vector<Var> out;
+  out.reserve(nodes.size());
+  const int64_t t_len = dataset.history_len();
+  for (int32_t v : nodes) {
+    Var seq = ag::Constant(SequenceFeatures(dataset, v));
+    Var features = ag::Relu(conv_->Forward(seq));  // [T, channels]
+    auto state = cell_->InitialState();
+    for (int64_t t = 0; t < t_len; ++t) {
+      Var x_t = ag::Reshape(ag::SliceRows(features, t, 1),
+                            {config_.channels});
+      state = cell_->Forward(x_t, state);
+    }
+    Var neural = head_->Forward(
+        ag::Reshape(state.h, {1, config_.hidden}));  // [1, T']
+    // Linear AR highway on the raw recent GMV values.
+    Var z = ag::Constant(dataset.z(v));
+    Var recent = ag::Reshape(
+        ag::SelectSpan(z, t_len - config_.ar_window, config_.ar_window),
+        {1, config_.ar_window});
+    Var ar = ag::AddRowVector(ag::MatMul(recent, ar_weight_), ar_bias_);
+    Var combined = ag::Add(neural, ar);
+    out.push_back(ag::Relu(ag::Reshape(combined, {dataset.horizon()})));
+  }
+  return out;
+}
+
+}  // namespace gaia::baselines

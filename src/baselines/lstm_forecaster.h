@@ -1,0 +1,70 @@
+#ifndef GAIA_BASELINES_LSTM_FORECASTER_H_
+#define GAIA_BASELINES_LSTM_FORECASTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/forecast_model.h"
+
+namespace gaia::baselines {
+
+struct LstmConfig {
+  int64_t hidden = 32;
+  uint64_t seed = 91;
+};
+
+/// \brief Plain per-shop LSTM forecaster (Hochreiter & Schmidhuber, 1997) —
+/// the classical deep sequence baseline from the paper's related work.
+/// Consumes [z_t || F^T_t] step by step; the final hidden state plus the
+/// static context feeds an MLP head.
+class LstmForecaster : public core::ForecastModel {
+ public:
+  LstmForecaster(const LstmConfig& config,
+                 const data::ForecastDataset& dataset);
+
+  std::vector<Var> PredictNodes(const data::ForecastDataset& dataset,
+                                const std::vector<int32_t>& nodes,
+                                bool training, Rng* rng) override;
+  std::string name() const override { return "LSTM"; }
+
+ private:
+  LstmConfig config_;
+  std::shared_ptr<nn::LstmCell> cell_;
+  std::shared_ptr<nn::Linear> static_proj_;
+  std::shared_ptr<nn::Mlp> head_;
+};
+
+/// \brief LSTNet-style forecaster (Lai et al., SIGIR 2018), simplified to
+/// its three signature parts: a temporal convolution front-end, a recurrent
+/// (LSTM) component over the conv features, and a parallel autoregressive
+/// highway on the raw GMV series that anchors scale.
+class LstNet : public core::ForecastModel {
+ public:
+  struct Config {
+    int64_t channels = 16;
+    int64_t hidden = 32;
+    int64_t ar_window = 6;  ///< months feeding the linear AR highway
+    uint64_t seed = 93;
+  };
+
+  LstNet(const Config& config, const data::ForecastDataset& dataset);
+
+  std::vector<Var> PredictNodes(const data::ForecastDataset& dataset,
+                                const std::vector<int32_t>& nodes,
+                                bool training, Rng* rng) override;
+  std::string name() const override { return "LSTNet"; }
+
+ private:
+  Config config_;
+  std::shared_ptr<nn::Conv1dLayer> conv_;
+  std::shared_ptr<nn::LstmCell> cell_;
+  std::shared_ptr<nn::Mlp> head_;
+  Var ar_weight_;  ///< [ar_window, T'] linear highway
+  Var ar_bias_;    ///< [T']
+};
+
+}  // namespace gaia::baselines
+
+#endif  // GAIA_BASELINES_LSTM_FORECASTER_H_

@@ -1,0 +1,186 @@
+#include "baselines/mtgnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace gaia::baselines {
+
+namespace ag = autograd;
+
+Mtgnn::InceptionConv::InceptionConv(int64_t channels, int64_t dilation,
+                                    Rng* rng) {
+  GAIA_CHECK_EQ(channels % 3, 0) << "inception needs channels divisible by 3";
+  const int64_t per_branch = channels / 3;
+  const int64_t widths[] = {2, 3, 6};
+  for (int64_t b = 0; b < 3; ++b) {
+    filter_branches_.push_back(AddModule(
+        "filter" + std::to_string(b),
+        std::make_shared<nn::Conv1dLayer>(channels, per_branch, widths[b],
+                                          PadMode::kCausal, rng, dilation)));
+    gate_branches_.push_back(AddModule(
+        "gate" + std::to_string(b),
+        std::make_shared<nn::Conv1dLayer>(channels, per_branch, widths[b],
+                                          PadMode::kCausal, rng, dilation)));
+  }
+}
+
+Var Mtgnn::InceptionConv::Forward(const Var& x) const {
+  std::vector<Var> filters, gates;
+  for (const auto& conv : filter_branches_) filters.push_back(conv->Forward(x));
+  for (const auto& conv : gate_branches_) gates.push_back(conv->Forward(x));
+  return ag::Mul(ag::Tanh(ag::ConcatCols(filters)),
+                 ag::Sigmoid(ag::ConcatCols(gates)));
+}
+
+Mtgnn::MixHop::MixHop(int64_t channels, float beta, Rng* rng) : beta_(beta) {
+  out_proj_ = AddModule(
+      "out", std::make_shared<nn::Linear>(3 * channels, channels, rng));
+}
+
+std::vector<Var> Mtgnn::MixHop::Forward(
+    const std::vector<std::vector<std::pair<int32_t, Var>>>& neighbors,
+    const std::vector<Var>& h) const {
+  const auto n = static_cast<int32_t>(h.size());
+  auto propagate = [&](const std::vector<Var>& x) {
+    std::vector<Var> next;
+    next.reserve(x.size());
+    for (int32_t u = 0; u < n; ++u) {
+      const auto& nbrs = neighbors[static_cast<size_t>(u)];
+      Var retained = ag::ScalarMul(h[static_cast<size_t>(u)], beta_);
+      if (nbrs.empty()) {
+        next.push_back(retained);
+        continue;
+      }
+      std::vector<Var> messages;
+      messages.reserve(nbrs.size());
+      for (const auto& [v, weight] : nbrs) {
+        messages.push_back(
+            ag::ScaleByScalar(x[static_cast<size_t>(v)], weight));
+      }
+      next.push_back(ag::Add(
+          retained, ag::ScalarMul(ag::AddN(messages), 1.0f - beta_)));
+    }
+    return next;
+  };
+  std::vector<Var> hop1 = propagate(h);
+  std::vector<Var> hop2 = propagate(hop1);
+  std::vector<Var> out;
+  out.reserve(h.size());
+  for (int32_t u = 0; u < n; ++u) {
+    out.push_back(out_proj_->Forward(
+        ag::ConcatCols({h[static_cast<size_t>(u)],
+                        hop1[static_cast<size_t>(u)],
+                        hop2[static_cast<size_t>(u)]})));
+  }
+  return out;
+}
+
+Mtgnn::Mtgnn(const MtgnnConfig& config, const data::ForecastDataset& dataset)
+    : config_(config), num_nodes_(dataset.num_nodes()) {
+  Rng rng(config.seed);
+  input_proj_ = AddModule(
+      "input", std::make_shared<nn::Linear>(1 + dataset.temporal_dim(),
+                                            config.channels, &rng));
+  emb1_ = AddParameter(
+      "emb1", Tensor::Randn({num_nodes_, config.node_embedding_dim}, &rng,
+                            0.5f));
+  emb2_ = AddParameter(
+      "emb2", Tensor::Randn({num_nodes_, config.node_embedding_dim}, &rng,
+                            0.5f));
+  int64_t dilation = 1;
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    temporal_layers_.push_back(AddModule(
+        "temporal" + std::to_string(l),
+        std::make_shared<InceptionConv>(config.channels, dilation, &rng)));
+    spatial_layers_.push_back(AddModule(
+        "spatial" + std::to_string(l),
+        std::make_shared<MixHop>(config.channels, config.mix_hop_beta, &rng)));
+    dilation *= 2;
+  }
+  readout_ = AddModule(
+      "readout", std::make_shared<TemporalReadout>(
+                     config.channels, dataset.history_len(),
+                     dataset.horizon(), &rng));
+}
+
+std::vector<std::vector<int32_t>> Mtgnn::LearnedNeighbors() const {
+  std::vector<std::vector<int32_t>> out(static_cast<size_t>(num_nodes_));
+  const Tensor& e1 = emb1_->value;
+  const Tensor& e2 = emb2_->value;
+  const int64_t d = config_.node_embedding_dim;
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    std::vector<std::pair<float, int32_t>> scored;
+    scored.reserve(static_cast<size_t>(num_nodes_) - 1);
+    for (int32_t v = 0; v < num_nodes_; ++v) {
+      if (v == u) continue;
+      double dot = 0.0;
+      for (int64_t k = 0; k < d; ++k) dot += e1.at(u, k) * e2.at(v, k);
+      const float score = static_cast<float>(std::tanh(dot));
+      if (score > 0.0f) scored.emplace_back(score, v);
+    }
+    const auto k = std::min<size_t>(static_cast<size_t>(config_.top_k),
+                                    scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + static_cast<int64_t>(k),
+                      scored.end(), std::greater<>());
+    for (size_t i = 0; i < k; ++i) out[static_cast<size_t>(u)].push_back(
+        scored[i].second);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::pair<int32_t, Var>>> Mtgnn::LearnGraph() const {
+  // Top-k selection uses current values (non-differentiable, as in the
+  // original); the retained edge weights stay differentiable through a
+  // softmax over tanh(e1_u . e2_v).
+  std::vector<std::vector<int32_t>> topk = LearnedNeighbors();
+  std::vector<std::vector<std::pair<int32_t, Var>>> out(
+      static_cast<size_t>(num_nodes_));
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    const auto& nbrs = topk[static_cast<size_t>(u)];
+    if (nbrs.empty()) continue;
+    Var e1_u = ag::SelectRow(emb1_, u);
+    std::vector<Var> scores;
+    scores.reserve(nbrs.size());
+    for (int32_t v : nbrs) {
+      scores.push_back(ag::Tanh(ag::Dot(e1_u, ag::SelectRow(emb2_, v))));
+    }
+    Var alpha = ag::Softmax1D(ag::StackScalars(scores));
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      out[static_cast<size_t>(u)].emplace_back(
+          nbrs[i], ag::SelectScalar(alpha, static_cast<int64_t>(i)));
+    }
+  }
+  return out;
+}
+
+std::vector<Var> Mtgnn::PredictNodes(const data::ForecastDataset& dataset,
+                                     const std::vector<int32_t>& nodes,
+                                     bool /*training*/, Rng* /*rng*/) {
+  GAIA_CHECK_EQ(dataset.num_nodes(), num_nodes_)
+      << "MTGNN is transductive: dataset must match construction";
+  std::vector<Var> h;
+  h.reserve(static_cast<size_t>(num_nodes_));
+  for (int32_t v = 0; v < num_nodes_; ++v) {
+    h.push_back(
+        input_proj_->Forward(ag::Constant(SequenceFeatures(dataset, v))));
+  }
+  const auto learned = LearnGraph();
+  for (size_t l = 0; l < temporal_layers_.size(); ++l) {
+    std::vector<Var> residual = h;
+    for (Var& node : h) node = temporal_layers_[l]->Forward(node);
+    h = spatial_layers_[l]->Forward(learned, h);
+    for (size_t v = 0; v < h.size(); ++v) h[v] = ag::Add(h[v], residual[v]);
+  }
+  std::vector<Var> out;
+  out.reserve(nodes.size());
+  for (int32_t v : nodes) {
+    out.push_back(readout_->Forward(h[static_cast<size_t>(v)]));
+  }
+  return out;
+}
+
+}  // namespace gaia::baselines

@@ -1,0 +1,119 @@
+#include "baselines/stgcn.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace gaia::baselines {
+
+namespace ag = autograd;
+
+Stgcn::GatedTemporalConv::GatedTemporalConv(int64_t c_in, int64_t c_out,
+                                            Rng* rng)
+    : c_out_(c_out) {
+  conv_ = AddModule("conv", std::make_shared<nn::Conv1dLayer>(
+                                c_in, 2 * c_out, 3, PadMode::kCausal, rng));
+}
+
+Var Stgcn::GatedTemporalConv::Forward(const Var& x) const {
+  Var both = conv_->Forward(x);
+  Var p = ag::SliceCols(both, 0, c_out_);
+  Var q = ag::SliceCols(both, c_out_, c_out_);
+  return ag::Mul(p, ag::Sigmoid(q));
+}
+
+Stgcn::SpatialConv::SpatialConv(int64_t channels, Rng* rng) {
+  proj_self_ = AddModule("self",
+                         std::make_shared<nn::Linear>(channels, channels, rng));
+  proj_neigh_ = AddModule(
+      "neigh", std::make_shared<nn::Linear>(channels, channels, rng));
+}
+
+std::vector<Var> Stgcn::SpatialConv::Forward(const graph::EsellerGraph& graph,
+                                             const std::vector<Var>& h) const {
+  const auto n = static_cast<int32_t>(h.size());
+  std::vector<Var> out;
+  out.reserve(h.size());
+  for (int32_t u = 0; u < n; ++u) {
+    Var self_term = proj_self_->Forward(h[static_cast<size_t>(u)]);
+    const std::vector<graph::Neighbor> neighbors = graph.InNeighbors(u);
+    if (neighbors.empty()) {
+      out.push_back(ag::Relu(self_term));
+      continue;
+    }
+    std::vector<Var> parts;
+    parts.reserve(neighbors.size());
+    for (const graph::Neighbor& nb : neighbors) {
+      parts.push_back(h[static_cast<size_t>(nb.node)]);
+    }
+    Var neigh_term = proj_neigh_->Forward(MeanVars(parts));
+    out.push_back(ag::Relu(ag::Add(self_term, neigh_term)));
+  }
+  return out;
+}
+
+Stgcn::Block::Block(int64_t channels, Rng* rng) {
+  temporal_in_ = AddModule("t_in",
+                           std::make_shared<GatedTemporalConv>(channels,
+                                                               channels, rng));
+  spatial_ = AddModule("spatial", std::make_shared<SpatialConv>(channels, rng));
+  temporal_out_ = AddModule(
+      "t_out", std::make_shared<GatedTemporalConv>(channels, channels, rng));
+}
+
+std::vector<Var> Stgcn::Block::Forward(const graph::EsellerGraph& graph,
+                                       const std::vector<Var>& h) const {
+  std::vector<Var> x;
+  x.reserve(h.size());
+  for (const Var& node : h) x.push_back(temporal_in_->Forward(node));
+  x = spatial_->Forward(graph, x);
+  for (Var& node : x) node = temporal_out_->Forward(node);
+  return x;
+}
+
+Stgcn::Stgcn(const StgcnConfig& config, const data::ForecastDataset& dataset)
+    : config_(config) {
+  Rng rng(config.seed);
+  input_proj_ = AddModule(
+      "input", std::make_shared<nn::Linear>(1 + dataset.temporal_dim(),
+                                            config.channels, &rng));
+  static_proj_ = AddModule(
+      "static", std::make_shared<nn::Linear>(dataset.static_dim(),
+                                             config.channels, &rng));
+  for (int64_t b = 0; b < config.num_blocks; ++b) {
+    blocks_.push_back(AddModule("block" + std::to_string(b),
+                                std::make_shared<Block>(config.channels,
+                                                        &rng)));
+  }
+  readout_ = AddModule(
+      "readout", std::make_shared<TemporalReadout>(
+                     config.channels, dataset.history_len(),
+                     dataset.horizon(), &rng));
+}
+
+std::vector<Var> Stgcn::PredictNodes(const data::ForecastDataset& dataset,
+                                     const std::vector<int32_t>& nodes,
+                                     bool /*training*/, Rng* /*rng*/) {
+  const auto n = static_cast<int32_t>(dataset.num_nodes());
+  const int64_t t_len = dataset.history_len();
+  std::vector<Var> h;
+  h.reserve(static_cast<size_t>(n));
+  for (int32_t v = 0; v < n; ++v) {
+    Var x = input_proj_->Forward(ag::Constant(SequenceFeatures(dataset, v)));
+    Var stat = static_proj_->Forward(
+        ag::Reshape(ag::Constant(dataset.static_features(v)),
+                    {1, dataset.static_dim()}));
+    h.push_back(ag::Add(
+        x, ag::MatMul(ag::Constant(Tensor::Ones({t_len, 1})), stat)));
+  }
+  for (const auto& block : blocks_) {
+    h = block->Forward(dataset.graph(), h);
+  }
+  std::vector<Var> out;
+  out.reserve(nodes.size());
+  for (int32_t v : nodes) {
+    out.push_back(readout_->Forward(h[static_cast<size_t>(v)]));
+  }
+  return out;
+}
+
+}  // namespace gaia::baselines

@@ -1,0 +1,76 @@
+#ifndef GAIA_BASELINES_STGCN_H_
+#define GAIA_BASELINES_STGCN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/forecast_model.h"
+
+namespace gaia::baselines {
+
+struct StgcnConfig {
+  int64_t channels = 16;
+  int64_t num_blocks = 2;
+  uint64_t seed = 61;
+};
+
+/// \brief STGCN (Yu et al., IJCAI 2018): "sandwich" ST-Conv blocks of
+/// gated temporal convolution -> first-order spatial graph convolution ->
+/// gated temporal convolution, followed by a temporal readout.
+class Stgcn : public core::ForecastModel {
+ public:
+  Stgcn(const StgcnConfig& config, const data::ForecastDataset& dataset);
+
+  std::vector<Var> PredictNodes(const data::ForecastDataset& dataset,
+                                const std::vector<int32_t>& nodes,
+                                bool training, Rng* rng) override;
+  std::string name() const override { return "STGCN"; }
+
+ private:
+  /// Gated temporal convolution (GLU): conv to 2C channels, P ⊙ σ(Q).
+  class GatedTemporalConv : public nn::Module {
+   public:
+    GatedTemporalConv(int64_t c_in, int64_t c_out, Rng* rng);
+    Var Forward(const Var& x) const;
+
+   private:
+    int64_t c_out_;
+    std::shared_ptr<nn::Conv1dLayer> conv_;
+  };
+
+  /// First-order spatial convolution: ReLU(W_s H_u + W_n mean_v H_v).
+  class SpatialConv : public nn::Module {
+   public:
+    SpatialConv(int64_t channels, Rng* rng);
+    std::vector<Var> Forward(const graph::EsellerGraph& graph,
+                             const std::vector<Var>& h) const;
+
+   private:
+    std::shared_ptr<nn::Linear> proj_self_;
+    std::shared_ptr<nn::Linear> proj_neigh_;
+  };
+
+  class Block : public nn::Module {
+   public:
+    Block(int64_t channels, Rng* rng);
+    std::vector<Var> Forward(const graph::EsellerGraph& graph,
+                             const std::vector<Var>& h) const;
+
+   private:
+    std::shared_ptr<GatedTemporalConv> temporal_in_;
+    std::shared_ptr<SpatialConv> spatial_;
+    std::shared_ptr<GatedTemporalConv> temporal_out_;
+  };
+
+  StgcnConfig config_;
+  std::shared_ptr<nn::Linear> input_proj_;
+  std::shared_ptr<nn::Linear> static_proj_;
+  std::vector<std::shared_ptr<Block>> blocks_;
+  std::shared_ptr<TemporalReadout> readout_;
+};
+
+}  // namespace gaia::baselines
+
+#endif  // GAIA_BASELINES_STGCN_H_

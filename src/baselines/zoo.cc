@@ -1,0 +1,109 @@
+#include "baselines/zoo.h"
+
+#include "baselines/gat.h"
+#include "baselines/geniepath.h"
+#include "baselines/gman.h"
+#include "baselines/graphsage.h"
+#include "baselines/logtrans.h"
+#include "baselines/lstm_forecaster.h"
+#include "baselines/mtgnn.h"
+#include "baselines/stgcn.h"
+#include "core/gaia_model.h"
+
+namespace gaia::baselines {
+
+std::vector<std::string> TrainableModelNames() {
+  return {"LogTrans", "GAT",  "GraphSage", "Geniepath",
+          "STGCN",    "GMAN", "MTGNN",     "Gaia"};
+}
+
+std::vector<std::string> ExtraModelNames() { return {"LSTM", "LSTNet"}; }
+
+Result<std::unique_ptr<core::ForecastModel>> CreateModel(
+    const std::string& name, const data::ForecastDataset& dataset,
+    int64_t channels, uint64_t seed) {
+  const int64_t t_len = dataset.history_len();
+  const int64_t horizon = dataset.horizon();
+  const int64_t d_temporal = dataset.temporal_dim();
+  const int64_t d_static = dataset.static_dim();
+
+  if (name == "LogTrans") {
+    LogTransConfig cfg;
+    cfg.channels = (channels / 3) * 3;  // divisible by 3 heads
+    if (cfg.channels < 3) cfg.channels = 3;
+    cfg.seed = seed;
+    return std::unique_ptr<core::ForecastModel>(
+        new LogTrans(cfg, t_len, horizon, d_temporal, d_static));
+  }
+  if (name == "GAT") {
+    GatConfig cfg;
+    cfg.hidden = 2 * channels;
+    cfg.seed = seed;
+    return std::unique_ptr<core::ForecastModel>(new Gat(cfg, dataset));
+  }
+  if (name == "GraphSage") {
+    GraphSageConfig cfg;
+    cfg.hidden = 2 * channels;
+    cfg.seed = seed;
+    return std::unique_ptr<core::ForecastModel>(new GraphSage(cfg, dataset));
+  }
+  if (name == "Geniepath") {
+    GeniePathConfig cfg;
+    cfg.hidden = 2 * channels;
+    cfg.seed = seed;
+    return std::unique_ptr<core::ForecastModel>(new GeniePath(cfg, dataset));
+  }
+  if (name == "STGCN") {
+    StgcnConfig cfg;
+    cfg.channels = channels;
+    cfg.seed = seed;
+    return std::unique_ptr<core::ForecastModel>(new Stgcn(cfg, dataset));
+  }
+  if (name == "GMAN") {
+    GmanConfig cfg;
+    cfg.channels = channels;
+    cfg.seed = seed;
+    return std::unique_ptr<core::ForecastModel>(new Gman(cfg, dataset));
+  }
+  if (name == "MTGNN") {
+    MtgnnConfig cfg;
+    cfg.channels = (channels / 3) * 3;  // divisible by 3 branches
+    if (cfg.channels < 3) cfg.channels = 3;
+    cfg.seed = seed;
+    return std::unique_ptr<core::ForecastModel>(new Mtgnn(cfg, dataset));
+  }
+  if (name == "LSTM") {
+    LstmConfig cfg;
+    cfg.hidden = 2 * channels;
+    cfg.seed = seed;
+    return std::unique_ptr<core::ForecastModel>(
+        new LstmForecaster(cfg, dataset));
+  }
+  if (name == "LSTNet") {
+    LstNet::Config cfg;
+    cfg.channels = channels;
+    cfg.hidden = 2 * channels;
+    cfg.seed = seed;
+    return std::unique_ptr<core::ForecastModel>(new LstNet(cfg, dataset));
+  }
+  if (name == "Gaia" || name == "Gaia w/o ITA" || name == "Gaia w/o FFL" ||
+      name == "Gaia w/o TEL") {
+    core::GaiaConfig cfg;
+    cfg.channels = channels;
+    cfg.tel_groups = 4;
+    while (cfg.tel_groups > 1 && channels % cfg.tel_groups != 0) {
+      --cfg.tel_groups;
+    }
+    cfg.seed = seed;
+    cfg.use_ita = name != "Gaia w/o ITA";
+    cfg.use_ffl = name != "Gaia w/o FFL";
+    cfg.use_tel = name != "Gaia w/o TEL";
+    auto model = core::GaiaModel::Create(cfg, t_len, horizon, d_temporal,
+                                         d_static);
+    if (!model.ok()) return model.status();
+    return std::unique_ptr<core::ForecastModel>(std::move(model).value());
+  }
+  return Status::NotFound("unknown model: " + name);
+}
+
+}  // namespace gaia::baselines

@@ -1,0 +1,34 @@
+#ifndef GAIA_BASELINES_ZOO_H_
+#define GAIA_BASELINES_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/forecast_model.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace gaia::baselines {
+
+/// Names of all trainable models in Table-I order (Gaia last). ARIMA is
+/// classical and handled by ArimaForecaster separately.
+std::vector<std::string> TrainableModelNames();
+
+/// Extra deep time-series baselines from the paper's related work ("LSTM",
+/// "LSTNet") that are not part of Table I but share the same interface.
+std::vector<std::string> ExtraModelNames();
+
+/// \brief Factory building any trainable model by its Table-I name
+/// ("LogTrans", "GAT", "GraphSage", "Geniepath", "STGCN", "GMAN", "MTGNN",
+/// "Gaia", "Gaia w/o ITA", "Gaia w/o FFL", "Gaia w/o TEL").
+///
+/// All models get comparable capacity (the paper fixes embedding size 32
+/// across methods; we scale that with `channels`).
+Result<std::unique_ptr<core::ForecastModel>> CreateModel(
+    const std::string& name, const data::ForecastDataset& dataset,
+    int64_t channels = 16, uint64_t seed = 17);
+
+}  // namespace gaia::baselines
+
+#endif  // GAIA_BASELINES_ZOO_H_

@@ -1,0 +1,85 @@
+#include "core/cau.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gaia::core {
+
+namespace ag = autograd;
+
+ConvAttentionUnit::ConvAttentionUnit(int64_t channels, Rng* rng,
+                                     bool dense_projections, bool causal,
+                                     int64_t num_heads)
+    : channels_(channels),
+      causal_(causal),
+      num_heads_(num_heads),
+      head_dim_(channels / num_heads) {
+  GAIA_CHECK_GE(num_heads_, 1);
+  GAIA_CHECK_EQ(head_dim_ * num_heads_, channels_)
+      << "channels must divide evenly into heads";
+  const int64_t qk_width = dense_projections ? 1 : 3;
+  // Q/K convs see local shape context (width 3, causal so features never
+  // leak future values); V is a pointwise projection (width 1).
+  conv_q_ = AddModule("q", std::make_shared<nn::Conv1dLayer>(
+                               channels, channels, qk_width, PadMode::kCausal,
+                               rng));
+  conv_k_ = AddModule("k", std::make_shared<nn::Conv1dLayer>(
+                               channels, channels, qk_width, PadMode::kCausal,
+                               rng));
+  conv_v_ = AddModule("v", std::make_shared<nn::Conv1dLayer>(
+                               channels, channels, 1, PadMode::kCausal, rng));
+}
+
+ConvAttentionUnit::Projection ConvAttentionUnit::Project(const Var& h) const {
+  GAIA_CHECK_EQ(h->value.ndim(), 2);
+  GAIA_CHECK_EQ(h->value.dim(1), channels_);
+  return Projection{conv_q_->Forward(h), conv_k_->Forward(h),
+                    conv_v_->Forward(h)};
+}
+
+Var ConvAttentionUnit::Attend(const Var& q_u, const Var& k_v, const Var& v_v,
+                              Tensor* attention_out) const {
+  const int64_t t_len = q_u->value.dim(0);
+  const Tensor mask = causal_ ? CausalMask(t_len) : Tensor();
+  if (num_heads_ == 1) {
+    const float scale = 1.0f / std::sqrt(static_cast<float>(channels_));
+    Var logits = ag::ScalarMul(ag::MatMul(q_u, ag::Transpose(k_v)), scale);
+    if (causal_) logits = ag::Add(logits, ag::Constant(mask));
+    Var attention = ag::SoftmaxRows(logits);
+    if (attention_out != nullptr) *attention_out = attention->value;
+    return ag::MatMul(attention, v_v);
+  }
+  // Multi-head extension: independent attention per channel slice; the
+  // probe reports the head-averaged attention map.
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Var> heads;
+  heads.reserve(static_cast<size_t>(num_heads_));
+  Tensor averaged({t_len, t_len});
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    Var qh = ag::SliceCols(q_u, h * head_dim_, head_dim_);
+    Var kh = ag::SliceCols(k_v, h * head_dim_, head_dim_);
+    Var vh = ag::SliceCols(v_v, h * head_dim_, head_dim_);
+    Var logits = ag::ScalarMul(ag::MatMul(qh, ag::Transpose(kh)), scale);
+    if (causal_) logits = ag::Add(logits, ag::Constant(mask));
+    Var attention = ag::SoftmaxRows(logits);
+    if (attention_out != nullptr) averaged.Accumulate(attention->value);
+    heads.push_back(ag::MatMul(attention, vh));
+  }
+  if (attention_out != nullptr) {
+    averaged.Scale(1.0f / static_cast<float>(num_heads_));
+    *attention_out = averaged;
+  }
+  return ag::ConcatCols(heads);
+}
+
+Var ConvAttentionUnit::Forward(const Var& h_u, const Var& h_v,
+                               Tensor* attention_out) const {
+  Projection pu = Project(h_u);
+  // Only K/V of the source node are needed; recompute lazily.
+  Var k_v = h_v == h_u ? pu.k : Project(h_v).k;
+  Var v_v = h_v == h_u ? pu.v : Project(h_v).v;
+  return Attend(pu.q, k_v, v_v, attention_out);
+}
+
+}  // namespace gaia::core

@@ -1,0 +1,47 @@
+#ifndef GAIA_CORE_EVALUATOR_H_
+#define GAIA_CORE_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/forecast_model.h"
+#include "data/dataset.h"
+#include "ts/metrics.h"
+
+namespace gaia::core {
+
+/// \brief Metric report in the paper's layout: one {MAE, RMSE, MAPE} triple
+/// per forecast month (Table I columns) plus an overall aggregate and the
+/// Fig. 3 new-shop / old-shop split.
+struct EvaluationReport {
+  std::string method;
+  std::vector<ts::ForecastMetrics> per_month;  ///< size = horizon T'
+  ts::ForecastMetrics overall;
+  ts::ForecastMetrics new_shop;  ///< shops with series length < threshold
+  ts::ForecastMetrics old_shop;
+};
+
+/// \brief Computes Table-I style metrics over denormalized GMV predictions.
+class Evaluator {
+ public:
+  /// Threshold on observed series length separating "New Shop Group" from
+  /// "Old Shop Group" (paper §V-B3 uses T < 10).
+  static constexpr int kNewShopThreshold = 10;
+
+  /// Evaluates a trained neural model on the given nodes.
+  static EvaluationReport Evaluate(ForecastModel* model,
+                                   const data::ForecastDataset& dataset,
+                                   const std::vector<int32_t>& nodes);
+
+  /// Evaluates externally produced predictions; `predictions[i]` holds the
+  /// T' GMV-unit forecasts for `nodes[i]`. This is the path for ARIMA and
+  /// any non-autograd forecaster.
+  static EvaluationReport FromPredictions(
+      const std::string& method, const data::ForecastDataset& dataset,
+      const std::vector<int32_t>& nodes,
+      const std::vector<std::vector<double>>& predictions);
+};
+
+}  // namespace gaia::core
+
+#endif  // GAIA_CORE_EVALUATOR_H_

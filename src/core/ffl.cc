@@ -1,0 +1,55 @@
+#include "core/ffl.h"
+
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace gaia::core {
+
+namespace ag = autograd;
+
+FeatureFusionLayer::FeatureFusionLayer(int64_t t_len, int64_t d_temporal,
+                                       int64_t d_static, int64_t channels,
+                                       Rng* rng)
+    : t_len_(t_len),
+      d_temporal_(d_temporal),
+      d_static_(d_static),
+      channels_(channels) {
+  w_gmv_ = AddParameter("w_gmv", nn::GlorotUniform({1, channels}, 1, channels,
+                                                   rng));
+  b_gmv_ = AddParameter("b_gmv", Tensor({channels}));
+  w_temp_ = AddParameter("w_temp", nn::LinearInit(d_temporal, channels, rng));
+  b_temp_t_ = AddParameter("b_temp_t", Tensor({t_len, channels}));
+  w_stat_ = AddParameter("w_stat", nn::LinearInit(d_static, channels, rng));
+  b_stat_ = AddParameter("b_stat", Tensor({channels}));
+  w_fuse_ = AddParameter("w_fuse", nn::LinearInit(3 * channels, channels, rng));
+  b_fuse_t_ = AddParameter("b_fuse_t", Tensor({t_len, channels}));
+}
+
+Var FeatureFusionLayer::Forward(const Var& z, const Var& f_temporal,
+                                const Var& f_static) const {
+  GAIA_CHECK_EQ(z->value.ndim(), 1);
+  GAIA_CHECK_EQ(z->value.dim(0), t_len_);
+  GAIA_CHECK_EQ(f_temporal->value.dim(0), t_len_);
+  GAIA_CHECK_EQ(f_temporal->value.dim(1), d_temporal_);
+  GAIA_CHECK_EQ(f_static->value.dim(0), d_static_);
+
+  // Eq. 1: per-timestep scalar projection z_t * w^I + b^I.
+  Var z_col = ag::Reshape(z, {t_len_, 1});
+  Var z_emb = ag::AddRowVector(ag::MatMul(z_col, w_gmv_), b_gmv_);
+
+  // Eq. 2: temporal features with per-timestep bias.
+  Var temp_emb = ag::Add(ag::MatMul(f_temporal, w_temp_), b_temp_t_);
+
+  // Eq. 3: static features, broadcast over the T rows.
+  Var stat_row = ag::Reshape(f_static, {1, d_static_});
+  Var stat_emb_row =
+      ag::AddRowVector(ag::MatMul(stat_row, w_stat_), b_stat_);  // [1, C]
+  Var stat_emb = ag::MatMul(ag::Constant(Tensor::Ones({t_len_, 1})),
+                            stat_emb_row);  // [T, C]
+
+  // Eq. 4: concatenate and fuse with per-timestep bias.
+  Var fused = ag::MatMul(ag::ConcatCols({z_emb, temp_emb, stat_emb}), w_fuse_);
+  return ag::Add(fused, b_fuse_t_);
+}
+
+}  // namespace gaia::core

@@ -1,0 +1,24 @@
+#include "core/forecast_model.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace gaia::core {
+
+namespace ag = autograd;
+
+Var ForecastModel::TrainingLoss(const data::ForecastDataset& dataset,
+                                const std::vector<int32_t>& nodes,
+                                bool training, Rng* rng) {
+  GAIA_CHECK(!nodes.empty());
+  std::vector<Var> preds = PredictNodes(dataset, nodes, training, rng);
+  std::vector<Var> losses;
+  losses.reserve(preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    losses.push_back(ag::MseLoss(preds[i], dataset.target(nodes[i])));
+  }
+  return ag::ScalarMul(ag::AddN(losses),
+                       1.0f / static_cast<float>(losses.size()));
+}
+
+}  // namespace gaia::core

@@ -1,0 +1,39 @@
+#ifndef GAIA_CORE_FORECAST_MODEL_H_
+#define GAIA_CORE_FORECAST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace gaia::core {
+
+using autograd::Var;
+
+/// \brief Common interface for all trainable GMV forecasters (Gaia and the
+/// neural baselines). Predictions are in *normalized* units (the dataset's
+/// per-shop scale); the Evaluator denormalizes before computing metrics.
+class ForecastModel : public nn::Module {
+ public:
+  /// Predicts the [T'] target for each requested node. Graph-based models
+  /// run a full-graph forward internally; per-node models process each node
+  /// independently. `training` toggles dropout-style stochastic layers.
+  virtual std::vector<Var> PredictNodes(const data::ForecastDataset& dataset,
+                                        const std::vector<int32_t>& nodes,
+                                        bool training, Rng* rng) = 0;
+
+  /// Short method name as it appears in result tables ("Gaia", "MTGNN", ...).
+  virtual std::string name() const = 0;
+
+  /// Differentiable training loss for a node batch. The default is the
+  /// paper's MSE on PredictNodes outputs (Eq. 10); probabilistic models
+  /// override this with a likelihood-based objective.
+  virtual Var TrainingLoss(const data::ForecastDataset& dataset,
+                           const std::vector<int32_t>& nodes, bool training,
+                           Rng* rng);
+};
+
+}  // namespace gaia::core
+
+#endif  // GAIA_CORE_FORECAST_MODEL_H_

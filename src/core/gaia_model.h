@@ -1,0 +1,141 @@
+#ifndef GAIA_CORE_GAIA_MODEL_H_
+#define GAIA_CORE_GAIA_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cau.h"
+#include "core/ffl.h"
+#include "core/forecast_model.h"
+#include "core/ita_gcn.h"
+#include "core/tel.h"
+#include "nn/layers.h"
+#include "util/status.h"
+
+namespace gaia::core {
+
+/// \brief Hyper-parameters of the Gaia model.
+struct GaiaConfig {
+  int64_t channels = 16;    ///< C, embedding size (paper uses 32)
+  int64_t tel_groups = 4;   ///< K, TEL kernel groups (widths 2..2^K)
+  int64_t num_layers = 2;   ///< L, stacked ITA-GCN layers
+  /// Attention heads inside the CAU (1 = the paper's setting; >1 is a
+  /// multi-head extension; channels must divide evenly).
+  int64_t cau_heads = 1;
+
+  // Ablation switches (Table II). All true = full Gaia.
+  bool use_ffl = true;  ///< false: plain concat + shared linear fusion
+  bool use_tel = true;  ///< false: single {4 x C; C} kernel
+  bool use_ita = true;  ///< false: traditional (dense, unmasked) attention
+                        ///  with uniform neighbour weights
+  /// Extra design-choice ablation (ours): disable the causal mask M while
+  /// keeping the rest of the ITA mechanism.
+  bool causal_mask = true;
+
+  uint64_t seed = 1;
+
+  /// Validates against the sequence length (kernel group widths must fit).
+  Status Validate(int64_t t_len) const;
+};
+
+/// \brief Gaia: FFL -> TEL -> L x ITA-GCN -> prediction head (paper Fig. 2).
+class GaiaModel : public ForecastModel {
+ public:
+  /// Builds a model for the given data dimensions; rejects invalid configs.
+  static Result<std::unique_ptr<GaiaModel>> Create(const GaiaConfig& config,
+                                                   int64_t t_len,
+                                                   int64_t horizon,
+                                                   int64_t d_temporal,
+                                                   int64_t d_static);
+
+  /// Per-node feature bundle for graph-forward entry points.
+  struct NodeInput {
+    const Tensor* z = nullptr;         ///< [T]
+    const Tensor* temporal = nullptr;  ///< [T, D^T]
+    const Tensor* statics = nullptr;   ///< [D^S]
+  };
+
+  /// Full forward over an arbitrary graph and matching node features.
+  /// Returns one [T'] prediction var per node. `probe` (optional) collects
+  /// last-layer attention for introspection.
+  std::vector<Var> ForwardGraph(const graph::EsellerGraph& graph,
+                                const std::vector<NodeInput>& inputs,
+                                ItaProbe* probe = nullptr) const;
+
+  // ForecastModel:
+  std::vector<Var> PredictNodes(const data::ForecastDataset& dataset,
+                                const std::vector<int32_t>& nodes,
+                                bool training, Rng* rng) override;
+  std::string name() const override;
+
+  /// Serving path: predicts the centre node of an ego subgraph (normalized
+  /// units), matching the online deployment of §VI.
+  Tensor PredictEgo(const data::ForecastDataset& dataset,
+                    const graph::EgoSubgraph& ego) const;
+
+  /// AGL-style mini-batch path: one differentiable prediction per node, each
+  /// computed on that node's k-hop ego subgraph instead of the full graph.
+  /// With `max_fanout == 0` (no sampling) and `num_hops >= num_layers` this
+  /// is exact: message passing only reaches L hops, so the result matches
+  /// the full-graph forward bit for bit.
+  std::vector<Var> PredictNodesViaEgo(const data::ForecastDataset& dataset,
+                                      const std::vector<int32_t>& nodes,
+                                      int64_t num_hops, int64_t max_fanout,
+                                      Rng* rng) const;
+
+  /// Runs a full-graph forward and returns the last layer's attention
+  /// records (Fig. 4 case study).
+  ItaProbe CollectAttention(const data::ForecastDataset& dataset) const;
+
+  const GaiaConfig& config() const { return config_; }
+
+ private:
+  GaiaModel(const GaiaConfig& config, int64_t t_len, int64_t horizon,
+            int64_t d_temporal, int64_t d_static);
+
+  /// FFL/TEL node encoding (respecting the ablation switches).
+  Var EncodeNode(const NodeInput& input) const;
+
+  GaiaConfig config_;
+  int64_t t_len_;
+  int64_t horizon_;
+  int64_t d_temporal_;
+  int64_t d_static_;
+
+  std::shared_ptr<FeatureFusionLayer> ffl_;     // null when !use_ffl
+  std::shared_ptr<nn::Linear> plain_fusion_;    // w/o-FFL fallback
+  std::shared_ptr<TemporalEmbeddingLayer> tel_;
+  std::vector<std::shared_ptr<ItaGcnLayer>> layers_;
+  // Prediction head (Eq. 9).
+  std::shared_ptr<nn::Conv1dLayer> head_conv_;  ///< L^P: 1 filter, width 1
+  Var head_weight_;                             ///< W^P: [T, T']
+  Var head_bias_;                               ///< b^P: [T']
+};
+
+/// \brief Trainer adapter that runs Gaia in AGL-style mini-batch mode: every
+/// prediction is computed on the node's sampled ego subgraph (the industrial
+/// training regime of the paper's AGL stack) instead of the full graph.
+/// During evaluation (training == false) the full unsampled neighbourhood is
+/// used, which is exact for num_hops >= num_layers.
+class EgoSamplingGaia : public ForecastModel {
+ public:
+  EgoSamplingGaia(std::shared_ptr<GaiaModel> inner, int64_t num_hops,
+                  int64_t train_fanout);
+
+  std::vector<Var> PredictNodes(const data::ForecastDataset& dataset,
+                                const std::vector<int32_t>& nodes,
+                                bool training, Rng* rng) override;
+  std::string name() const override;
+
+  const GaiaModel& inner() const { return *inner_; }
+
+ private:
+  std::shared_ptr<GaiaModel> inner_;
+  int64_t num_hops_;
+  int64_t train_fanout_;
+};
+
+}  // namespace gaia::core
+
+#endif  // GAIA_CORE_GAIA_MODEL_H_

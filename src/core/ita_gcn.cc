@@ -1,0 +1,118 @@
+#include "core/ita_gcn.h"
+
+#include "util/check.h"
+
+namespace gaia::core {
+
+namespace ag = autograd;
+
+ItaGcnLayer::ItaGcnLayer(int64_t channels, int64_t t_len, Rng* rng,
+                         bool use_ita, bool causal_mask, int64_t cau_heads)
+    : channels_(channels), t_len_(t_len), use_ita_(use_ita) {
+  cau_ = AddModule("cau", std::make_shared<ConvAttentionUnit>(
+                              channels, rng,
+                              /*dense_projections=*/!use_ita,
+                              /*causal=*/use_ita && causal_mask, cau_heads));
+  if (use_ita_) {
+    conv_src_ = AddModule("score_s", std::make_shared<nn::Conv1dLayer>(
+                                         channels, 1, 1, PadMode::kCausal, rng,
+                                         /*dilation=*/1, /*use_bias=*/false));
+    conv_dst_ = AddModule("score_d", std::make_shared<nn::Conv1dLayer>(
+                                         channels, 1, 1, PadMode::kCausal, rng,
+                                         /*dilation=*/1, /*use_bias=*/false));
+    mu_ = AddParameter("mu", Tensor::RandUniform({t_len}, rng, -0.5f, 0.5f));
+    edge_type_bias_ = AddParameter("edge_type_bias", Tensor({2}));
+  }
+}
+
+std::vector<Var> ItaGcnLayer::Forward(const graph::EsellerGraph& graph,
+                                      const std::vector<Var>& h,
+                                      ItaProbe* probe) const {
+  const auto n = static_cast<int32_t>(h.size());
+  GAIA_CHECK_EQ(static_cast<int64_t>(n), graph.num_nodes());
+
+  // Project every node once; edges then only pay the T x T attention.
+  std::vector<ConvAttentionUnit::Projection> proj;
+  proj.reserve(static_cast<size_t>(n));
+  std::vector<Var> score_src, score_dst;
+  for (int32_t u = 0; u < n; ++u) {
+    GAIA_CHECK_EQ(h[static_cast<size_t>(u)]->value.dim(0), t_len_);
+    proj.push_back(cau_->Project(h[static_cast<size_t>(u)]));
+    if (use_ita_) {
+      score_src.push_back(conv_src_->Forward(h[static_cast<size_t>(u)]));
+      score_dst.push_back(conv_dst_->Forward(h[static_cast<size_t>(u)]));
+    }
+  }
+
+  std::vector<Var> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int32_t u = 0; u < n; ++u) {
+    const auto& pu = proj[static_cast<size_t>(u)];
+
+    // Intra self-attention term CAU(H_u, H_u).
+    Tensor self_attention;
+    Var self_term = cau_->Attend(pu.q, pu.k, pu.v,
+                                 probe ? &self_attention : nullptr);
+    if (probe) {
+      probe->intra.push_back(EdgeAttentionRecord{u, u, self_attention});
+    }
+
+    const std::vector<graph::Neighbor> neighbors = graph.InNeighbors(u);
+    if (neighbors.empty()) {
+      out.push_back(self_term);
+      continue;
+    }
+
+    // Neighbour aggregation weights alpha_uv.
+    Var alpha;  // [|N|]
+    if (use_ita_) {
+      std::vector<Var> scores;
+      scores.reserve(neighbors.size());
+      for (const graph::Neighbor& nb : neighbors) {
+        Var combined = ag::Tanh(
+            ag::Add(score_src[static_cast<size_t>(u)],
+                    score_dst[static_cast<size_t>(nb.node)]));  // [T, 1]
+        Var score = ag::Dot(ag::Reshape(combined, {t_len_}), mu_);
+        // Relation type enters the aggregation score additively.
+        score = ag::Add(score,
+                        ag::SelectScalar(edge_type_bias_,
+                                         static_cast<int64_t>(nb.type)));
+        scores.push_back(score);
+      }
+      alpha = ag::Softmax1D(ag::StackScalars(scores));
+    } else {
+      alpha = ag::Constant(Tensor::Full(
+          {static_cast<int64_t>(neighbors.size())},
+          1.0f / static_cast<float>(neighbors.size())));
+    }
+    if (probe) {
+      NeighborAlphaRecord rec;
+      rec.u = u;
+      for (const graph::Neighbor& nb : neighbors) {
+        rec.neighbors.push_back(nb.node);
+      }
+      rec.alpha = alpha->value;
+      probe->alphas.push_back(std::move(rec));
+    }
+
+    // Inter neighbour-attention term: sum_v alpha_uv CAU(H_u, H_v).
+    std::vector<Var> messages;
+    messages.reserve(neighbors.size());
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const auto& pv = proj[static_cast<size_t>(neighbors[i].node)];
+      Tensor edge_attention;
+      Var message = cau_->Attend(pu.q, pv.k, pv.v,
+                                 probe ? &edge_attention : nullptr);
+      if (probe) {
+        probe->inter.push_back(
+            EdgeAttentionRecord{u, neighbors[i].node, edge_attention});
+      }
+      messages.push_back(ag::ScaleByScalar(
+          message, ag::SelectScalar(alpha, static_cast<int64_t>(i))));
+    }
+    out.push_back(ag::Add(ag::AddN(messages), self_term));
+  }
+  return out;
+}
+
+}  // namespace gaia::core

@@ -1,0 +1,148 @@
+#include "core/probabilistic_gaia.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace gaia::core {
+
+namespace ag = autograd;
+
+Var GaussianNll(const Var& mean, const Var& logvar, const Tensor& target) {
+  GAIA_CHECK(mean->value.SameShape(target));
+  GAIA_CHECK(logvar->value.SameShape(target));
+  // nll = 0.5 * mean( logvar + (target - mean)^2 * exp(-logvar) )
+  Var diff = ag::Sub(ag::Constant(target), mean);
+  Var precision = ag::Exp(ag::Neg(logvar));
+  Var quad = ag::Mul(ag::Mul(diff, diff), precision);
+  return ag::ScalarMul(ag::MeanAll(ag::Add(logvar, quad)), 0.5f);
+}
+
+Result<std::unique_ptr<ProbabilisticGaia>> ProbabilisticGaia::Create(
+    const Config& config, int64_t t_len, int64_t horizon, int64_t d_temporal,
+    int64_t d_static) {
+  if (config.channels < 2 || config.num_layers < 1) {
+    return Status::InvalidArgument("invalid probabilistic Gaia config");
+  }
+  if (config.tel_groups < 1 || config.channels % config.tel_groups != 0) {
+    return Status::InvalidArgument("channels must divide into tel_groups");
+  }
+  if (config.max_logvar <= 0.0f) {
+    return Status::InvalidArgument("max_logvar must be positive");
+  }
+  if (t_len < 1 || horizon < 1 || d_temporal < 1 || d_static < 1) {
+    return Status::InvalidArgument("invalid data dimensions");
+  }
+  return std::unique_ptr<ProbabilisticGaia>(
+      new ProbabilisticGaia(config, t_len, horizon, d_temporal, d_static));
+}
+
+ProbabilisticGaia::ProbabilisticGaia(const Config& config, int64_t t_len,
+                                     int64_t horizon, int64_t d_temporal,
+                                     int64_t d_static)
+    : config_(config), t_len_(t_len), horizon_(horizon) {
+  Rng rng(config.seed);
+  const int64_t c = config.channels;
+  ffl_ = AddModule("ffl", std::make_shared<FeatureFusionLayer>(
+                              t_len, d_temporal, d_static, c, &rng));
+  tel_ = AddModule("tel", std::make_shared<TemporalEmbeddingLayer>(
+                              c, config.tel_groups, &rng));
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(AddModule("ita" + std::to_string(l),
+                                std::make_shared<ItaGcnLayer>(c, t_len, &rng)));
+  }
+  mean_conv_ = AddModule("mean_conv", std::make_shared<nn::Conv1dLayer>(
+                                          c, 1, 1, PadMode::kCausal, &rng));
+  mean_weight_ =
+      AddParameter("mean_weight", nn::LinearInit(t_len, horizon, &rng));
+  mean_bias_ = AddParameter("mean_bias", Tensor::Ones({horizon}));
+  var_conv_ = AddModule("var_conv", std::make_shared<nn::Conv1dLayer>(
+                                        c, 1, 1, PadMode::kCausal, &rng));
+  var_weight_ =
+      AddParameter("var_weight", nn::LinearInit(t_len, horizon, &rng));
+  var_bias_ = AddParameter("var_bias", Tensor({horizon}));
+}
+
+std::vector<ProbabilisticGaia::HeadOutput> ProbabilisticGaia::ForwardAll(
+    const data::ForecastDataset& dataset) const {
+  const auto n = static_cast<int32_t>(dataset.num_nodes());
+  std::vector<Var> embeddings;
+  embeddings.reserve(static_cast<size_t>(n));
+  for (int32_t v = 0; v < n; ++v) {
+    Var fused = ffl_->Forward(ag::Constant(dataset.z(v)),
+                              ag::Constant(dataset.temporal(v)),
+                              ag::Constant(dataset.static_features(v)));
+    embeddings.push_back(tel_->Forward(fused));
+  }
+  std::vector<Var> h = embeddings;
+  for (const auto& layer : layers_) {
+    h = layer->Forward(dataset.graph(), h);
+  }
+  std::vector<HeadOutput> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int32_t v = 0; v < n; ++v) {
+    Var residual = ag::Add(h[static_cast<size_t>(v)],
+                           embeddings[static_cast<size_t>(v)]);
+    Var mean_row = ag::Reshape(mean_conv_->Forward(residual), {1, t_len_});
+    Var mean = ag::Relu(ag::Reshape(
+        ag::AddRowVector(ag::MatMul(mean_row, mean_weight_), mean_bias_),
+        {horizon_}));
+    Var var_row = ag::Reshape(var_conv_->Forward(residual), {1, t_len_});
+    Var raw_logvar = ag::Reshape(
+        ag::AddRowVector(ag::MatMul(var_row, var_weight_), var_bias_),
+        {horizon_});
+    // Bounded log-variance keeps the NLL well-conditioned.
+    Var logvar = ag::ScalarMul(ag::Tanh(raw_logvar), config_.max_logvar);
+    out.push_back(HeadOutput{mean, logvar});
+  }
+  return out;
+}
+
+std::vector<Var> ProbabilisticGaia::PredictNodes(
+    const data::ForecastDataset& dataset, const std::vector<int32_t>& nodes,
+    bool /*training*/, Rng* /*rng*/) {
+  auto all = ForwardAll(dataset);
+  std::vector<Var> out;
+  out.reserve(nodes.size());
+  for (int32_t v : nodes) out.push_back(all[static_cast<size_t>(v)].mean);
+  return out;
+}
+
+Var ProbabilisticGaia::TrainingLoss(const data::ForecastDataset& dataset,
+                                    const std::vector<int32_t>& nodes,
+                                    bool /*training*/, Rng* /*rng*/) {
+  GAIA_CHECK(!nodes.empty());
+  auto all = ForwardAll(dataset);
+  std::vector<Var> losses;
+  losses.reserve(nodes.size());
+  for (int32_t v : nodes) {
+    const auto& head = all[static_cast<size_t>(v)];
+    losses.push_back(GaussianNll(head.mean, head.logvar, dataset.target(v)));
+  }
+  return ag::ScalarMul(ag::AddN(losses),
+                       1.0f / static_cast<float>(losses.size()));
+}
+
+std::vector<ProbabilisticGaia::Distribution>
+ProbabilisticGaia::PredictDistribution(const data::ForecastDataset& dataset,
+                                       const std::vector<int32_t>& nodes) {
+  auto all = ForwardAll(dataset);
+  std::vector<Distribution> out;
+  out.reserve(nodes.size());
+  for (int32_t v : nodes) {
+    const auto& head = all[static_cast<size_t>(v)];
+    Distribution dist;
+    dist.mean = head.mean->value;
+    dist.stddev = Tensor(dist.mean.shape());
+    for (int64_t h = 0; h < dist.mean.size(); ++h) {
+      dist.stddev.data()[h] =
+          std::exp(0.5f * head.logvar->value.data()[h]);
+    }
+    out.push_back(std::move(dist));
+  }
+  return out;
+}
+
+}  // namespace gaia::core

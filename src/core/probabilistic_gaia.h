@@ -1,0 +1,92 @@
+#ifndef GAIA_CORE_PROBABILISTIC_GAIA_H_
+#define GAIA_CORE_PROBABILISTIC_GAIA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ffl.h"
+#include "core/forecast_model.h"
+#include "core/ita_gcn.h"
+#include "core/tel.h"
+#include "nn/layers.h"
+#include "util/status.h"
+
+namespace gaia::core {
+
+/// \brief Probabilistic extension of Gaia (beyond the paper, in the spirit
+/// of its DeepAR citation): the same FFL -> TEL -> ITA-GCN encoder, but the
+/// head emits a Gaussian per forecast month — a ReLU mean and a bounded
+/// log-variance — trained with the negative log-likelihood instead of MSE.
+///
+/// PredictNodes returns the means (so the standard Evaluator applies);
+/// PredictDistribution additionally exposes per-month standard deviations
+/// for interval forecasts, in normalized units.
+class ProbabilisticGaia : public ForecastModel {
+ public:
+  struct Config {
+    int64_t channels = 16;
+    int64_t tel_groups = 4;
+    int64_t num_layers = 2;
+    /// log-variance is clamped to [-max_logvar, max_logvar] via tanh.
+    float max_logvar = 4.0f;
+    uint64_t seed = 2;
+  };
+
+  static Result<std::unique_ptr<ProbabilisticGaia>> Create(
+      const Config& config, int64_t t_len, int64_t horizon,
+      int64_t d_temporal, int64_t d_static);
+
+  struct Distribution {
+    Tensor mean;    ///< [T'] normalized means
+    Tensor stddev;  ///< [T'] normalized standard deviations
+  };
+
+  // ForecastModel:
+  std::vector<Var> PredictNodes(const data::ForecastDataset& dataset,
+                                const std::vector<int32_t>& nodes,
+                                bool training, Rng* rng) override;
+  std::string name() const override { return "Gaia (probabilistic)"; }
+  Var TrainingLoss(const data::ForecastDataset& dataset,
+                   const std::vector<int32_t>& nodes, bool training,
+                   Rng* rng) override;
+
+  /// Full predictive distribution for the requested nodes.
+  std::vector<Distribution> PredictDistribution(
+      const data::ForecastDataset& dataset,
+      const std::vector<int32_t>& nodes);
+
+ private:
+  ProbabilisticGaia(const Config& config, int64_t t_len, int64_t horizon,
+                    int64_t d_temporal, int64_t d_static);
+
+  struct HeadOutput {
+    Var mean;    ///< [T']
+    Var logvar;  ///< [T']
+  };
+
+  /// Encoder + two-branch head for every node of the full graph.
+  std::vector<HeadOutput> ForwardAll(const data::ForecastDataset& dataset) const;
+
+  Config config_;
+  int64_t t_len_;
+  int64_t horizon_;
+  std::shared_ptr<FeatureFusionLayer> ffl_;
+  std::shared_ptr<TemporalEmbeddingLayer> tel_;
+  std::vector<std::shared_ptr<ItaGcnLayer>> layers_;
+  std::shared_ptr<nn::Conv1dLayer> mean_conv_;
+  Var mean_weight_;
+  Var mean_bias_;
+  std::shared_ptr<nn::Conv1dLayer> var_conv_;
+  Var var_weight_;
+  Var var_bias_;
+};
+
+/// Gaussian negative log-likelihood of `target` under N(mean, exp(logvar)),
+/// averaged over elements (constant terms dropped). Exposed for tests.
+autograd::Var GaussianNll(const autograd::Var& mean,
+                          const autograd::Var& logvar, const Tensor& target);
+
+}  // namespace gaia::core
+
+#endif  // GAIA_CORE_PROBABILISTIC_GAIA_H_

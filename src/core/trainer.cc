@@ -1,0 +1,108 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "optim/lr_schedule.h"
+#include "optim/optimizer.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace gaia::core {
+
+namespace ag = autograd;
+
+double Trainer::EvaluateMse(ForecastModel* model,
+                            const data::ForecastDataset& dataset,
+                            const std::vector<int32_t>& nodes) {
+  GAIA_CHECK(!nodes.empty());
+  Rng rng(0);
+  std::vector<Var> preds =
+      model->PredictNodes(dataset, nodes, /*training=*/false, &rng);
+  double total = 0.0;
+  int64_t count = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const Tensor& target = dataset.target(nodes[i]);
+    for (int64_t h = 0; h < target.size(); ++h) {
+      const double d = preds[i]->value.data()[h] - target.data()[h];
+      total += d * d;
+      ++count;
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+TrainResult Trainer::Fit(ForecastModel* model,
+                         const data::ForecastDataset& dataset) const {
+  GAIA_CHECK(model != nullptr);
+  Stopwatch watch;
+  Rng rng(config_.seed);
+  std::vector<Var> params = model->Parameters();
+  optim::Adam optimizer(params, config_.learning_rate);
+  optim::EarlyStopping stopper(config_.patience);
+
+  TrainResult result;
+  std::vector<Tensor> best_params;
+  auto snapshot = [&] {
+    best_params.clear();
+    best_params.reserve(params.size());
+    for (const Var& p : params) best_params.push_back(p->value);
+  };
+  auto restore = [&] {
+    if (best_params.empty()) return;
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = best_params[i];
+    }
+  };
+
+  const std::vector<int32_t>& train_nodes = dataset.train_nodes();
+  const std::vector<int32_t>& val_nodes = dataset.val_nodes();
+  double best_val = 1e300;
+  const optim::CosineDecayLr schedule(config_.learning_rate,
+                                      config_.learning_rate * 0.1f);
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    if (config_.cosine_lr_decay) {
+      optimizer.set_lr(schedule.LearningRate(epoch, config_.max_epochs));
+    }
+    // Select the epoch's node batch.
+    std::vector<int32_t> batch = train_nodes;
+    if (config_.batch_nodes > 0 &&
+        config_.batch_nodes < static_cast<int64_t>(batch.size())) {
+      rng.Shuffle(&batch);
+      batch.resize(static_cast<size_t>(config_.batch_nodes));
+    }
+    Var loss = model->TrainingLoss(dataset, batch, /*training=*/true, &rng);
+    model->ZeroGrad();
+    ag::Backward(loss);
+    optim::ClipGradNorm(params, config_.grad_clip);
+    optimizer.Step();
+    result.train_loss_history.push_back(loss->value.data()[0]);
+    result.final_train_loss = loss->value.data()[0];
+    ++result.epochs_run;
+
+    const bool eval_now = (epoch + 1) % config_.eval_every == 0 ||
+                          epoch + 1 == config_.max_epochs;
+    if (eval_now && !val_nodes.empty()) {
+      const double val_loss = EvaluateMse(model, dataset, val_nodes);
+      result.val_loss_history.push_back(val_loss);
+      if (config_.verbose) {
+        GAIA_LOG(Info) << model->name() << " epoch " << (epoch + 1)
+                       << " train=" << result.final_train_loss
+                       << " val=" << val_loss;
+      }
+      if (val_loss < best_val) {
+        best_val = val_loss;
+        snapshot();
+      }
+      if (stopper.Update(val_loss)) break;
+    }
+  }
+  restore();
+  result.best_val_loss = best_val;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace gaia::core

@@ -1,0 +1,126 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace gaia::data {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+Status DatasetOptions::Validate() const {
+  if (train_fraction <= 0.0 || val_fraction < 0.0 ||
+      train_fraction + val_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "train/val fractions must be positive and leave room for test");
+  }
+  if (mape_floor < 0.0) {
+    return Status::InvalidArgument("mape_floor must be non-negative");
+  }
+  return Status::OK();
+}
+
+Result<ForecastDataset> ForecastDataset::Create(const MarketData& market,
+                                                const DatasetOptions& options) {
+  GAIA_RETURN_NOT_OK(options.Validate());
+  const MarketConfig& cfg = market.config;
+  const auto n = static_cast<int32_t>(market.shops.size());
+  if (n == 0) return Status::InvalidArgument("market has no shops");
+
+  ForecastDataset ds;
+  ds.history_len_ = cfg.history_months;
+  ds.horizon_ = cfg.horizon_months;
+  ds.mape_floor_ = options.mape_floor;
+  // Temporal feature layout: [sin month, cos month, log orders, log
+  // customers, active mask, festival flag].
+  ds.temporal_dim_ = 6;
+  // Static layout: industry one-hot | region one-hot | log age | supplier.
+  ds.static_dim_ = cfg.num_industries + cfg.num_regions + 2;
+  ds.graph_ = market.graph;
+
+  const int64_t t_len = ds.history_len_;
+  ds.z_.reserve(static_cast<size_t>(n));
+  ds.temporal_.reserve(static_cast<size_t>(n));
+  ds.static_.reserve(static_cast<size_t>(n));
+  ds.target_.reserve(static_cast<size_t>(n));
+  ds.scale_.reserve(static_cast<size_t>(n));
+  ds.series_length_.reserve(static_cast<size_t>(n));
+
+  for (int32_t v = 0; v < n; ++v) {
+    const Shop& shop = market.shops[static_cast<size_t>(v)];
+    GAIA_CHECK_EQ(static_cast<int64_t>(shop.gmv.size()), cfg.total_months());
+
+    // Per-shop scale from the active history window.
+    double sum = 0.0;
+    int active = 0;
+    for (int m = shop.birth_month; m < cfg.history_months; ++m) {
+      sum += shop.gmv[static_cast<size_t>(m)];
+      ++active;
+    }
+    const double scale = active > 0 && sum > 0.0
+                             ? sum / static_cast<double>(active)
+                             : 1.0;
+    ds.scale_.push_back(scale);
+    ds.series_length_.push_back(cfg.history_months - shop.birth_month);
+
+    Tensor z({t_len});
+    Tensor temporal({t_len, ds.temporal_dim_});
+    for (int m = 0; m < cfg.history_months; ++m) {
+      const int cal = market.CalendarMonth(m);
+      z.at(m) = static_cast<float>(shop.gmv[static_cast<size_t>(m)] / scale);
+      temporal.at(m, 0) =
+          static_cast<float>(std::sin(2.0 * kPi * cal / 12.0));
+      temporal.at(m, 1) =
+          static_cast<float>(std::cos(2.0 * kPi * cal / 12.0));
+      temporal.at(m, 2) = static_cast<float>(
+          std::log1p(shop.orders[static_cast<size_t>(m)]) * 0.1);
+      temporal.at(m, 3) = static_cast<float>(
+          std::log1p(shop.customers[static_cast<size_t>(m)]) * 0.1);
+      temporal.at(m, 4) = m >= shop.birth_month ? 1.0f : 0.0f;
+      temporal.at(m, 5) = cal == 10 ? 1.0f : 0.0f;  // November festival
+    }
+    ds.z_.push_back(std::move(z));
+    ds.temporal_.push_back(std::move(temporal));
+
+    Tensor stat({ds.static_dim_});
+    stat.at(shop.industry) = 1.0f;
+    stat.at(cfg.num_industries + shop.region) = 1.0f;
+    stat.at(cfg.num_industries + cfg.num_regions) = static_cast<float>(
+        std::log1p(static_cast<double>(shop.age_months)) /
+        std::log1p(static_cast<double>(cfg.history_months)));
+    stat.at(cfg.num_industries + cfg.num_regions + 1) =
+        shop.is_supplier ? 1.0f : 0.0f;
+    ds.static_.push_back(std::move(stat));
+
+    Tensor target({ds.horizon_});
+    for (int h = 0; h < cfg.horizon_months; ++h) {
+      target.at(h) = static_cast<float>(
+          shop.gmv[static_cast<size_t>(cfg.history_months + h)] / scale);
+    }
+    ds.target_.push_back(std::move(target));
+  }
+
+  // Node split (inductive protocol: held-out shops are never in the loss).
+  std::vector<int32_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Rng split_rng(options.split_seed);
+  split_rng.Shuffle(&order);
+  const auto train_end =
+      static_cast<size_t>(options.train_fraction * static_cast<double>(n));
+  const auto val_end = static_cast<size_t>(
+      (options.train_fraction + options.val_fraction) * static_cast<double>(n));
+  ds.train_nodes_.assign(order.begin(), order.begin() + train_end);
+  ds.val_nodes_.assign(order.begin() + train_end, order.begin() + val_end);
+  ds.test_nodes_.assign(order.begin() + val_end, order.end());
+  if (ds.train_nodes_.empty() || ds.test_nodes_.empty()) {
+    return Status::InvalidArgument("split produced an empty partition");
+  }
+  return ds;
+}
+
+}  // namespace gaia::data

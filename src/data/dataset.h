@@ -1,0 +1,109 @@
+#ifndef GAIA_DATA_DATASET_H_
+#define GAIA_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/market_simulator.h"
+#include "graph/eseller_graph.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace gaia::data {
+
+/// \brief Options for assembling model-ready features from a market.
+struct DatasetOptions {
+  double train_fraction = 0.7;
+  double val_fraction = 0.1;
+  uint64_t split_seed = 7;
+  /// |actual| below this is excluded from MAPE (denormalized GMV units).
+  double mape_floor = 100.0;
+
+  Status Validate() const;
+};
+
+/// \brief Model-ready view of a simulated market.
+///
+/// Per shop v it exposes the paper's three inputs (z_v series, temporal
+/// features F^T_v, static features f^S_v) plus the normalized forecast
+/// target. GMV is normalized per shop by its mean active-history GMV so the
+/// network trains on O(1) values; Denormalize maps predictions back to GMV
+/// units for metric computation.
+class ForecastDataset {
+ public:
+  static Result<ForecastDataset> Create(const MarketData& market,
+                                        const DatasetOptions& options);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(z_.size()); }
+  int64_t history_len() const { return history_len_; }     ///< T
+  int64_t horizon() const { return horizon_; }             ///< T'
+  int64_t temporal_dim() const { return temporal_dim_; }   ///< D^T
+  int64_t static_dim() const { return static_dim_; }       ///< D^S
+
+  /// Normalized GMV history of shop v, shape [T] (zeros before birth).
+  const Tensor& z(int32_t v) const { return z_[static_cast<size_t>(v)]; }
+
+  /// Auxiliary temporal features, shape [T, D^T].
+  const Tensor& temporal(int32_t v) const {
+    return temporal_[static_cast<size_t>(v)];
+  }
+
+  /// Auxiliary static features, shape [D^S].
+  const Tensor& static_features(int32_t v) const {
+    return static_[static_cast<size_t>(v)];
+  }
+
+  /// Normalized forecast target, shape [T'].
+  const Tensor& target(int32_t v) const {
+    return target_[static_cast<size_t>(v)];
+  }
+
+  /// Per-shop normalization scale (mean active-history GMV).
+  double scale(int32_t v) const { return scale_[static_cast<size_t>(v)]; }
+
+  /// Maps a normalized prediction back to GMV units.
+  double Denormalize(int32_t v, double normalized) const {
+    return normalized * scale(v);
+  }
+
+  /// Ground-truth GMV of shop v at horizon step h, in GMV units.
+  double ActualGmv(int32_t v, int h) const {
+    return Denormalize(v, target(v).at(h));
+  }
+
+  /// Observed history length of shop v (the Fig. 3 grouping variable).
+  int series_length(int32_t v) const {
+    return series_length_[static_cast<size_t>(v)];
+  }
+
+  const graph::EsellerGraph& graph() const { return graph_; }
+
+  const std::vector<int32_t>& train_nodes() const { return train_nodes_; }
+  const std::vector<int32_t>& val_nodes() const { return val_nodes_; }
+  const std::vector<int32_t>& test_nodes() const { return test_nodes_; }
+
+  double mape_floor() const { return mape_floor_; }
+
+ private:
+  ForecastDataset() = default;
+
+  int64_t history_len_ = 0;
+  int64_t horizon_ = 0;
+  int64_t temporal_dim_ = 0;
+  int64_t static_dim_ = 0;
+  double mape_floor_ = 100.0;
+  std::vector<Tensor> z_;
+  std::vector<Tensor> temporal_;
+  std::vector<Tensor> static_;
+  std::vector<Tensor> target_;
+  std::vector<double> scale_;
+  std::vector<int> series_length_;
+  graph::EsellerGraph graph_;
+  std::vector<int32_t> train_nodes_;
+  std::vector<int32_t> val_nodes_;
+  std::vector<int32_t> test_nodes_;
+};
+
+}  // namespace gaia::data
+
+#endif  // GAIA_DATA_DATASET_H_

@@ -1,0 +1,256 @@
+#include "data/market_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "graph/eseller_graph.h"
+#include "util/check.h"
+
+namespace gaia::data {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << contents;
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path, size_t expected_fields) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (fields.size() != expected_fields) {
+      return Status::InvalidArgument(
+          path + ": expected " + std::to_string(expected_fields) +
+          " fields, got " + std::to_string(fields.size()) + " in: " + line);
+    }
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+Result<long long> ParseInt(const std::string& s, const std::string& what) {
+  try {
+    size_t pos = 0;
+    long long v = std::stoll(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (...) {
+    return Status::InvalidArgument("bad integer for " + what + ": " + s);
+  }
+}
+
+Result<double> ParseDouble(const std::string& s, const std::string& what) {
+  try {
+    size_t pos = 0;
+    double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (...) {
+    return Status::InvalidArgument("bad number for " + what + ": " + s);
+  }
+}
+
+}  // namespace
+
+Status SaveMarketCsv(const MarketData& market, const std::string& dir) {
+  const MarketConfig& cfg = market.config;
+  {
+    std::ostringstream os;
+    os << "num_shops,num_industries,num_regions,history_months,"
+          "horizon_months,start_calendar_month\n";
+    os << cfg.num_shops << ',' << cfg.num_industries << ',' << cfg.num_regions
+       << ',' << cfg.history_months << ',' << cfg.horizon_months << ','
+       << cfg.start_calendar_month << '\n';
+    GAIA_RETURN_NOT_OK(WriteFile(dir + "/meta.csv", os.str()));
+  }
+  {
+    std::ostringstream os;
+    os << "id,industry,region,is_supplier,age_months,birth_month\n";
+    for (const Shop& shop : market.shops) {
+      os << shop.id << ',' << shop.industry << ',' << shop.region << ','
+         << (shop.is_supplier ? 1 : 0) << ',' << shop.age_months << ','
+         << shop.birth_month << '\n';
+    }
+    GAIA_RETURN_NOT_OK(WriteFile(dir + "/shops.csv", os.str()));
+  }
+  {
+    std::ostringstream os;
+    os.precision(17);  // round-trip exact doubles
+    os << "shop,month,gmv,customers,orders\n";
+    for (const Shop& shop : market.shops) {
+      for (size_t m = 0; m < shop.gmv.size(); ++m) {
+        os << shop.id << ',' << m << ',' << shop.gmv[m] << ','
+           << shop.customers[m] << ',' << shop.orders[m] << '\n';
+      }
+    }
+    GAIA_RETURN_NOT_OK(WriteFile(dir + "/series.csv", os.str()));
+  }
+  {
+    std::ostringstream os;
+    os << "src,dst,type\n";
+    for (int32_t u = 0; u < market.graph.num_nodes(); ++u) {
+      for (const graph::Neighbor& nb : market.graph.InNeighbors(u)) {
+        os << nb.node << ',' << u << ','
+           << static_cast<int>(nb.type) << '\n';
+      }
+    }
+    GAIA_RETURN_NOT_OK(WriteFile(dir + "/edges.csv", os.str()));
+  }
+  return Status::OK();
+}
+
+Result<MarketData> LoadMarketCsv(const std::string& dir) {
+  MarketData market;
+  // --- meta -----------------------------------------------------------------
+  {
+    auto rows = ReadCsv(dir + "/meta.csv", 6);
+    if (!rows.ok()) return rows.status();
+    if (rows.value().size() != 1) {
+      return Status::InvalidArgument("meta.csv must contain exactly one row");
+    }
+    const auto& r = rows.value()[0];
+    MarketConfig& cfg = market.config;
+    auto shops = ParseInt(r[0], "num_shops");
+    auto industries = ParseInt(r[1], "num_industries");
+    auto regions = ParseInt(r[2], "num_regions");
+    auto history = ParseInt(r[3], "history_months");
+    auto horizon = ParseInt(r[4], "horizon_months");
+    auto start = ParseInt(r[5], "start_calendar_month");
+    for (const auto* p : {&shops, &industries, &regions, &history, &horizon,
+                          &start}) {
+      if (!p->ok()) return p->status();
+    }
+    cfg.num_shops = shops.value();
+    cfg.num_industries = static_cast<int>(industries.value());
+    cfg.num_regions = static_cast<int>(regions.value());
+    cfg.history_months = static_cast<int>(history.value());
+    cfg.horizon_months = static_cast<int>(horizon.value());
+    cfg.start_calendar_month = static_cast<int>(start.value());
+  }
+  const MarketConfig& cfg = market.config;
+  const int total = cfg.total_months();
+  if (cfg.num_shops <= 0 || cfg.history_months <= 0 ||
+      cfg.horizon_months <= 0) {
+    return Status::InvalidArgument("meta.csv has non-positive dimensions");
+  }
+
+  // --- shops ----------------------------------------------------------------
+  market.shops.assign(static_cast<size_t>(cfg.num_shops), Shop{});
+  std::vector<bool> seen(static_cast<size_t>(cfg.num_shops), false);
+  {
+    auto rows = ReadCsv(dir + "/shops.csv", 6);
+    if (!rows.ok()) return rows.status();
+    if (static_cast<int64_t>(rows.value().size()) != cfg.num_shops) {
+      return Status::InvalidArgument("shops.csv row count != num_shops");
+    }
+    for (const auto& r : rows.value()) {
+      auto id = ParseInt(r[0], "shop id");
+      if (!id.ok()) return id.status();
+      if (id.value() < 0 || id.value() >= cfg.num_shops) {
+        return Status::OutOfRange("shop id out of range: " + r[0]);
+      }
+      if (seen[static_cast<size_t>(id.value())]) {
+        return Status::AlreadyExists("duplicate shop id: " + r[0]);
+      }
+      seen[static_cast<size_t>(id.value())] = true;
+      Shop& shop = market.shops[static_cast<size_t>(id.value())];
+      shop.id = static_cast<int32_t>(id.value());
+      auto industry = ParseInt(r[1], "industry");
+      auto region = ParseInt(r[2], "region");
+      auto supplier = ParseInt(r[3], "is_supplier");
+      auto age = ParseInt(r[4], "age_months");
+      auto birth = ParseInt(r[5], "birth_month");
+      for (const auto* p : {&industry, &region, &supplier, &age, &birth}) {
+        if (!p->ok()) return p->status();
+      }
+      shop.industry = static_cast<int>(industry.value());
+      shop.region = static_cast<int>(region.value());
+      shop.is_supplier = supplier.value() != 0;
+      shop.age_months = static_cast<int>(age.value());
+      shop.birth_month = static_cast<int>(birth.value());
+      if (shop.industry < 0 || shop.industry >= cfg.num_industries ||
+          shop.region < 0 || shop.region >= cfg.num_regions) {
+        return Status::OutOfRange("industry/region out of range for shop " +
+                                  r[0]);
+      }
+      shop.gmv.assign(static_cast<size_t>(total), 0.0);
+      shop.customers.assign(static_cast<size_t>(total), 0.0);
+      shop.orders.assign(static_cast<size_t>(total), 0.0);
+    }
+  }
+
+  // --- series ----------------------------------------------------------------
+  {
+    auto rows = ReadCsv(dir + "/series.csv", 5);
+    if (!rows.ok()) return rows.status();
+    for (const auto& r : rows.value()) {
+      auto shop_id = ParseInt(r[0], "series shop id");
+      auto month = ParseInt(r[1], "series month");
+      auto gmv = ParseDouble(r[2], "gmv");
+      auto customers = ParseDouble(r[3], "customers");
+      auto orders = ParseDouble(r[4], "orders");
+      if (!shop_id.ok()) return shop_id.status();
+      if (!month.ok()) return month.status();
+      for (const auto* p : {&gmv, &customers, &orders}) {
+        if (!p->ok()) return p->status();
+      }
+      if (shop_id.value() < 0 || shop_id.value() >= cfg.num_shops) {
+        return Status::OutOfRange("series shop id out of range: " + r[0]);
+      }
+      if (month.value() < 0 || month.value() >= total) {
+        return Status::OutOfRange("series month out of range: " + r[1]);
+      }
+      Shop& shop = market.shops[static_cast<size_t>(shop_id.value())];
+      shop.gmv[static_cast<size_t>(month.value())] = gmv.value();
+      shop.customers[static_cast<size_t>(month.value())] = customers.value();
+      shop.orders[static_cast<size_t>(month.value())] = orders.value();
+    }
+  }
+
+  // --- edges -----------------------------------------------------------------
+  {
+    auto rows = ReadCsv(dir + "/edges.csv", 3);
+    if (!rows.ok()) return rows.status();
+    std::vector<graph::Edge> edges;
+    edges.reserve(rows.value().size());
+    for (const auto& r : rows.value()) {
+      auto src = ParseInt(r[0], "edge src");
+      auto dst = ParseInt(r[1], "edge dst");
+      auto type = ParseInt(r[2], "edge type");
+      if (!src.ok()) return src.status();
+      if (!dst.ok()) return dst.status();
+      if (!type.ok()) return type.status();
+      if (type.value() != 0 && type.value() != 1) {
+        return Status::InvalidArgument("edge type must be 0 or 1: " + r[2]);
+      }
+      edges.push_back(graph::Edge{
+          static_cast<int32_t>(src.value()), static_cast<int32_t>(dst.value()),
+          static_cast<graph::EdgeType>(type.value())});
+    }
+    auto graph = graph::EsellerGraph::Create(cfg.num_shops, edges);
+    if (!graph.ok()) return graph.status();
+    market.graph = std::move(graph).value();
+  }
+  return market;
+}
+
+}  // namespace gaia::data

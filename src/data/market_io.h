@@ -1,0 +1,32 @@
+#ifndef GAIA_DATA_MARKET_IO_H_
+#define GAIA_DATA_MARKET_IO_H_
+
+#include <string>
+
+#include "data/market_simulator.h"
+#include "util/status.h"
+
+namespace gaia::data {
+
+/// \brief CSV persistence for markets — the ingestion path for real data.
+///
+/// A market directory contains four files:
+///   meta.csv   one row: num_shops, industries, regions, history, horizon,
+///              start_calendar_month
+///   shops.csv  per shop: id, industry, region, is_supplier, age_months,
+///              birth_month
+///   series.csv per (shop, month): shop, month, gmv, customers, orders
+///   edges.csv  per relation: src, dst, type (0 = supply chain,
+///              1 = same owner); stored directed exactly as aggregated
+///
+/// Users with production data can write these files from their own systems
+/// and feed them straight into ForecastDataset::Create.
+Status SaveMarketCsv(const MarketData& market, const std::string& dir);
+
+/// Loads a market saved by SaveMarketCsv (or hand-authored to the same
+/// schema). Validates shapes, ranges and graph consistency.
+Result<MarketData> LoadMarketCsv(const std::string& dir);
+
+}  // namespace gaia::data
+
+#endif  // GAIA_DATA_MARKET_IO_H_

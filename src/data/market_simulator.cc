@@ -1,0 +1,311 @@
+#include "data/market_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace gaia::data {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Smooth AR(1) factor series in roughly [-1, 1].
+std::vector<double> SmoothFactor(int length, double persistence, Rng* rng) {
+  std::vector<double> out(static_cast<size_t>(length));
+  double state = rng->Normal(0.0, 0.5);
+  for (int t = 0; t < length; ++t) {
+    state = persistence * state + rng->Normal(0.0, 0.25);
+    out[static_cast<size_t>(t)] = std::clamp(state, -1.0, 1.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status MarketConfig::Validate() const {
+  if (num_shops < 10) {
+    return Status::InvalidArgument("num_shops must be >= 10");
+  }
+  if (num_industries < 1 || num_regions < 1) {
+    return Status::InvalidArgument("need at least one industry and region");
+  }
+  if (history_months < 6) {
+    return Status::InvalidArgument("history_months must be >= 6");
+  }
+  if (horizon_months < 1) {
+    return Status::InvalidArgument("horizon_months must be >= 1");
+  }
+  if (supplier_fraction <= 0.0 || supplier_fraction >= 0.9) {
+    return Status::InvalidArgument("supplier_fraction must be in (0, 0.9)");
+  }
+  if (min_lead_months < 0 || max_lead_months < min_lead_months) {
+    return Status::InvalidArgument("invalid lead month range");
+  }
+  if (max_lead_months > horizon_months + 6) {
+    return Status::InvalidArgument("max_lead_months unreasonably large");
+  }
+  if (owner_cluster_fraction < 0.0 || owner_cluster_fraction > 0.8) {
+    return Status::InvalidArgument("owner_cluster_fraction must be in [0, 0.8]");
+  }
+  if (min_age_months < 1 || min_age_months > history_months) {
+    return Status::InvalidArgument("min_age_months out of range");
+  }
+  if (age_pareto_alpha <= 0.0) {
+    return Status::InvalidArgument("age_pareto_alpha must be positive");
+  }
+  if (noise_level < 0.0 || noise_level > 1.0) {
+    return Status::InvalidArgument("noise_level must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Result<MarketData> MarketSimulator::Generate() const {
+  GAIA_RETURN_NOT_OK(config_.Validate());
+  const MarketConfig& cfg = config_;
+  Rng rng(cfg.seed);
+
+  const int total = cfg.total_months();
+  const int extended = total + cfg.max_lead_months;
+  const auto n = static_cast<int32_t>(cfg.num_shops);
+
+  MarketData market;
+  market.config = cfg;
+  market.shops.resize(static_cast<size_t>(n));
+
+  // --- industries: shared seasonal phase + macro factor ----------------------
+  std::vector<double> industry_phase(static_cast<size_t>(cfg.num_industries));
+  std::vector<std::vector<double>> industry_factor(
+      static_cast<size_t>(cfg.num_industries));
+  Rng industry_rng = rng.Split();
+  for (int i = 0; i < cfg.num_industries; ++i) {
+    industry_phase[static_cast<size_t>(i)] = industry_rng.Uniform(0.0, 12.0);
+    industry_factor[static_cast<size_t>(i)] =
+        SmoothFactor(extended, 0.85, &industry_rng);
+  }
+
+  // --- roles ----------------------------------------------------------------
+  std::vector<int32_t> ids(static_cast<size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  rng.Shuffle(&ids);
+  const auto num_suppliers =
+      static_cast<int32_t>(cfg.supplier_fraction * static_cast<double>(n));
+  std::vector<int32_t> suppliers(ids.begin(), ids.begin() + num_suppliers);
+  std::vector<int32_t> retailers(ids.begin() + num_suppliers, ids.end());
+
+  for (int32_t v = 0; v < n; ++v) {
+    Shop& shop = market.shops[static_cast<size_t>(v)];
+    shop.id = v;
+    shop.industry = static_cast<int>(rng.UniformInt(
+        static_cast<uint32_t>(cfg.num_industries)));
+    shop.region = static_cast<int>(rng.UniformInt(
+        static_cast<uint32_t>(cfg.num_regions)));
+  }
+  for (int32_t s : suppliers) {
+    market.shops[static_cast<size_t>(s)].is_supplier = true;
+  }
+
+  // --- retailer demand (extended so suppliers can look ahead) -----------------
+  Rng demand_rng = rng.Split();
+  std::vector<std::vector<double>> demand(static_cast<size_t>(n));
+  for (int32_t r : retailers) {
+    Shop& shop = market.shops[static_cast<size_t>(r)];
+    const double scale =
+        demand_rng.LogNormal(cfg.log_scale_mu, cfg.log_scale_sigma);
+    const double phase = industry_phase[static_cast<size_t>(shop.industry)];
+    const std::vector<double>& macro =
+        industry_factor[static_cast<size_t>(shop.industry)];
+    const double trend = demand_rng.Normal(0.0, 0.2);
+    std::vector<double> series(static_cast<size_t>(extended));
+    double shock = 0.0;
+    for (int m = 0; m < extended; ++m) {
+      const int cal = (cfg.start_calendar_month + m) % 12;
+      const double season =
+          cfg.seasonal_amplitude *
+          std::sin(2.0 * kPi * (static_cast<double>(cal) + phase) / 12.0);
+      const double festival = (cal == 10) ? cfg.festival_boost : 0.0;
+      shock = 0.6 * shock + demand_rng.Normal(0.0, cfg.noise_level);
+      const double level = 1.0 + season + festival + 0.3 * macro[static_cast<size_t>(m)] +
+                           trend * static_cast<double>(m) /
+                               static_cast<double>(total) +
+                           shock;
+      series[static_cast<size_t>(m)] = scale * std::max(level, 0.05);
+    }
+    demand[static_cast<size_t>(r)] = std::move(series);
+  }
+
+  // --- supply links & supplier series ------------------------------------------
+  Rng supply_rng = rng.Split();
+  std::vector<std::vector<double>> supplier_base(static_cast<size_t>(n));
+  std::vector<std::vector<std::pair<int32_t, double>>> downstream(
+      static_cast<size_t>(n));
+  if (!suppliers.empty()) {
+    // Group suppliers per industry so links are industry-coherent.
+    std::vector<std::vector<int32_t>> suppliers_by_industry(
+        static_cast<size_t>(cfg.num_industries));
+    for (int32_t s : suppliers) {
+      suppliers_by_industry[static_cast<size_t>(
+                                market.shops[static_cast<size_t>(s)].industry)]
+          .push_back(s);
+    }
+    std::vector<int> supplier_lead(static_cast<size_t>(n), 0);
+    for (int32_t s : suppliers) {
+      supplier_lead[static_cast<size_t>(s)] =
+          cfg.min_lead_months +
+          static_cast<int>(supply_rng.UniformInt(static_cast<uint32_t>(
+              cfg.max_lead_months - cfg.min_lead_months + 1)));
+    }
+    for (int32_t r : retailers) {
+      const Shop& shop = market.shops[static_cast<size_t>(r)];
+      std::vector<int32_t>& pool =
+          suppliers_by_industry[static_cast<size_t>(shop.industry)];
+      std::vector<int32_t>* source = &pool;
+      if (source->empty()) source = &suppliers;  // fall back to any supplier
+      const int num_links =
+          1 + static_cast<int>(supply_rng.UniformInt(static_cast<uint32_t>(
+              cfg.max_suppliers_per_retailer)));
+      for (int l = 0; l < num_links; ++l) {
+        const int32_t s = (*source)[supply_rng.UniformInt(
+            static_cast<uint32_t>(source->size()))];
+        const double share = supply_rng.Uniform(0.2, 0.6);
+        downstream[static_cast<size_t>(s)].emplace_back(r, share);
+        market.supply_links.push_back(
+            SupplyLink{s, r, supplier_lead[static_cast<size_t>(s)]});
+      }
+    }
+    for (int32_t s : suppliers) {
+      const int lead = supplier_lead[static_cast<size_t>(s)];
+      std::vector<double> series(static_cast<size_t>(extended), 0.0);
+      if (downstream[static_cast<size_t>(s)].empty()) {
+        // Orphan supplier: independent base series.
+        const double scale =
+            supply_rng.LogNormal(cfg.log_scale_mu, cfg.log_scale_sigma);
+        for (int m = 0; m < extended; ++m) {
+          series[static_cast<size_t>(m)] =
+              scale * std::max(1.0 + supply_rng.Normal(0.0, cfg.noise_level),
+                               0.05);
+        }
+      } else {
+        // Wholesale demand aggregates downstream retail demand `lead`
+        // months ahead — this is the planted inter temporal shift.
+        for (int m = 0; m < extended; ++m) {
+          double acc = 0.0;
+          for (const auto& [r, share] : downstream[static_cast<size_t>(s)]) {
+            const int future = std::min(m + lead, extended - 1);
+            acc += share * demand[static_cast<size_t>(r)]
+                               [static_cast<size_t>(future)];
+          }
+          const double obs_noise =
+              1.0 + supply_rng.Normal(0.0, cfg.noise_level * 0.5);
+          series[static_cast<size_t>(m)] = std::max(acc * obs_noise, 0.0);
+        }
+      }
+      supplier_base[static_cast<size_t>(s)] = std::move(series);
+    }
+  }
+
+  // --- owner clusters -----------------------------------------------------------
+  Rng owner_rng = rng.Split();
+  {
+    std::vector<int32_t> pool(ids);
+    owner_rng.Shuffle(&pool);
+    const auto budget =
+        static_cast<size_t>(cfg.owner_cluster_fraction * static_cast<double>(n));
+    size_t used = 0;
+    while (used + 2 <= budget) {
+      const size_t cluster_size =
+          2 + owner_rng.UniformInt(3);  // 2..4 shops per owner
+      const size_t take = std::min(cluster_size, budget - used);
+      if (take < 2) break;
+      std::vector<int32_t> cluster(pool.begin() + static_cast<int64_t>(used),
+                                   pool.begin() +
+                                       static_cast<int64_t>(used + take));
+      market.owner_clusters.push_back(std::move(cluster));
+      used += take;
+    }
+  }
+
+  // --- assemble final GMV with owner factors, ages, auxiliaries ------------------
+  Rng age_rng = rng.Split();
+  std::vector<double> owner_multiplier_storage;
+  std::vector<std::vector<double>> owner_factor(market.owner_clusters.size());
+  for (size_t c = 0; c < market.owner_clusters.size(); ++c) {
+    owner_factor[c] = SmoothFactor(extended, 0.9, &owner_rng);
+  }
+  std::vector<int> owner_of(static_cast<size_t>(n), -1);
+  for (size_t c = 0; c < market.owner_clusters.size(); ++c) {
+    for (int32_t v : market.owner_clusters[c]) {
+      owner_of[static_cast<size_t>(v)] = static_cast<int>(c);
+    }
+  }
+
+  for (int32_t v = 0; v < n; ++v) {
+    Shop& shop = market.shops[static_cast<size_t>(v)];
+    const std::vector<double>& base = shop.is_supplier
+                                          ? supplier_base[static_cast<size_t>(v)]
+                                          : demand[static_cast<size_t>(v)];
+    GAIA_CHECK(!base.empty());
+
+    // Heavy-tailed observed-history length: most shops are young.
+    const double raw_age =
+        age_rng.Pareto(cfg.age_pareto_alpha,
+                       static_cast<double>(cfg.min_age_months));
+    shop.age_months = std::min(cfg.history_months,
+                               std::max(cfg.min_age_months,
+                                        static_cast<int>(std::lround(raw_age))));
+    shop.birth_month = cfg.history_months - shop.age_months;
+
+    shop.gmv.assign(static_cast<size_t>(total), 0.0);
+    shop.customers.assign(static_cast<size_t>(total), 0.0);
+    shop.orders.assign(static_cast<size_t>(total), 0.0);
+    const double basket = 80.0 + 40.0 * age_rng.Uniform();
+    for (int m = shop.birth_month; m < total; ++m) {
+      double value = base[static_cast<size_t>(m)];
+      const int cluster = owner_of[static_cast<size_t>(v)];
+      if (cluster >= 0) {
+        value *= 1.0 + 0.3 * owner_factor[static_cast<size_t>(cluster)]
+                                         [static_cast<size_t>(m)];
+      }
+      value = std::max(value, 0.0);
+      shop.gmv[static_cast<size_t>(m)] = value;
+      const double orders = value / basket *
+                            (1.0 + age_rng.Normal(0.0, 0.05));
+      shop.orders[static_cast<size_t>(m)] = std::max(orders, 0.0);
+      shop.customers[static_cast<size_t>(m)] =
+          std::max(orders * age_rng.Uniform(0.6, 0.95), 0.0);
+    }
+  }
+  (void)owner_multiplier_storage;
+
+  // --- e-seller graph -------------------------------------------------------------
+  graph::GraphBuilder builder(n);
+  for (const SupplyLink& link : market.supply_links) {
+    builder.AddSupplyChain(link.supplier, link.retailer);
+  }
+  for (const auto& cluster : market.owner_clusters) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        builder.AddSameOwner(cluster[i], cluster[j]);
+      }
+    }
+  }
+  Rng noise_rng = rng.Split();
+  const auto noise_edges = static_cast<int64_t>(
+      cfg.noise_edge_fraction * static_cast<double>(builder.num_pending_edges()));
+  for (int64_t e = 0; e < noise_edges; ++e) {
+    const auto a = static_cast<int32_t>(noise_rng.UniformInt(
+        static_cast<uint32_t>(n)));
+    const auto b = static_cast<int32_t>(noise_rng.UniformInt(
+        static_cast<uint32_t>(n)));
+    if (a == b) continue;
+    builder.AddSameOwner(a, b);
+  }
+  Result<graph::EsellerGraph> graph = builder.Build();
+  if (!graph.ok()) return graph.status();
+  market.graph = std::move(graph).value();
+  return market;
+}
+
+}  // namespace gaia::data

@@ -1,0 +1,127 @@
+#ifndef GAIA_DATA_MARKET_SIMULATOR_H_
+#define GAIA_DATA_MARKET_SIMULATOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/eseller_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gaia::data {
+
+/// \brief Configuration of the synthetic e-seller market.
+///
+/// The simulator is the documented substitution for the proprietary Alipay
+/// dataset (DESIGN.md §2). It plants exactly the structures Gaia exploits:
+///  * skewed shop-age distribution  -> temporal deficiency (paper Fig. 1a),
+///  * supplier lead over retailers  -> inter temporal shift,
+///  * 12-month industry seasonality + November shopping-festival spike
+///                                  -> intra temporal shift,
+///  * same-owner clusters           -> correlated trends across shops.
+struct MarketConfig {
+  int64_t num_shops = 600;
+  int num_industries = 6;
+  int num_regions = 8;
+  /// Observed history length T (months). The paper uses 24.
+  int history_months = 24;
+  /// Forecast horizon T' (months). The paper predicts Oct/Nov/Dec (3).
+  int horizon_months = 3;
+  /// Calendar month (0 = January) of the first generated month. With the
+  /// default 24-month history starting in October, the 3 forecast months are
+  /// October/November/December — the paper's evaluation months.
+  int start_calendar_month = 9;
+
+  /// Fraction of shops acting as upstream suppliers.
+  double supplier_fraction = 0.3;
+  /// Suppliers per retailer is uniform in [1, max_suppliers_per_retailer].
+  int max_suppliers_per_retailer = 3;
+  /// Supplier GMV leads downstream retailer GMV by [min_lead, max_lead].
+  int min_lead_months = 1;
+  int max_lead_months = 4;
+
+  /// Fraction of shops grouped into same-owner clusters (size 2-4).
+  double owner_cluster_fraction = 0.3;
+  /// Fraction of extra random (noise) edges relative to true edges.
+  double noise_edge_fraction = 0.05;
+
+  /// Pareto shape for the shop-age distribution; smaller = more new shops.
+  double age_pareto_alpha = 1.1;
+  /// Minimum observed months for any shop.
+  int min_age_months = 4;
+
+  /// Multiplicative observation noise level on GMV.
+  double noise_level = 0.12;
+  /// November festival demand spike (fraction of base level).
+  double festival_boost = 0.9;
+  /// Amplitude of the industry seasonal component.
+  double seasonal_amplitude = 0.45;
+  /// Log-normal location/scale of per-shop GMV magnitude; exp(11.0) ~ 60k,
+  /// matching the order of magnitude of the paper's MAE/RMSE columns.
+  double log_scale_mu = 11.0;
+  double log_scale_sigma = 0.9;
+
+  uint64_t seed = 42;
+
+  /// Total generated months (history + horizon).
+  int total_months() const { return history_months + horizon_months; }
+
+  /// Checks ranges; returned status explains the first violation.
+  Status Validate() const;
+};
+
+/// \brief One simulated e-seller.
+struct Shop {
+  int32_t id = 0;
+  int industry = 0;
+  int region = 0;
+  bool is_supplier = false;
+  /// Months of observed history (<= history_months); the "temporal
+  /// deficiency" variable the paper groups on (T < 10 => "New Shop").
+  int age_months = 0;
+  /// Index into [0, total_months) of the first active month.
+  int birth_month = 0;
+  /// Monthly GMV over all total_months() months; zero before birth.
+  std::vector<double> gmv;
+  /// Auxiliary temporal features (paper §IV-A): monthly customers & orders.
+  std::vector<double> customers;
+  std::vector<double> orders;
+};
+
+/// \brief Ground-truth supply link with its lead time.
+struct SupplyLink {
+  int32_t supplier = 0;
+  int32_t retailer = 0;
+  int lead_months = 0;
+};
+
+/// \brief Fully generated market: shops, relations, and the e-seller graph.
+struct MarketData {
+  MarketConfig config;
+  std::vector<Shop> shops;
+  graph::EsellerGraph graph;
+  std::vector<SupplyLink> supply_links;
+  std::vector<std::vector<int32_t>> owner_clusters;
+
+  /// Calendar month (0-11) of global month index m.
+  int CalendarMonth(int m) const {
+    return (config.start_calendar_month + m) % 12;
+  }
+};
+
+/// \brief Deterministic generator for MarketData.
+class MarketSimulator {
+ public:
+  explicit MarketSimulator(MarketConfig config) : config_(config) {}
+
+  /// Generates the market; fails when the config is invalid.
+  Result<MarketData> Generate() const;
+
+ private:
+  MarketConfig config_;
+};
+
+}  // namespace gaia::data
+
+#endif  // GAIA_DATA_MARKET_SIMULATOR_H_

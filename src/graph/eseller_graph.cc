@@ -1,0 +1,224 @@
+#include "graph/eseller_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace gaia::graph {
+
+Result<EsellerGraph> EsellerGraph::Create(int64_t num_nodes,
+                                          const std::vector<Edge>& edges) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("num_nodes must be non-negative");
+  }
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.src >= num_nodes || e.dst < 0 || e.dst >= num_nodes) {
+      std::ostringstream os;
+      os << "edge (" << e.src << " -> " << e.dst << ") out of range for "
+         << num_nodes << " nodes";
+      return Status::InvalidArgument(os.str());
+    }
+    if (e.src == e.dst) {
+      return Status::InvalidArgument(
+          "self loop on node " + std::to_string(e.src) +
+          "; the intra-shift term is built into the model");
+    }
+  }
+  EsellerGraph g;
+  g.num_nodes_ = num_nodes;
+  // Counting sort by destination -> CSR over in-edges.
+  g.in_offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (const Edge& e : edges) ++g.in_offsets_[static_cast<size_t>(e.dst) + 1];
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    g.in_offsets_[static_cast<size_t>(i) + 1] +=
+        g.in_offsets_[static_cast<size_t>(i)];
+  }
+  g.in_src_.resize(edges.size());
+  g.in_type_.resize(edges.size());
+  std::vector<int64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    const int64_t pos = cursor[static_cast<size_t>(e.dst)]++;
+    g.in_src_[static_cast<size_t>(pos)] = e.src;
+    g.in_type_[static_cast<size_t>(pos)] = e.type;
+  }
+  return g;
+}
+
+int64_t EsellerGraph::InDegree(int32_t u) const {
+  GAIA_CHECK_GE(u, 0);
+  GAIA_CHECK_LT(u, num_nodes_);
+  return in_offsets_[static_cast<size_t>(u) + 1] -
+         in_offsets_[static_cast<size_t>(u)];
+}
+
+std::vector<Neighbor> EsellerGraph::InNeighbors(int32_t u) const {
+  GAIA_CHECK_GE(u, 0);
+  GAIA_CHECK_LT(u, num_nodes_);
+  std::vector<Neighbor> out;
+  const int64_t begin = in_offsets_[static_cast<size_t>(u)];
+  const int64_t end = in_offsets_[static_cast<size_t>(u) + 1];
+  out.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) {
+    out.push_back(Neighbor{in_src_[static_cast<size_t>(i)],
+                           in_type_[static_cast<size_t>(i)]});
+  }
+  return out;
+}
+
+std::vector<Neighbor> EsellerGraph::SampleInNeighbors(int32_t u,
+                                                      int64_t max_count,
+                                                      Rng* rng) const {
+  GAIA_CHECK(rng != nullptr);
+  GAIA_CHECK_GT(max_count, 0);
+  std::vector<Neighbor> all = InNeighbors(u);
+  if (static_cast<int64_t>(all.size()) <= max_count) return all;
+  rng->Shuffle(&all);
+  all.resize(static_cast<size_t>(max_count));
+  return all;
+}
+
+GraphStats EsellerGraph::ComputeStats() const {
+  GraphStats stats;
+  stats.num_nodes = num_nodes_;
+  stats.num_edges = num_edges();
+  for (EdgeType t : in_type_) {
+    if (t == EdgeType::kSupplyChain) {
+      ++stats.supply_chain_edges;
+    } else {
+      ++stats.same_owner_edges;
+    }
+  }
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    const int64_t deg = InDegree(u);
+    stats.max_in_degree = std::max(stats.max_in_degree, deg);
+    if (deg == 0) ++stats.isolated_nodes;
+  }
+  stats.avg_in_degree =
+      num_nodes_ > 0
+          ? static_cast<double>(num_edges()) / static_cast<double>(num_nodes_)
+          : 0.0;
+  return stats;
+}
+
+std::vector<int32_t> EsellerGraph::WeaklyConnectedComponents() const {
+  // Union-find over the undirected view of the edge set.
+  std::vector<int32_t> parent(static_cast<size_t>(num_nodes_));
+  for (int32_t v = 0; v < num_nodes_; ++v) parent[static_cast<size_t>(v)] = v;
+  std::function<int32_t(int32_t)> find = [&](int32_t v) {
+    while (parent[static_cast<size_t>(v)] != v) {
+      parent[static_cast<size_t>(v)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(v)])];
+      v = parent[static_cast<size_t>(v)];
+    }
+    return v;
+  };
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    const int64_t begin = in_offsets_[static_cast<size_t>(u)];
+    const int64_t end = in_offsets_[static_cast<size_t>(u) + 1];
+    for (int64_t i = begin; i < end; ++i) {
+      const int32_t a = find(u);
+      const int32_t b = find(in_src_[static_cast<size_t>(i)]);
+      if (a != b) parent[static_cast<size_t>(a)] = b;
+    }
+  }
+  // Renumber roots in order of first appearance.
+  std::vector<int32_t> component(static_cast<size_t>(num_nodes_), -1);
+  std::unordered_map<int32_t, int32_t> root_to_id;
+  for (int32_t v = 0; v < num_nodes_; ++v) {
+    const int32_t root = find(v);
+    auto [it, inserted] =
+        root_to_id.emplace(root, static_cast<int32_t>(root_to_id.size()));
+    component[static_cast<size_t>(v)] = it->second;
+  }
+  return component;
+}
+
+int64_t EsellerGraph::NumWeaklyConnectedComponents() const {
+  const std::vector<int32_t> component = WeaklyConnectedComponents();
+  int32_t max_id = -1;
+  for (int32_t id : component) max_id = std::max(max_id, id);
+  return max_id + 1;
+}
+
+std::string EsellerGraph::ToString() const {
+  GraphStats s = ComputeStats();
+  std::ostringstream os;
+  os << "EsellerGraph{nodes=" << s.num_nodes << ", edges=" << s.num_edges
+     << ", supply_chain=" << s.supply_chain_edges
+     << ", same_owner=" << s.same_owner_edges
+     << ", avg_in_degree=" << s.avg_in_degree
+     << ", isolated=" << s.isolated_nodes << "}";
+  return os.str();
+}
+
+GraphBuilder& GraphBuilder::AddSupplyChain(int32_t supplier,
+                                           int32_t retailer) {
+  edges_.push_back(Edge{supplier, retailer, EdgeType::kSupplyChain});
+  edges_.push_back(Edge{retailer, supplier, EdgeType::kSupplyChain});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::AddSameOwner(int32_t a, int32_t b) {
+  edges_.push_back(Edge{a, b, EdgeType::kSameOwner});
+  edges_.push_back(Edge{b, a, EdgeType::kSameOwner});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::AddDirected(int32_t src, int32_t dst,
+                                        EdgeType type) {
+  edges_.push_back(Edge{src, dst, type});
+  return *this;
+}
+
+Result<EsellerGraph> GraphBuilder::Build() const {
+  // Deduplicate (src, dst, type) triples while preserving insertion order.
+  std::vector<Edge> unique_edges;
+  unique_edges.reserve(edges_.size());
+  std::set<std::tuple<int32_t, int32_t, uint8_t>> seen;
+  for (const Edge& e : edges_) {
+    auto key = std::make_tuple(e.src, e.dst, static_cast<uint8_t>(e.type));
+    if (seen.insert(key).second) unique_edges.push_back(e);
+  }
+  return EsellerGraph::Create(num_nodes_, unique_edges);
+}
+
+EgoSubgraph ExtractEgoSubgraph(const EsellerGraph& graph, int32_t center,
+                               int64_t num_hops, int64_t max_fanout,
+                               Rng* rng) {
+  GAIA_CHECK_GE(num_hops, 0);
+  EgoSubgraph ego;
+  std::unordered_map<int32_t, int32_t> local_id;
+  auto intern = [&](int32_t node) -> int32_t {
+    auto [it, inserted] =
+        local_id.emplace(node, static_cast<int32_t>(ego.nodes.size()));
+    if (inserted) ego.nodes.push_back(node);
+    return it->second;
+  };
+  intern(center);
+  std::vector<int32_t> frontier = {center};
+  std::unordered_set<int32_t> visited = {center};
+  for (int64_t hop = 0; hop < num_hops && !frontier.empty(); ++hop) {
+    std::vector<int32_t> next_frontier;
+    for (int32_t u : frontier) {
+      std::vector<Neighbor> neighbors =
+          max_fanout > 0 ? graph.SampleInNeighbors(u, max_fanout, rng)
+                         : graph.InNeighbors(u);
+      for (const Neighbor& nb : neighbors) {
+        const int32_t local_u = intern(u);
+        const int32_t local_v = intern(nb.node);
+        ego.edges.push_back(Edge{local_v, local_u, nb.type});
+        if (visited.insert(nb.node).second) next_frontier.push_back(nb.node);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return ego;
+}
+
+}  // namespace gaia::graph

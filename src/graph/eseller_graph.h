@@ -1,0 +1,142 @@
+#ifndef GAIA_GRAPH_ESELLER_GRAPH_H_
+#define GAIA_GRAPH_ESELLER_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gaia::graph {
+
+/// Relationship type carried as an edge feature (the e-seller graph is
+/// homogeneous with typed edges, paper §III-B).
+enum class EdgeType : uint8_t {
+  kSupplyChain = 0,  ///< supplier -> retailer trading relation
+  kSameOwner = 1,    ///< shared owner / shareholder relation
+};
+
+/// One directed edge `src -> dst`: src is a neighbour whose messages flow
+/// into dst during aggregation.
+struct Edge {
+  int32_t src = 0;
+  int32_t dst = 0;
+  EdgeType type = EdgeType::kSupplyChain;
+};
+
+/// A (neighbour, edge type) pair produced when iterating in-neighbours.
+struct Neighbor {
+  int32_t node = 0;
+  EdgeType type = EdgeType::kSupplyChain;
+};
+
+/// Summary statistics used by dataset reports and tests.
+struct GraphStats {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  int64_t supply_chain_edges = 0;
+  int64_t same_owner_edges = 0;
+  double avg_in_degree = 0.0;
+  int64_t max_in_degree = 0;
+  int64_t isolated_nodes = 0;
+};
+
+/// \brief The e-seller graph: immutable CSR over in-edges.
+///
+/// Aggregation in ITA-GCN reads N(u) = in-neighbours of u; relations that are
+/// bidirectional in the domain (same-owner, and supply-chain influence in
+/// both directions) should be inserted as two directed edges by the builder.
+class EsellerGraph {
+ public:
+  /// An empty graph; assign from Create()'s result to populate.
+  EsellerGraph() = default;
+
+  /// Validates node ids and builds the CSR. Rejects out-of-range endpoints
+  /// and self loops (the intra-shift term is handled by the model itself).
+  static Result<EsellerGraph> Create(int64_t num_nodes,
+                                     const std::vector<Edge>& edges);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(in_src_.size()); }
+
+  /// In-degree of node u.
+  int64_t InDegree(int32_t u) const;
+
+  /// In-neighbours of node u with their edge types.
+  std::vector<Neighbor> InNeighbors(int32_t u) const;
+
+  /// Uniform sample (without replacement) of at most `max_count`
+  /// in-neighbours of u — GraphSAGE-style fanout control.
+  std::vector<Neighbor> SampleInNeighbors(int32_t u, int64_t max_count,
+                                          Rng* rng) const;
+
+  GraphStats ComputeStats() const;
+
+  /// Weakly connected components (edges treated as undirected). Returns a
+  /// per-node component id in [0, #components); ids are assigned in order
+  /// of first appearance. Used by dataset sanity reports.
+  std::vector<int32_t> WeaklyConnectedComponents() const;
+
+  /// Number of weakly connected components.
+  int64_t NumWeaklyConnectedComponents() const;
+
+  /// Renders a short human-readable summary.
+  std::string ToString() const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  std::vector<int64_t> in_offsets_;  ///< size num_nodes_ + 1
+  std::vector<int32_t> in_src_;      ///< size num_edges
+  std::vector<EdgeType> in_type_;    ///< size num_edges
+};
+
+/// \brief Convenience builder that expands domain relations into directed
+/// edges and deduplicates.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(int64_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Supply-chain relation: supplier trades with retailer. Influence is
+  /// modeled in both directions (downstream demand moves upstream GMV and
+  /// vice versa), so two directed edges are added.
+  GraphBuilder& AddSupplyChain(int32_t supplier, int32_t retailer);
+
+  /// Same-owner relation (symmetric): adds both directions.
+  GraphBuilder& AddSameOwner(int32_t a, int32_t b);
+
+  /// Adds one raw directed edge.
+  GraphBuilder& AddDirected(int32_t src, int32_t dst, EdgeType type);
+
+  int64_t num_pending_edges() const {
+    return static_cast<int64_t>(edges_.size());
+  }
+
+  /// Deduplicates and builds the immutable graph.
+  Result<EsellerGraph> Build() const;
+
+ private:
+  int64_t num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+/// \brief An ego subgraph around a centre node, used by the online serving
+/// path (§VI: real-time prediction on the newcomer's ego-subgraph).
+struct EgoSubgraph {
+  /// Original node ids; nodes[0] is the centre.
+  std::vector<int32_t> nodes;
+  /// Edges in local (remapped) ids, restricted to the kept node set.
+  std::vector<Edge> edges;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes.size()); }
+};
+
+/// Breadth-first k-hop ego extraction with per-node fanout cap. When a node
+/// has more than `max_fanout` in-neighbours a uniform sample is kept
+/// (deterministic given `rng`).
+EgoSubgraph ExtractEgoSubgraph(const EsellerGraph& graph, int32_t center,
+                               int64_t num_hops, int64_t max_fanout, Rng* rng);
+
+}  // namespace gaia::graph
+
+#endif  // GAIA_GRAPH_ESELLER_GRAPH_H_

@@ -1,0 +1,32 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gaia::nn {
+
+Tensor GlorotUniform(std::vector<int64_t> shape, int64_t fan_in,
+                     int64_t fan_out, Rng* rng) {
+  GAIA_CHECK_GT(fan_in + fan_out, 0);
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandUniform(std::move(shape), rng, -a, a);
+}
+
+Tensor HeNormal(std::vector<int64_t> shape, int64_t fan_in, Rng* rng) {
+  GAIA_CHECK_GT(fan_in, 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::Randn(std::move(shape), rng, stddev);
+}
+
+Tensor LinearInit(int64_t in, int64_t out, Rng* rng) {
+  return GlorotUniform({in, out}, in, out, rng);
+}
+
+Tensor Conv1dInit(int64_t c_out, int64_t kernel, int64_t c_in, Rng* rng) {
+  return GlorotUniform({c_out, kernel, c_in}, kernel * c_in, kernel * c_out,
+                       rng);
+}
+
+}  // namespace gaia::nn

@@ -1,0 +1,26 @@
+#ifndef GAIA_NN_INIT_H_
+#define GAIA_NN_INIT_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace gaia::nn {
+
+/// Glorot/Xavier uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+Tensor GlorotUniform(std::vector<int64_t> shape, int64_t fan_in,
+                     int64_t fan_out, Rng* rng);
+
+/// He/Kaiming normal initialization: N(0, sqrt(2/fan_in)).
+Tensor HeNormal(std::vector<int64_t> shape, int64_t fan_in, Rng* rng);
+
+/// Glorot init for a dense weight [in, out].
+Tensor LinearInit(int64_t in, int64_t out, Rng* rng);
+
+/// Glorot init for a conv1d weight [c_out, kernel, c_in].
+Tensor Conv1dInit(int64_t c_out, int64_t kernel, int64_t c_in, Rng* rng);
+
+}  // namespace gaia::nn
+
+#endif  // GAIA_NN_INIT_H_

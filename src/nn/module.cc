@@ -1,0 +1,135 @@
+#include "nn/module.h"
+
+#include <cstdint>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace gaia::nn {
+
+std::vector<Var> Module::Parameters() const {
+  std::vector<Var> out;
+  for (const auto& [name, var] : NamedParameters()) out.push_back(var);
+  return out;
+}
+
+std::vector<std::pair<std::string, Var>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Var>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Var>>* out) const {
+  for (const auto& [name, var] : params_) {
+    out->emplace_back(prefix + name, var);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix + name + ".", out);
+  }
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t count = 0;
+  for (const Var& p : Parameters()) count += p->value.size();
+  return count;
+}
+
+void Module::ZeroGrad() {
+  for (const Var& p : Parameters()) p->ZeroGrad();
+}
+
+Var Module::AddParameter(std::string name, Tensor init) {
+  Var param = autograd::Parameter(std::move(init));
+  params_.emplace_back(std::move(name), param);
+  return param;
+}
+
+namespace {
+
+// Checkpoint format: magic, count, then per parameter: name length, name,
+// ndim, dims..., raw float data. Little-endian host order (single-machine
+// checkpoints; the serving simulation round-trips on the same host).
+constexpr uint64_t kMagic = 0x4741494143503031ULL;  // "GAIACP01"
+
+bool WriteBytes(std::FILE* f, const void* data, size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+}  // namespace
+
+Status Module::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  auto named = NamedParameters();
+  uint64_t count = named.size();
+  bool ok = WriteBytes(f, &kMagic, sizeof(kMagic)) &&
+            WriteBytes(f, &count, sizeof(count));
+  for (const auto& [name, var] : named) {
+    if (!ok) break;
+    uint64_t name_len = name.size();
+    uint64_t ndim = var->value.shape().size();
+    ok = WriteBytes(f, &name_len, sizeof(name_len)) &&
+         WriteBytes(f, name.data(), name.size()) &&
+         WriteBytes(f, &ndim, sizeof(ndim));
+    for (int64_t d : var->value.shape()) {
+      ok = ok && WriteBytes(f, &d, sizeof(d));
+    }
+    ok = ok && WriteBytes(f, var->value.data(),
+                          sizeof(float) * static_cast<size_t>(var->value.size()));
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Status Module::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  uint64_t magic = 0, count = 0;
+  if (!ReadBytes(f, &magic, sizeof(magic)) || magic != kMagic) {
+    std::fclose(f);
+    return Status::IoError("bad checkpoint magic: " + path);
+  }
+  auto named = NamedParameters();
+  if (!ReadBytes(f, &count, sizeof(count)) || count != named.size()) {
+    std::fclose(f);
+    return Status::InvalidArgument("checkpoint parameter count mismatch");
+  }
+  for (auto& [expected_name, var] : named) {
+    uint64_t name_len = 0;
+    if (!ReadBytes(f, &name_len, sizeof(name_len))) break;
+    std::string name(name_len, '\0');
+    if (!ReadBytes(f, name.data(), name_len)) break;
+    if (name != expected_name) {
+      std::fclose(f);
+      return Status::InvalidArgument("checkpoint name mismatch: expected " +
+                                     expected_name + " got " + name);
+    }
+    uint64_t ndim = 0;
+    if (!ReadBytes(f, &ndim, sizeof(ndim))) break;
+    std::vector<int64_t> shape(ndim);
+    bool ok = true;
+    for (uint64_t i = 0; i < ndim; ++i) {
+      ok = ok && ReadBytes(f, &shape[i], sizeof(int64_t));
+    }
+    if (!ok || shape != var->value.shape()) {
+      std::fclose(f);
+      return Status::InvalidArgument("checkpoint shape mismatch for " + name);
+    }
+    if (!ReadBytes(f, var->value.data(),
+                   sizeof(float) * static_cast<size_t>(var->value.size()))) {
+      std::fclose(f);
+      return Status::IoError("short read for " + name);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace gaia::nn

@@ -1,0 +1,68 @@
+#ifndef GAIA_NN_MODULE_H_
+#define GAIA_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/status.h"
+
+namespace gaia::nn {
+
+using autograd::Var;
+
+/// \brief Base class for neural network building blocks.
+///
+/// A Module owns named parameters (persistent autograd leaves) and named
+/// child modules. Parameter collection is recursive, which is what the
+/// optimizers and the checkpoint (de)serializer consume.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its children, depth-first.
+  std::vector<Var> Parameters() const;
+
+  /// Parameters paired with hierarchical names ("layer1.weight", ...).
+  std::vector<std::pair<std::string, Var>> NamedParameters() const;
+
+  /// Total number of scalar parameters.
+  int64_t ParameterCount() const;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Serializes all parameters to a flat binary checkpoint.
+  Status Save(const std::string& path) const;
+
+  /// Restores parameters from a checkpoint written by Save. Names and shapes
+  /// must match exactly.
+  Status Load(const std::string& path);
+
+ protected:
+  /// Registers a trainable parameter initialized with `init`.
+  Var AddParameter(std::string name, Tensor init);
+
+  /// Registers (and returns) a child module.
+  template <typename M>
+  std::shared_ptr<M> AddModule(std::string name, std::shared_ptr<M> module) {
+    children_.emplace_back(std::move(name), module);
+    return module;
+  }
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Var>>* out) const;
+
+  std::vector<std::pair<std::string, Var>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+};
+
+}  // namespace gaia::nn
+
+#endif  // GAIA_NN_MODULE_H_

@@ -1,0 +1,34 @@
+#include "optim/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gaia::optim {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+float CosineDecayLr::LearningRate(int step, int total_steps) const {
+  if (total_steps <= 1) return peak_;
+  const double progress = std::clamp(
+      static_cast<double>(step) / (total_steps - 1), 0.0, 1.0);
+  const double amplitude = peak_ - floor_;
+  return static_cast<float>(floor_ +
+                            amplitude * 0.5 * (1.0 + std::cos(progress * kPi)));
+}
+
+float StepDecayLr::LearningRate(int step, int /*total_steps*/) const {
+  if (period_ <= 0) return initial_;
+  const int drops = step / period_;
+  return initial_ * static_cast<float>(std::pow(factor_, drops));
+}
+
+float WarmupLr::LearningRate(int step, int total_steps) const {
+  const float target = inner_->LearningRate(step, total_steps);
+  if (warmup_steps_ <= 0 || step >= warmup_steps_) return target;
+  return target * static_cast<float>(step + 1) /
+         static_cast<float>(warmup_steps_);
+}
+
+}  // namespace gaia::optim

@@ -1,0 +1,106 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gaia::optim {
+
+void Optimizer::ZeroGrad() {
+  for (const Var& p : params_) p->ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Var& p : params_) velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (p->grad.empty()) continue;
+    if (momentum_ > 0.0f) {
+      Tensor& vel = velocity_[i];
+      for (int64_t j = 0; j < vel.size(); ++j) {
+        vel.data()[j] = momentum_ * vel.data()[j] + p->grad.data()[j];
+        p->value.data()[j] -= lr_ * vel.data()[j];
+      }
+    } else {
+      for (int64_t j = 0; j < p->value.size(); ++j) {
+        p->value.data()[j] -= lr_ * p->grad.data()[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  const float alpha = static_cast<float>(lr_ * std::sqrt(bias2) / bias1);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (p->grad.empty()) continue;
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < p->value.size(); ++j) {
+      float g = p->grad.data()[j];
+      if (weight_decay_ > 0.0f) g += weight_decay_ * p->value.data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (1.0f - beta1_) * g;
+      v.data()[j] = beta2_ * v.data()[j] + (1.0f - beta2_) * g * g;
+      p->value.data()[j] -=
+          alpha * m.data()[j] / (std::sqrt(v.data()[j]) + eps_);
+    }
+  }
+}
+
+double ClipGradNorm(const std::vector<Var>& params, double max_norm) {
+  GAIA_CHECK_GT(max_norm, 0.0);
+  double sum_sq = 0.0;
+  for (const Var& p : params) {
+    if (p->grad.empty()) continue;
+    for (int64_t j = 0; j < p->grad.size(); ++j) {
+      const double g = p->grad.data()[j];
+      sum_sq += g * g;
+    }
+  }
+  const double norm = std::sqrt(sum_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (const Var& p : params) {
+      if (!p->grad.empty()) p->grad.Scale(scale);
+    }
+  }
+  return norm;
+}
+
+bool EarlyStopping::Update(double value) {
+  if (value < best_ - min_delta_) {
+    best_ = value;
+    bad_epochs_ = 0;
+    return false;
+  }
+  ++bad_epochs_;
+  return bad_epochs_ >= patience_;
+}
+
+}  // namespace gaia::optim

@@ -1,0 +1,99 @@
+#ifndef GAIA_OPTIM_OPTIMIZER_H_
+#define GAIA_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace gaia::optim {
+
+using autograd::Var;
+
+/// \brief Base class for gradient-descent optimizers over a fixed parameter
+/// list. Parameters are updated in place; the autograd graph references the
+/// same leaf nodes across steps.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  const std::vector<Var>& params() const { return params_; }
+
+ protected:
+  std::vector<Var> params_;
+};
+
+/// \brief Stochastic gradient descent with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba, 2015) — the optimizer the paper trains with.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Rescales gradients in place so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<Var>& params, double max_norm);
+
+/// \brief Patience-based early stopping on a validation metric (lower is
+/// better). Typical loop: if (stopper.Update(val_loss)) break;
+class EarlyStopping {
+ public:
+  explicit EarlyStopping(int patience, double min_delta = 0.0)
+      : patience_(patience), min_delta_(min_delta) {}
+
+  /// Records a new validation value; returns true when training should stop.
+  bool Update(double value);
+
+  double best() const { return best_; }
+  int bad_epochs() const { return bad_epochs_; }
+
+ private:
+  int patience_;
+  double min_delta_;
+  double best_ = 1e300;
+  int bad_epochs_ = 0;
+};
+
+}  // namespace gaia::optim
+
+#endif  // GAIA_OPTIM_OPTIMIZER_H_

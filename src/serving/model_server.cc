@@ -1,0 +1,71 @@
+#include "serving/model_server.h"
+
+#include "graph/eseller_graph.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace gaia::serving {
+
+ModelServer::ModelServer(std::shared_ptr<core::GaiaModel> model,
+                         std::shared_ptr<const data::ForecastDataset> dataset,
+                         const ServerConfig& config)
+    : model_(std::move(model)),
+      dataset_(std::move(dataset)),
+      config_(config),
+      rng_(config.seed) {
+  GAIA_CHECK(model_ != nullptr);
+  GAIA_CHECK(dataset_ != nullptr);
+}
+
+ModelServer::Prediction ModelServer::Predict(int32_t shop) {
+  Stopwatch watch;
+  graph::EgoSubgraph ego =
+      graph::ExtractEgoSubgraph(dataset_->graph(), shop, config_.ego_hops,
+                                config_.max_fanout, &rng_);
+  Tensor normalized = model_->PredictEgo(*dataset_, ego);
+  Prediction prediction;
+  prediction.shop = shop;
+  prediction.gmv.reserve(static_cast<size_t>(normalized.size()));
+  for (int64_t h = 0; h < normalized.size(); ++h) {
+    prediction.gmv.push_back(
+        dataset_->Denormalize(shop, normalized.data()[h]));
+  }
+  prediction.latency_ms = watch.ElapsedMillis();
+  prediction.ego_nodes = ego.num_nodes();
+  ++total_requests_;
+  total_latency_ms_ += prediction.latency_ms;
+  return prediction;
+}
+
+std::vector<ModelServer::Prediction> ModelServer::PredictBatch(
+    const std::vector<int32_t>& shops) {
+  std::vector<Prediction> out;
+  out.reserve(shops.size());
+  for (int32_t shop : shops) out.push_back(Predict(shop));
+  return out;
+}
+
+Status ModelServer::LoadCheckpoint(const std::string& path) {
+  return model_->Load(path);
+}
+
+Result<std::shared_ptr<core::GaiaModel>> OfflineTrainingPipeline::Run(
+    const data::ForecastDataset& dataset, RunReport* report) const {
+  auto created = core::GaiaModel::Create(
+      config_.model, dataset.history_len(), dataset.horizon(),
+      dataset.temporal_dim(), dataset.static_dim());
+  if (!created.ok()) return created.status();
+  std::shared_ptr<core::GaiaModel> model = std::move(created).value();
+  core::TrainResult train_result =
+      core::Trainer(config_.train).Fit(model.get(), dataset);
+  if (!config_.checkpoint_path.empty()) {
+    GAIA_RETURN_NOT_OK(model->Save(config_.checkpoint_path));
+  }
+  if (report != nullptr) {
+    report->train = train_result;
+    report->checkpoint_path = config_.checkpoint_path;
+  }
+  return model;
+}
+
+}  // namespace gaia::serving

@@ -1,0 +1,95 @@
+#ifndef GAIA_SERVING_MODEL_SERVER_H_
+#define GAIA_SERVING_MODEL_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gaia_model.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace gaia::serving {
+
+/// \brief Online-serving configuration (§VI): how much of the e-seller graph
+/// is pulled into a request's ego-subgraph.
+struct ServerConfig {
+  int64_t ego_hops = 2;     ///< matches the stacked ITA-GCN depth
+  int64_t max_fanout = 10;  ///< per-hop neighbour cap for latency control
+  uint64_t seed = 5;
+};
+
+/// \brief Real-time prediction service over a trained Gaia model.
+///
+/// Mirrors the paper's deployment: for a requested (possibly newcoming)
+/// e-seller, the server extracts its ego-subgraph from the graph store, runs
+/// the model on that subgraph only, and returns the denormalized GMV
+/// forecast. Request latency and subgraph size are reported per call so the
+/// deployment bench can verify linear scaling with client count.
+class ModelServer {
+ public:
+  struct Prediction {
+    int32_t shop = 0;
+    std::vector<double> gmv;  ///< T' monthly forecasts, GMV units
+    double latency_ms = 0.0;
+    int64_t ego_nodes = 0;
+  };
+
+  ModelServer(std::shared_ptr<core::GaiaModel> model,
+              std::shared_ptr<const data::ForecastDataset> dataset,
+              const ServerConfig& config);
+
+  /// Serves one request.
+  Prediction Predict(int32_t shop);
+
+  /// Serves a batch of requests sequentially (the deployed system predicts
+  /// millions of e-sellers in a monthly sweep).
+  std::vector<Prediction> PredictBatch(const std::vector<int32_t>& shops);
+
+  /// Hot-swaps model weights from an offline-produced checkpoint.
+  Status LoadCheckpoint(const std::string& path);
+
+  int64_t total_requests() const { return total_requests_; }
+  double total_latency_ms() const { return total_latency_ms_; }
+
+ private:
+  std::shared_ptr<core::GaiaModel> model_;
+  std::shared_ptr<const data::ForecastDataset> dataset_;
+  ServerConfig config_;
+  Rng rng_;
+  int64_t total_requests_ = 0;
+  double total_latency_ms_ = 0.0;
+};
+
+/// \brief Offline side of the hybrid architecture (§VI, Fig. 5): the
+/// monthly-scheduled pipeline that assembles features and relations (here:
+/// the already-built ForecastDataset), trains Gaia, and publishes a
+/// checkpoint for the model server.
+class OfflineTrainingPipeline {
+ public:
+  struct Config {
+    core::GaiaConfig model;
+    core::TrainConfig train;
+    std::string checkpoint_path;  ///< where the trained weights are published
+  };
+
+  explicit OfflineTrainingPipeline(const Config& config) : config_(config) {}
+
+  struct RunReport {
+    core::TrainResult train;
+    std::string checkpoint_path;
+  };
+
+  /// One scheduled run: train and publish. Returns the trained model (the
+  /// server can also LoadCheckpoint from the published path).
+  Result<std::shared_ptr<core::GaiaModel>> Run(
+      const data::ForecastDataset& dataset, RunReport* report = nullptr) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace gaia::serving
+
+#endif  // GAIA_SERVING_MODEL_SERVER_H_

@@ -1,0 +1,51 @@
+#ifndef GAIA_SERVING_MONTHLY_SCHEDULER_H_
+#define GAIA_SERVING_MONTHLY_SCHEDULER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "data/market_simulator.h"
+#include "serving/model_server.h"
+
+namespace gaia::serving {
+
+/// \brief Simulation of the paper's monthly pipeline schedule (§VI): each
+/// cycle the e-seller graph and features are re-extracted (a fresh market
+/// snapshot), Gaia is retrained offline, the checkpoint is published, and
+/// the online server hot-swaps to it.
+///
+/// Each cycle advances the market by one month: the calendar start shifts
+/// and the shop/graph population is redrawn (shops open and close, relations
+/// change), which is exactly the "ever-changing graph structure" the paper
+/// reschedules for.
+class MonthlyScheduler {
+ public:
+  struct Config {
+    data::MarketConfig market;              ///< base market snapshot
+    OfflineTrainingPipeline::Config offline;
+    ServerConfig server;
+    int num_cycles = 3;
+  };
+
+  struct CycleReport {
+    int cycle = 0;
+    int calendar_start_month = 0;           ///< month-0 calendar of snapshot
+    core::TrainResult train;
+    core::EvaluationReport online;          ///< served forecasts vs truth
+    double mean_latency_ms = 0.0;
+    int64_t graph_edges = 0;
+  };
+
+  explicit MonthlyScheduler(const Config& config) : config_(config) {}
+
+  /// Runs all cycles; fails fast on the first broken cycle.
+  Result<std::vector<CycleReport>> Run() const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace gaia::serving
+
+#endif  // GAIA_SERVING_MONTHLY_SCHEDULER_H_

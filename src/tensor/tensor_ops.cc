@@ -1,0 +1,370 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gaia {
+
+namespace {
+
+template <typename Fn>
+Tensor Map(const Tensor& a, Fn fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.size(); ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+/// Leftmost input offset covered by kernel tap 0 for output position 0.
+int64_t PadLeft(int64_t kernel_size, PadMode mode, int64_t dilation) {
+  int64_t span = (kernel_size - 1) * dilation;
+  return mode == PadMode::kCausal ? span : span / 2;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  GAIA_CHECK_EQ(a.ndim(), 2);
+  GAIA_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  GAIA_CHECK_EQ(k, b.dim(0)) << "MatMul " << a.ShapeString() << " x "
+                             << b.ShapeString();
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float aip = pa[i * k + p];
+      if (aip == 0.0f) continue;
+      const float* brow = pb + p * n;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += aip * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatVec(const Tensor& a, const Tensor& x) {
+  GAIA_CHECK_EQ(a.ndim(), 2);
+  GAIA_CHECK_EQ(x.ndim(), 1);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  GAIA_CHECK_EQ(n, x.dim(0));
+  Tensor out({m});
+  for (int64_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < n; ++j) acc += a.data()[i * n + j] * x.data()[j];
+    out.at(i) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+float Dot(const Tensor& a, const Tensor& b) {
+  GAIA_CHECK_EQ(a.ndim(), 1);
+  GAIA_CHECK(a.SameShape(b));
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a.data()[i]) * b.data()[i];
+  }
+  return static_cast<float>(acc);
+}
+
+Tensor Transpose(const Tensor& a) {
+  GAIA_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+Tensor Outer(const Tensor& a, const Tensor& b) {
+  GAIA_CHECK_EQ(a.ndim(), 1);
+  GAIA_CHECK_EQ(b.ndim(), 1);
+  Tensor out({a.dim(0), b.dim(0)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < b.dim(0); ++j) out.at(i, j) = a.at(i) * b.at(j);
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  return Map(a, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Map(a, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return Map(a, [](float v) { return std::tanh(v); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return Map(a, [](float v) { return std::exp(v); });
+}
+
+Tensor Log(const Tensor& a) {
+  return Map(a, [](float v) { return std::log(v); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return Map(a, [](float v) { return std::sqrt(v); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return Map(a, [](float v) { return std::fabs(v); });
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  GAIA_CHECK_EQ(logits.ndim(), 2);
+  const int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out({rows, cols});
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* in = logits.data() + i * cols;
+    float* po = out.data() + i * cols;
+    float row_max = kMaskNegInf;
+    for (int64_t j = 0; j < cols; ++j) row_max = std::max(row_max, in[j]);
+    if (row_max <= kMaskNegInf) continue;  // fully masked row -> zeros
+    double denom = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      float e = in[j] <= kMaskNegInf ? 0.0f : std::exp(in[j] - row_max);
+      po[j] = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < cols; ++j) po[j] *= inv;
+  }
+  return out;
+}
+
+Tensor SoftmaxRowsBackward(const Tensor& y, const Tensor& dy) {
+  GAIA_CHECK(y.SameShape(dy));
+  GAIA_CHECK_EQ(y.ndim(), 2);
+  const int64_t rows = y.dim(0), cols = y.dim(1);
+  Tensor dx({rows, cols});
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* py = y.data() + i * cols;
+    const float* pdy = dy.data() + i * cols;
+    float* pdx = dx.data() + i * cols;
+    double inner = 0.0;
+    for (int64_t j = 0; j < cols; ++j) inner += static_cast<double>(py[j]) * pdy[j];
+    for (int64_t j = 0; j < cols; ++j) {
+      pdx[j] = py[j] * (pdy[j] - static_cast<float>(inner));
+    }
+  }
+  return dx;
+}
+
+Tensor Softmax1D(const Tensor& logits) {
+  GAIA_CHECK_EQ(logits.ndim(), 1);
+  Tensor row = logits.Reshape({1, logits.dim(0)});
+  return SoftmaxRows(row).Reshape({logits.dim(0)});
+}
+
+Tensor SumAxis0(const Tensor& a) {
+  GAIA_CHECK_EQ(a.ndim(), 2);
+  const int64_t rows = a.dim(0), cols = a.dim(1);
+  Tensor out({cols});
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) out.at(j) += a.at(i, j);
+  }
+  return out;
+}
+
+Tensor SumAxis1(const Tensor& a) {
+  GAIA_CHECK_EQ(a.ndim(), 2);
+  const int64_t rows = a.dim(0), cols = a.dim(1);
+  Tensor out({rows});
+  for (int64_t i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < cols; ++j) acc += a.at(i, j);
+    out.at(i) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor AddRowVector(const Tensor& a, const Tensor& v) {
+  GAIA_CHECK_EQ(a.ndim(), 2);
+  GAIA_CHECK_EQ(v.ndim(), 1);
+  GAIA_CHECK_EQ(a.dim(1), v.dim(0));
+  Tensor out = a;
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < a.dim(1); ++j) out.at(i, j) += v.at(j);
+  }
+  return out;
+}
+
+Tensor AddColVector(const Tensor& a, const Tensor& v) {
+  GAIA_CHECK_EQ(a.ndim(), 2);
+  GAIA_CHECK_EQ(v.ndim(), 1);
+  GAIA_CHECK_EQ(a.dim(0), v.dim(0));
+  Tensor out = a;
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < a.dim(1); ++j) out.at(i, j) += v.at(i);
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  GAIA_CHECK(!parts.empty());
+  const int64_t rows = parts[0].dim(0);
+  int64_t total_cols = 0;
+  for (const Tensor& p : parts) {
+    GAIA_CHECK_EQ(p.ndim(), 2);
+    GAIA_CHECK_EQ(p.dim(0), rows);
+    total_cols += p.dim(1);
+  }
+  Tensor out({rows, total_cols});
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t cols = p.dim(1);
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) out.at(i, offset + j) = p.at(i, j);
+    }
+    offset += cols;
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  GAIA_CHECK(!parts.empty());
+  const int64_t cols = parts[0].dim(1);
+  int64_t total_rows = 0;
+  for (const Tensor& p : parts) {
+    GAIA_CHECK_EQ(p.ndim(), 2);
+    GAIA_CHECK_EQ(p.dim(1), cols);
+    total_rows += p.dim(0);
+  }
+  Tensor out({total_rows, cols});
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    for (int64_t i = 0; i < p.dim(0); ++i) {
+      for (int64_t j = 0; j < cols; ++j) out.at(offset + i, j) = p.at(i, j);
+    }
+    offset += p.dim(0);
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t len) {
+  GAIA_CHECK_EQ(a.ndim(), 2);
+  GAIA_CHECK_GE(start, 0);
+  GAIA_CHECK_LE(start + len, a.dim(1));
+  Tensor out({a.dim(0), len});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < len; ++j) out.at(i, j) = a.at(i, start + j);
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t len) {
+  GAIA_CHECK_EQ(a.ndim(), 2);
+  GAIA_CHECK_GE(start, 0);
+  GAIA_CHECK_LE(start + len, a.dim(0));
+  Tensor out({len, a.dim(1)});
+  for (int64_t i = 0; i < len; ++i) {
+    for (int64_t j = 0; j < a.dim(1); ++j) out.at(i, j) = a.at(start + i, j);
+  }
+  return out;
+}
+
+Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              PadMode mode, int64_t dilation) {
+  GAIA_CHECK_EQ(input.ndim(), 2);
+  GAIA_CHECK_EQ(weight.ndim(), 3);
+  GAIA_CHECK_GE(dilation, 1);
+  const int64_t t_len = input.dim(0), c_in = input.dim(1);
+  const int64_t c_out = weight.dim(0), kernel = weight.dim(1);
+  GAIA_CHECK_EQ(weight.dim(2), c_in)
+      << "Conv1d channel mismatch: input " << input.ShapeString()
+      << " weight " << weight.ShapeString();
+  const bool has_bias = !bias.empty();
+  if (has_bias) {
+    GAIA_CHECK_EQ(bias.ndim(), 1);
+    GAIA_CHECK_EQ(bias.dim(0), c_out);
+  }
+  const int64_t left = PadLeft(kernel, mode, dilation);
+  Tensor out({t_len, c_out});
+  for (int64_t t = 0; t < t_len; ++t) {
+    for (int64_t o = 0; o < c_out; ++o) {
+      double acc = has_bias ? bias.at(o) : 0.0;
+      for (int64_t k = 0; k < kernel; ++k) {
+        const int64_t s = t + k * dilation - left;
+        if (s < 0 || s >= t_len) continue;
+        const float* in_row = input.data() + s * c_in;
+        const float* w_row = weight.data() + (o * kernel + k) * c_in;
+        for (int64_t c = 0; c < c_in; ++c) acc += in_row[c] * w_row[c];
+      }
+      out.at(t, o) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor Conv1dBackwardInput(const Tensor& grad_out, const Tensor& weight,
+                           int64_t input_len, PadMode mode, int64_t dilation) {
+  GAIA_CHECK_EQ(grad_out.ndim(), 2);
+  GAIA_CHECK_EQ(weight.ndim(), 3);
+  const int64_t t_len = grad_out.dim(0), c_out = grad_out.dim(1);
+  const int64_t kernel = weight.dim(1), c_in = weight.dim(2);
+  GAIA_CHECK_EQ(weight.dim(0), c_out);
+  GAIA_CHECK_EQ(t_len, input_len) << "Conv1d preserves length";
+  const int64_t left = PadLeft(kernel, mode, dilation);
+  Tensor grad_in({input_len, c_in});
+  for (int64_t t = 0; t < t_len; ++t) {
+    for (int64_t o = 0; o < c_out; ++o) {
+      const float g = grad_out.at(t, o);
+      if (g == 0.0f) continue;
+      for (int64_t k = 0; k < kernel; ++k) {
+        const int64_t s = t + k * dilation - left;
+        if (s < 0 || s >= input_len) continue;
+        float* gi_row = grad_in.data() + s * c_in;
+        const float* w_row = weight.data() + (o * kernel + k) * c_in;
+        for (int64_t c = 0; c < c_in; ++c) gi_row[c] += g * w_row[c];
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor Conv1dBackwardWeight(const Tensor& grad_out, const Tensor& input,
+                            int64_t kernel_size, PadMode mode,
+                            int64_t dilation) {
+  GAIA_CHECK_EQ(grad_out.ndim(), 2);
+  GAIA_CHECK_EQ(input.ndim(), 2);
+  const int64_t t_len = grad_out.dim(0), c_out = grad_out.dim(1);
+  const int64_t c_in = input.dim(1);
+  GAIA_CHECK_EQ(input.dim(0), t_len);
+  const int64_t left = PadLeft(kernel_size, mode, dilation);
+  Tensor grad_w({c_out, kernel_size, c_in});
+  for (int64_t t = 0; t < t_len; ++t) {
+    for (int64_t o = 0; o < c_out; ++o) {
+      const float g = grad_out.at(t, o);
+      if (g == 0.0f) continue;
+      for (int64_t k = 0; k < kernel_size; ++k) {
+        const int64_t s = t + k * dilation - left;
+        if (s < 0 || s >= t_len) continue;
+        const float* in_row = input.data() + s * c_in;
+        float* gw_row = grad_w.data() + (o * kernel_size + k) * c_in;
+        for (int64_t c = 0; c < c_in; ++c) gw_row[c] += g * in_row[c];
+      }
+    }
+  }
+  return grad_w;
+}
+
+Tensor Conv1dBackwardBias(const Tensor& grad_out) { return SumAxis0(grad_out); }
+
+Tensor CausalMask(int64_t t) {
+  Tensor mask({t, t});
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t j = i + 1; j < t; ++j) mask.at(i, j) = kMaskNegInf;
+  }
+  return mask;
+}
+
+}  // namespace gaia

@@ -1,0 +1,272 @@
+#include "ts/arima.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace gaia::ts {
+
+namespace {
+
+/// Solves the OLS normal equations (X'X + ridge*I) beta = X'y by Gaussian
+/// elimination with partial pivoting. `rows` is the design matrix, one
+/// vector per observation. Returns false when the system is singular.
+bool SolveOls(const std::vector<std::vector<double>>& rows,
+              const std::vector<double>& y, std::vector<double>* beta,
+              double ridge = 1e-8) {
+  GAIA_CHECK_EQ(rows.size(), y.size());
+  if (rows.empty()) return false;
+  const size_t k = rows[0].size();
+  std::vector<std::vector<double>> a(k, std::vector<double>(k + 1, 0.0));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    GAIA_CHECK_EQ(rows[r].size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) a[i][j] += rows[r][i] * rows[r][j];
+      a[i][k] += rows[r][i] * y[r];
+    }
+  }
+  for (size_t i = 0; i < k; ++i) a[i][i] += ridge;
+  // Gaussian elimination with partial pivoting on the augmented system.
+  for (size_t col = 0; col < k; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < k; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    for (size_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / a[col][col];
+      for (size_t c = col; c <= k; ++c) a[r][c] -= factor * a[col][c];
+    }
+  }
+  beta->assign(k, 0.0);
+  for (size_t i = 0; i < k; ++i) (*beta)[i] = a[i][k] / a[i][i];
+  return true;
+}
+
+}  // namespace
+
+std::vector<double> Difference(const std::vector<double>& series, int d) {
+  GAIA_CHECK_GE(d, 0);
+  std::vector<double> out = series;
+  for (int round = 0; round < d; ++round) {
+    if (out.size() <= 1) return {};
+    std::vector<double> next(out.size() - 1);
+    for (size_t i = 0; i + 1 < out.size(); ++i) next[i] = out[i + 1] - out[i];
+    out = std::move(next);
+  }
+  return out;
+}
+
+std::vector<double> Integrate(const std::vector<double>& diffed_forecast,
+                              const std::vector<double>& last_values, int d) {
+  GAIA_CHECK_GE(d, 0);
+  if (d == 0) return diffed_forecast;
+  // Build the differencing pyramid of the observed series; level k holds the
+  // k-times differenced series. Integrating walks back up from level d.
+  std::vector<std::vector<double>> levels(static_cast<size_t>(d) + 1);
+  levels[0] = last_values;
+  for (int k = 1; k <= d; ++k) {
+    levels[static_cast<size_t>(k)] =
+        Difference(levels[static_cast<size_t>(k - 1)], 1);
+    GAIA_CHECK(!levels[static_cast<size_t>(k)].empty())
+        << "series too short to invert differencing";
+  }
+  std::vector<double> cur = diffed_forecast;
+  for (int k = d - 1; k >= 0; --k) {
+    const double anchor = levels[static_cast<size_t>(k)].back();
+    std::vector<double> next(cur.size());
+    double running = anchor;
+    for (size_t i = 0; i < cur.size(); ++i) {
+      running += cur[i];
+      next[i] = running;
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Result<Arima> Arima::Fit(const std::vector<double>& series,
+                         const ArimaOrder& order) {
+  if (order.p < 0 || order.d < 0 || order.q < 0) {
+    return Status::InvalidArgument("negative ARIMA order");
+  }
+  if (order.p == 0 && order.q == 0) {
+    return Status::InvalidArgument("p and q cannot both be zero");
+  }
+  std::vector<double> w = Difference(series, order.d);
+  const int n = static_cast<int>(w.size());
+  const int k_params = 1 + order.p + order.q;
+  const int min_obs = 3 * (order.p + order.q) + 5;
+  if (n < min_obs) {
+    return Status::FailedPrecondition(
+        "not enough observations after differencing: " + std::to_string(n));
+  }
+
+  // Stage 1: long-AR innovations estimate (only needed when q > 0).
+  std::vector<double> innovations(static_cast<size_t>(n), 0.0);
+  if (order.q > 0) {
+    const int m = std::min(std::max(order.p + order.q + 2, 4), n / 3);
+    std::vector<std::vector<double>> x_rows;
+    std::vector<double> y_vals;
+    for (int t = m; t < n; ++t) {
+      std::vector<double> row = {1.0};
+      for (int lag = 1; lag <= m; ++lag) {
+        row.push_back(w[static_cast<size_t>(t - lag)]);
+      }
+      x_rows.push_back(std::move(row));
+      y_vals.push_back(w[static_cast<size_t>(t)]);
+    }
+    std::vector<double> beta;
+    if (!SolveOls(x_rows, y_vals, &beta)) {
+      return Status::Internal("stage-1 AR regression is singular");
+    }
+    for (int t = m; t < n; ++t) {
+      double fitted = beta[0];
+      for (int lag = 1; lag <= m; ++lag) {
+        fitted += beta[static_cast<size_t>(lag)] * w[static_cast<size_t>(t - lag)];
+      }
+      innovations[static_cast<size_t>(t)] = w[static_cast<size_t>(t)] - fitted;
+    }
+  }
+
+  // Stage 2: regress w_t on [1, w lags, innovation lags].
+  const int t0 = std::max(order.p, order.q);
+  std::vector<std::vector<double>> x_rows;
+  std::vector<double> y_vals;
+  for (int t = t0; t < n; ++t) {
+    std::vector<double> row = {1.0};
+    for (int lag = 1; lag <= order.p; ++lag) {
+      row.push_back(w[static_cast<size_t>(t - lag)]);
+    }
+    for (int lag = 1; lag <= order.q; ++lag) {
+      row.push_back(innovations[static_cast<size_t>(t - lag)]);
+    }
+    x_rows.push_back(std::move(row));
+    y_vals.push_back(w[static_cast<size_t>(t)]);
+  }
+  if (static_cast<int>(x_rows.size()) < k_params + 2) {
+    return Status::FailedPrecondition("too few stage-2 rows");
+  }
+  std::vector<double> beta;
+  if (!SolveOls(x_rows, y_vals, &beta)) {
+    return Status::Internal("stage-2 regression is singular");
+  }
+
+  Arima model;
+  model.order_ = order;
+  model.intercept_ = beta[0];
+  model.ar_.assign(beta.begin() + 1, beta.begin() + 1 + order.p);
+  model.ma_.assign(beta.begin() + 1 + order.p, beta.end());
+  model.diffed_ = w;
+  model.last_values_ = series;
+
+  // Recompute in-sample residuals with the fitted coefficients.
+  model.residuals_.assign(static_cast<size_t>(n), 0.0);
+  double sse = 0.0;
+  int n_eff = 0;
+  for (int t = t0; t < n; ++t) {
+    double fitted = model.intercept_;
+    for (int lag = 1; lag <= order.p; ++lag) {
+      fitted += model.ar_[static_cast<size_t>(lag - 1)] *
+                w[static_cast<size_t>(t - lag)];
+    }
+    for (int lag = 1; lag <= order.q; ++lag) {
+      fitted += model.ma_[static_cast<size_t>(lag - 1)] *
+                model.residuals_[static_cast<size_t>(t - lag)];
+    }
+    const double resid = w[static_cast<size_t>(t)] - fitted;
+    model.residuals_[static_cast<size_t>(t)] = resid;
+    sse += resid * resid;
+    ++n_eff;
+  }
+  const double sigma2 = std::max(sse / std::max(n_eff, 1), 1e-12);
+  model.aic_ = n_eff * std::log(sigma2) + 2.0 * (k_params + 1);
+  return model;
+}
+
+std::vector<double> Arima::Forecast(int horizon) const {
+  GAIA_CHECK_GT(horizon, 0);
+  std::vector<double> w = diffed_;
+  std::vector<double> e = residuals_;
+  std::vector<double> diff_forecast;
+  diff_forecast.reserve(static_cast<size_t>(horizon));
+  for (int h = 0; h < horizon; ++h) {
+    const int t = static_cast<int>(w.size());
+    double value = intercept_;
+    for (int lag = 1; lag <= order_.p; ++lag) {
+      const int idx = t - lag;
+      value += ar_[static_cast<size_t>(lag - 1)] *
+               (idx >= 0 ? w[static_cast<size_t>(idx)] : 0.0);
+    }
+    for (int lag = 1; lag <= order_.q; ++lag) {
+      const int idx = t - lag;
+      value += ma_[static_cast<size_t>(lag - 1)] *
+               (idx >= 0 ? e[static_cast<size_t>(idx)] : 0.0);
+    }
+    w.push_back(value);
+    e.push_back(0.0);  // future innovations have zero expectation
+    diff_forecast.push_back(value);
+  }
+  return Integrate(diff_forecast, last_values_, order_.d);
+}
+
+std::string Arima::ToString() const {
+  std::ostringstream os;
+  os << "ARIMA(" << order_.p << "," << order_.d << "," << order_.q
+     << ") intercept=" << intercept_ << " aic=" << aic_;
+  return os.str();
+}
+
+Result<Arima> AutoArima(const std::vector<double>& series, int max_p,
+                        int max_d, int max_q) {
+  std::optional<Arima> best;
+  for (int d = 0; d <= max_d; ++d) {
+    for (int p = 0; p <= max_p; ++p) {
+      for (int q = 0; q <= max_q; ++q) {
+        if (p == 0 && q == 0) continue;
+        Result<Arima> fit = Arima::Fit(series, ArimaOrder{p, d, q});
+        if (!fit.ok()) continue;
+        if (!best.has_value() || fit.value().aic() < best->aic()) {
+          best = std::move(fit).value();
+        }
+      }
+    }
+  }
+  if (!best.has_value()) return Status::FailedPrecondition("no ARIMA order fits");
+  return *std::move(best);
+}
+
+std::vector<double> ForecastWithFallback(const std::vector<double>& series,
+                                         int horizon, int max_p, int max_d,
+                                         int max_q) {
+  GAIA_CHECK_GT(horizon, 0);
+  if (series.empty()) return std::vector<double>(static_cast<size_t>(horizon), 0.0);
+  Result<Arima> fit = AutoArima(series, max_p, max_d, max_q);
+  if (fit.ok()) {
+    std::vector<double> forecast = fit.value().Forecast(horizon);
+    // Guard against explosive fits on awkward series: clamp to a sane
+    // multiple of the observed range, as a production system would.
+    const double max_obs = *std::max_element(series.begin(), series.end());
+    const double cap = 10.0 * std::max(max_obs, 1.0);
+    bool sane = true;
+    for (double v : forecast) {
+      if (!std::isfinite(v) || std::fabs(v) > cap) sane = false;
+    }
+    if (sane) return forecast;
+  }
+  // Fallback: mean of the recent window (new-shop / degenerate histories).
+  const size_t window = std::min<size_t>(series.size(), 3);
+  double mean = 0.0;
+  for (size_t i = series.size() - window; i < series.size(); ++i) {
+    mean += series[i];
+  }
+  mean /= static_cast<double>(window);
+  return std::vector<double>(static_cast<size_t>(horizon), mean);
+}
+
+}  // namespace gaia::ts

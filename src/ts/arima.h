@@ -1,0 +1,83 @@
+#ifndef GAIA_TS_ARIMA_H_
+#define GAIA_TS_ARIMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gaia::ts {
+
+/// \brief Configuration of an ARIMA(p, d, q) model.
+struct ArimaOrder {
+  int p = 1;  ///< autoregressive order
+  int d = 0;  ///< differencing order
+  int q = 0;  ///< moving-average order
+};
+
+/// \brief ARIMA(p, d, q) fitted by the Hannan–Rissanen two-stage procedure.
+///
+/// Stage 1 fits a long autoregression by ordinary least squares to estimate
+/// innovations; stage 2 regresses the (differenced) series on its own lags
+/// and the estimated innovations. Forecasts run the recursion forward with
+/// future innovations set to zero and integrate the differencing back. This
+/// is the classical-baseline comparator from Table I (max p = max q = 2 per
+/// the paper's grid).
+class Arima {
+ public:
+  /// Fits the model. Requires enough observations after differencing
+  /// (roughly 3 * (p + q) + 5); shorter series get kNotEnoughData and the
+  /// caller should fall back (see ForecastWithFallback).
+  static Result<Arima> Fit(const std::vector<double>& series,
+                           const ArimaOrder& order);
+
+  /// Forecasts `horizon` future values.
+  std::vector<double> Forecast(int horizon) const;
+
+  /// Akaike information criterion of the stage-2 regression fit.
+  double aic() const { return aic_; }
+
+  const ArimaOrder& order() const { return order_; }
+  const std::vector<double>& ar_coefficients() const { return ar_; }
+  const std::vector<double>& ma_coefficients() const { return ma_; }
+  double intercept() const { return intercept_; }
+
+  std::string ToString() const;
+
+ private:
+  Arima() = default;
+
+  ArimaOrder order_;
+  double intercept_ = 0.0;
+  std::vector<double> ar_;
+  std::vector<double> ma_;
+  double aic_ = 0.0;
+  // Tail state required by the forecast recursion.
+  std::vector<double> diffed_;     ///< differenced series
+  std::vector<double> residuals_;  ///< stage-2 innovations
+  std::vector<double> last_values_;  ///< original tail for integration
+};
+
+/// Grid-searches (p, d, q) with p <= max_p, q <= max_q, d <= max_d by AIC.
+/// Returns the best fitted model; fails when nothing fits.
+Result<Arima> AutoArima(const std::vector<double>& series, int max_p,
+                        int max_d, int max_q);
+
+/// Production-style entry point: tries AutoArima, falling back to a drift /
+/// mean / naive forecast when the series is too short for any ARIMA —
+/// mirrors how the deployed baseline handles "new shop" histories.
+std::vector<double> ForecastWithFallback(const std::vector<double>& series,
+                                         int horizon, int max_p = 2,
+                                         int max_d = 1, int max_q = 2);
+
+/// d-th order differencing helper (exposed for tests).
+std::vector<double> Difference(const std::vector<double>& series, int d);
+
+/// Inverts one differencing step given the original tail values.
+std::vector<double> Integrate(const std::vector<double>& diffed_forecast,
+                              const std::vector<double>& last_values, int d);
+
+}  // namespace gaia::ts
+
+#endif  // GAIA_TS_ARIMA_H_

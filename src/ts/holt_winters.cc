@@ -1,0 +1,131 @@
+#include "ts/holt_winters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+namespace gaia::ts {
+
+Status HoltWintersConfig::Validate() const {
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (beta < 0.0 || beta >= 1.0) {
+    return Status::InvalidArgument("beta must be in [0, 1)");
+  }
+  if (gamma < 0.0 || gamma >= 1.0) {
+    return Status::InvalidArgument("gamma must be in [0, 1)");
+  }
+  if (season_length < 0) {
+    return Status::InvalidArgument("season_length must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<HoltWinters> HoltWinters::Fit(const std::vector<double>& series,
+                                     const HoltWintersConfig& config) {
+  GAIA_RETURN_NOT_OK(config.Validate());
+  if (series.empty()) {
+    return Status::InvalidArgument("cannot fit Holt-Winters on empty series");
+  }
+  HoltWinters model;
+  model.config_ = config;
+  model.fitted_length_ = static_cast<int>(series.size());
+
+  const int m = config.season_length;
+  const bool seasonal =
+      m > 1 && static_cast<int>(series.size()) >= 2 * m;
+
+  // Initialization: level = mean of first season (or first value), trend =
+  // average first-difference across the first season, seasonal = deviation
+  // of the first season from its mean.
+  if (seasonal) {
+    double first_season_mean = 0.0;
+    for (int i = 0; i < m; ++i) first_season_mean += series[static_cast<size_t>(i)];
+    first_season_mean /= m;
+    model.level_ = first_season_mean;
+    double trend = 0.0;
+    for (int i = 0; i < m; ++i) {
+      trend += (series[static_cast<size_t>(i + m)] -
+                series[static_cast<size_t>(i)]) /
+               m;
+    }
+    model.trend_ = trend / m;
+    model.seasonal_.resize(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      model.seasonal_[static_cast<size_t>(i)] =
+          series[static_cast<size_t>(i)] - first_season_mean;
+    }
+  } else {
+    model.level_ = series.front();
+    model.trend_ =
+        series.size() > 1 ? series[1] - series[0] : 0.0;
+  }
+
+  // Smoothing pass with one-step-ahead error tracking.
+  double sse = 0.0;
+  int n_err = 0;
+  const int start = seasonal ? m : 1;
+  for (int t = start; t < static_cast<int>(series.size()); ++t) {
+    const double value = series[static_cast<size_t>(t)];
+    const double season_term =
+        seasonal ? model.seasonal_[static_cast<size_t>(t % m)] : 0.0;
+    const double forecast = model.level_ + model.trend_ + season_term;
+    const double err = value - forecast;
+    sse += err * err;
+    ++n_err;
+    const double prev_level = model.level_;
+    model.level_ = config.alpha * (value - season_term) +
+                   (1.0 - config.alpha) * (model.level_ + model.trend_);
+    model.trend_ = config.beta * (model.level_ - prev_level) +
+                   (1.0 - config.beta) * model.trend_;
+    if (seasonal) {
+      double& s = model.seasonal_[static_cast<size_t>(t % m)];
+      s = config.gamma * (value - model.level_) + (1.0 - config.gamma) * s;
+    }
+  }
+  model.in_sample_mse_ = n_err > 0 ? sse / n_err : 0.0;
+  return model;
+}
+
+std::vector<double> HoltWinters::Forecast(int horizon) const {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(horizon));
+  const int m = static_cast<int>(seasonal_.size());
+  for (int h = 1; h <= horizon; ++h) {
+    double value = level_ + h * trend_;
+    if (m > 0) {
+      value += seasonal_[static_cast<size_t>((fitted_length_ + h - 1) % m)];
+    }
+    out.push_back(std::max(value, 0.0));  // GMV is non-negative
+  }
+  return out;
+}
+
+Result<HoltWinters> AutoHoltWinters(const std::vector<double>& series,
+                                    int season_length) {
+  std::optional<HoltWinters> best;
+  for (double alpha : {0.2, 0.4, 0.6, 0.8}) {
+    for (double beta : {0.05, 0.2}) {
+      for (double gamma : {0.1, 0.3}) {
+        HoltWintersConfig cfg;
+        cfg.alpha = alpha;
+        cfg.beta = beta;
+        cfg.gamma = gamma;
+        cfg.season_length = season_length;
+        auto fit = HoltWinters::Fit(series, cfg);
+        if (!fit.ok()) continue;
+        if (!best.has_value() ||
+            fit.value().in_sample_mse() < best->in_sample_mse()) {
+          best = std::move(fit).value();
+        }
+      }
+    }
+  }
+  if (!best.has_value()) {
+    return Status::FailedPrecondition("no Holt-Winters configuration fits");
+  }
+  return *std::move(best);
+}
+
+}  // namespace gaia::ts

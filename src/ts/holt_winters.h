@@ -1,0 +1,60 @@
+#ifndef GAIA_TS_HOLT_WINTERS_H_
+#define GAIA_TS_HOLT_WINTERS_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace gaia::ts {
+
+/// \brief Configuration of additive Holt–Winters exponential smoothing.
+struct HoltWintersConfig {
+  double alpha = 0.3;     ///< level smoothing, in (0, 1)
+  double beta = 0.1;      ///< trend smoothing, in [0, 1)
+  double gamma = 0.2;     ///< seasonal smoothing, in [0, 1)
+  int season_length = 12; ///< 0 disables the seasonal component
+
+  Status Validate() const;
+};
+
+/// \brief Additive Holt–Winters (triple exponential) smoothing — the
+/// classical seasonal forecaster, complementing ARIMA in the time-series
+/// toolbox. Degrades gracefully: without enough history for a full season
+/// the seasonal component is disabled (Holt's linear trend method), and a
+/// single observation yields a naive forecast.
+class HoltWinters {
+ public:
+  /// Fits level/trend/seasonal states by one smoothing pass.
+  /// Pre via Status: series non-empty, config valid.
+  static Result<HoltWinters> Fit(const std::vector<double>& series,
+                                 const HoltWintersConfig& config);
+
+  /// Forecasts `horizon` values ahead of the fitted series.
+  std::vector<double> Forecast(int horizon) const;
+
+  double level() const { return level_; }
+  double trend() const { return trend_; }
+  const std::vector<double>& seasonal() const { return seasonal_; }
+
+  /// In-sample one-step-ahead mean squared error (for smoothing-parameter
+  /// grids).
+  double in_sample_mse() const { return in_sample_mse_; }
+
+ private:
+  HoltWinters() = default;
+
+  HoltWintersConfig config_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::vector<double> seasonal_;  ///< empty when seasonality is disabled
+  int fitted_length_ = 0;
+  double in_sample_mse_ = 0.0;
+};
+
+/// Small grid search over (alpha, beta, gamma) by in-sample one-step MSE.
+Result<HoltWinters> AutoHoltWinters(const std::vector<double>& series,
+                                    int season_length = 12);
+
+}  // namespace gaia::ts
+
+#endif  // GAIA_TS_HOLT_WINTERS_H_

@@ -1,0 +1,115 @@
+#include "ts/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace gaia::ts {
+
+std::string ForecastMetrics::ToString() const {
+  std::ostringstream os;
+  os << "MAE=" << mae << " RMSE=" << rmse << " MAPE=" << mape
+     << " WAPE=" << wape << " (n=" << count << ")";
+  return os.str();
+}
+
+void MetricsAccumulator::Add(double predicted, double actual) {
+  const double err = predicted - actual;
+  abs_sum_ += std::fabs(err);
+  sq_sum_ += err * err;
+  actual_abs_sum_ += std::fabs(actual);
+  ++count_;
+  if (std::fabs(actual) >= mape_floor_) {
+    ape_sum_ += std::fabs(err) / std::fabs(actual);
+    ++mape_count_;
+  }
+}
+
+void MetricsAccumulator::Merge(const MetricsAccumulator& other) {
+  abs_sum_ += other.abs_sum_;
+  sq_sum_ += other.sq_sum_;
+  ape_sum_ += other.ape_sum_;
+  actual_abs_sum_ += other.actual_abs_sum_;
+  count_ += other.count_;
+  mape_count_ += other.mape_count_;
+}
+
+ForecastMetrics MetricsAccumulator::Finalize() const {
+  ForecastMetrics m;
+  m.count = count_;
+  m.mape_count = mape_count_;
+  if (count_ > 0) {
+    m.mae = abs_sum_ / static_cast<double>(count_);
+    m.rmse = std::sqrt(sq_sum_ / static_cast<double>(count_));
+    if (actual_abs_sum_ > 0.0) m.wape = abs_sum_ / actual_abs_sum_;
+  }
+  if (mape_count_ > 0) {
+    m.mape = ape_sum_ / static_cast<double>(mape_count_);
+  }
+  return m;
+}
+
+ForecastMetrics ComputeMetrics(const std::vector<double>& predicted,
+                               const std::vector<double>& actual,
+                               double mape_floor) {
+  GAIA_CHECK_EQ(predicted.size(), actual.size());
+  MetricsAccumulator acc(mape_floor);
+  for (size_t i = 0; i < predicted.size(); ++i) acc.Add(predicted[i], actual[i]);
+  return acc.Finalize();
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  GAIA_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double CrossCorrelationAtLag(const std::vector<double>& a,
+                             const std::vector<double>& b, int lag) {
+  // corr(a_t, b_{t+lag}) over valid t.
+  const int n_a = static_cast<int>(a.size());
+  const int n_b = static_cast<int>(b.size());
+  std::vector<double> xs, ys;
+  for (int t = 0; t < n_a; ++t) {
+    const int s = t + lag;
+    if (s < 0 || s >= n_b) continue;
+    xs.push_back(a[static_cast<size_t>(t)]);
+    ys.push_back(b[static_cast<size_t>(s)]);
+  }
+  if (xs.size() < 3) return 0.0;
+  return PearsonCorrelation(xs, ys);
+}
+
+LagCorrelation BestLagCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b, int max_lag) {
+  LagCorrelation best;
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    const double c = CrossCorrelationAtLag(a, b, lag);
+    if (std::fabs(c) > std::fabs(best.correlation)) {
+      best.lag = lag;
+      best.correlation = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace gaia::ts

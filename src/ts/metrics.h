@@ -1,0 +1,80 @@
+#ifndef GAIA_TS_METRICS_H_
+#define GAIA_TS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gaia::ts {
+
+/// \brief The paper's evaluation triple (Table I): mean absolute error, root
+/// mean squared error and mean absolute percentage error.
+struct ForecastMetrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;
+  /// Weighted APE: sum|err| / sum|actual| — robust to MAPE's heavy upper
+  /// tail on near-dormant shops (see EXPERIMENTS.md).
+  double wape = 0.0;
+  int64_t count = 0;       ///< samples in MAE/RMSE
+  int64_t mape_count = 0;  ///< samples in MAPE (excludes tiny denominators)
+
+  std::string ToString() const;
+};
+
+/// \brief Streaming accumulator for forecast errors.
+///
+/// MAPE is undefined for near-zero actuals; samples whose |actual| falls
+/// below `mape_floor` are excluded from the MAPE average only (standard
+/// practice for GMV data where dormant months occur).
+class MetricsAccumulator {
+ public:
+  explicit MetricsAccumulator(double mape_floor = 1.0)
+      : mape_floor_(mape_floor) {}
+
+  void Add(double predicted, double actual);
+
+  /// Merges another accumulator (same floor expected).
+  void Merge(const MetricsAccumulator& other);
+
+  ForecastMetrics Finalize() const;
+
+  int64_t count() const { return count_; }
+
+ private:
+  double mape_floor_;
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  double ape_sum_ = 0.0;
+  double actual_abs_sum_ = 0.0;
+  int64_t count_ = 0;
+  int64_t mape_count_ = 0;
+};
+
+/// One-shot metric computation over parallel prediction/actual vectors.
+ForecastMetrics ComputeMetrics(const std::vector<double>& predicted,
+                               const std::vector<double>& actual,
+                               double mape_floor = 1.0);
+
+/// Pearson correlation between two equal-length series.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Normalized cross correlation of a and b at the given lag: corr(a_t,
+/// b_{t+lag}) over the overlapping window. Returns 0 when the overlap is too
+/// short or a series is constant.
+double CrossCorrelationAtLag(const std::vector<double>& a,
+                             const std::vector<double>& b, int lag);
+
+/// Lag in [-max_lag, max_lag] maximizing |cross correlation|, with the
+/// attained correlation. Used by the Fig. 4 case study and simulator tests.
+struct LagCorrelation {
+  int lag = 0;
+  double correlation = 0.0;
+};
+LagCorrelation BestLagCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b, int max_lag);
+
+}  // namespace gaia::ts
+
+#endif  // GAIA_TS_METRICS_H_

@@ -1,0 +1,64 @@
+#ifndef GAIA_UTIL_CHECK_H_
+#define GAIA_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace gaia::internal_check {
+
+/// Prints a fatal check failure and aborts. Out of line to keep the macro
+/// expansion small.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Stream that collects an optional diagnostic message and aborts on
+/// destruction (glog idiom). Only ever constructed on the failure path.
+class FatalStream {
+ public:
+  FatalStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  FatalStream(const FatalStream&) = delete;
+  FatalStream& operator=(const FatalStream&) = delete;
+  [[noreturn]] ~FatalStream() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  FatalStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the FatalStream so both ternary branches have type void.
+struct Voidify {
+  void operator&(const FatalStream&) {}
+};
+
+}  // namespace gaia::internal_check
+
+/// Aborts with a diagnostic when `condition` is false. For programming errors
+/// and internal invariants only; recoverable failures use gaia::Status.
+/// Supports streaming extra context: GAIA_CHECK(n > 0) << "n=" << n;
+#define GAIA_CHECK(condition)                              \
+  (condition) ? (void)0                                    \
+              : ::gaia::internal_check::Voidify() &        \
+                    ::gaia::internal_check::FatalStream(   \
+                        __FILE__, __LINE__, #condition)
+
+#define GAIA_CHECK_BINOP(lhs, rhs, op)                     \
+  GAIA_CHECK((lhs)op(rhs)) << "(" << (lhs) << " vs "       \
+                           << (rhs) << ") "
+
+#define GAIA_CHECK_EQ(lhs, rhs) GAIA_CHECK_BINOP(lhs, rhs, ==)
+#define GAIA_CHECK_NE(lhs, rhs) GAIA_CHECK_BINOP(lhs, rhs, !=)
+#define GAIA_CHECK_LT(lhs, rhs) GAIA_CHECK_BINOP(lhs, rhs, <)
+#define GAIA_CHECK_LE(lhs, rhs) GAIA_CHECK_BINOP(lhs, rhs, <=)
+#define GAIA_CHECK_GT(lhs, rhs) GAIA_CHECK_BINOP(lhs, rhs, >)
+#define GAIA_CHECK_GE(lhs, rhs) GAIA_CHECK_BINOP(lhs, rhs, >=)
+
+#endif  // GAIA_UTIL_CHECK_H_

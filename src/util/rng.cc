@@ -1,0 +1,44 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gaia {
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller transform on two uniforms; guard against log(0).
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  double u2 = Uniform();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Exponential(double rate) {
+  GAIA_CHECK_GT(rate, 0.0);
+  double u = Uniform();
+  while (u <= 1e-300) u = Uniform();
+  return -std::log(u) / rate;
+}
+
+double Rng::Pareto(double alpha, double x_min) {
+  GAIA_CHECK_GT(alpha, 0.0);
+  GAIA_CHECK_GT(x_min, 0.0);
+  double u = Uniform();
+  while (u <= 1e-300) u = Uniform();
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+}  // namespace gaia

@@ -1,0 +1,104 @@
+#ifndef GAIA_UTIL_RNG_H_
+#define GAIA_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gaia {
+
+/// \brief Deterministic PCG32 random number generator.
+///
+/// All randomness in gaia flows through explicitly seeded Rng instances; there
+/// is no global RNG state, so every experiment is reproducible from its
+/// printed seed. PCG32 (O'Neill 2014) is small, fast and statistically strong
+/// enough for simulation and weight initialization.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  /// Re-seeds the generator; the same seed always yields the same stream.
+  void Seed(uint64_t seed) {
+    state_ = 0;
+    inc_ = (seed << 1u) | 1u;
+    NextUint32();
+    state_ += 0x853c49e6748fea9bULL + seed;
+    NextUint32();
+  }
+
+  /// Next raw 32-bit draw.
+  uint32_t NextUint32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return NextUint32() * (1.0 / 4294967296.0); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Pre: n > 0.
+  uint32_t UniformInt(uint32_t n) {
+    // Lemire's nearly-divisionless bounded draw; bias is negligible for the
+    // ranges used here but we keep the rejection loop for exactness.
+    uint64_t m = static_cast<uint64_t>(NextUint32()) * n;
+    auto lo = static_cast<uint32_t>(m);
+    if (lo < n) {
+      uint32_t threshold = (0u - n) % n;
+      while (lo < threshold) {
+        m = static_cast<uint64_t>(NextUint32()) * n;
+        lo = static_cast<uint32_t>(m);
+      }
+    }
+    return static_cast<uint32_t>(m >> 32);
+  }
+
+  /// Standard normal draw (Box–Muller, cached second value).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Log-normal draw: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Exponential draw with the given rate (lambda).
+  double Exponential(double rate);
+
+  /// Pareto(alpha, x_min) draw — heavy-tailed; used for shop-age skew.
+  double Pareto(double alpha, double x_min);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (std::size_t i = values->size(); i > 1; --i) {
+      std::size_t j = UniformInt(static_cast<uint32_t>(i));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Splits off an independent child stream; handy for giving each subsystem
+  /// its own generator while keeping one top-level seed.
+  Rng Split() {
+    uint64_t s = (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
+    return Rng(s);
+  }
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace gaia
+
+#endif  // GAIA_UTIL_RNG_H_

@@ -1,0 +1,121 @@
+#ifndef GAIA_UTIL_STATUS_H_
+#define GAIA_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gaia {
+
+/// \brief Error codes for fallible gaia operations.
+///
+/// Modeled after the Arrow/RocksDB status idiom: recoverable failures are
+/// reported through Status/Result rather than exceptions; internal invariant
+/// violations abort through GAIA_CHECK.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a human readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Lightweight status object carrying a code and a message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy for the OK
+/// case and carry a heap string only on error.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief Renders "Code: message" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Value-or-error result type, the return convention for fallible
+/// factory functions (e.g. config validation, data loading).
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversions from both T and Status keep call sites terse, the
+  /// same convention as arrow::Result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                           // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok(). Aborts otherwise (checked by the caller via ok()).
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Internal("uninitialized result");
+};
+
+/// Propagates a non-OK status to the caller.
+#define GAIA_RETURN_NOT_OK(expr)           \
+  do {                                     \
+    ::gaia::Status _st = (expr);           \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+}  // namespace gaia
+
+#endif  // GAIA_UTIL_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef GAIA_UTIL_STOPWATCH_H_
+#define GAIA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gaia {
+
+/// \brief Monotonic wall-clock stopwatch for benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gaia
+
+#endif  // GAIA_UTIL_STOPWATCH_H_

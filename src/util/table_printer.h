@@ -1,0 +1,48 @@
+#ifndef GAIA_UTIL_TABLE_PRINTER_H_
+#define GAIA_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gaia {
+
+/// \brief Plain-text table formatter used by the benchmark harnesses to print
+/// paper-style result tables (Table I, Table II, ...).
+///
+/// Usage:
+///   TablePrinter table({"Method", "MAE", "RMSE", "MAPE"});
+///   table.AddRow({"Gaia", "24064", "112516", "0.0909"});
+///   table.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  /// Renders the table with column alignment and box-drawing separators.
+  void Print(std::ostream& os) const;
+
+  /// Renders as comma separated values (no separators), for machine parsing.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string FormatDouble(double value, int precision = 4);
+
+  /// Formats a value as a thousands-separated integer string (GMV-style).
+  static std::string FormatCount(double value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace gaia
+
+#endif  // GAIA_UTIL_TABLE_PRINTER_H_

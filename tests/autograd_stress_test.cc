@@ -1,0 +1,114 @@
+// Stress-level properties of the autograd engine: deep chains, wide fanout,
+// shared subexpressions and repeated parameter reuse — the patterns the
+// Gaia forward graph produces at scale.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+
+namespace gaia::autograd {
+namespace {
+
+TEST(AutogradStressTest, DeepChainGradientIsExact) {
+  // y = tanh(tanh(...tanh(x))), 60 deep; dy/dx = prod(1 - y_i^2).
+  Var x = Parameter(Tensor({1}, {0.7f}));
+  Var y = x;
+  std::vector<float> activations;
+  for (int depth = 0; depth < 60; ++depth) {
+    y = Tanh(y);
+    activations.push_back(y->value.at(0));
+  }
+  Backward(y);
+  double expected = 1.0;
+  for (float a : activations) expected *= 1.0 - static_cast<double>(a) * a;
+  EXPECT_NEAR(x->grad.at(0), expected, 1e-6);
+}
+
+TEST(AutogradStressTest, WideFanoutAccumulates) {
+  // loss = sum over 200 branches of (c_i * x); dx = sum c_i.
+  Rng rng(1);
+  Var x = Parameter(Tensor({4}, {1, 2, 3, 4}));
+  std::vector<Var> branches;
+  double coeff_sum = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const float c = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    coeff_sum += c;
+    branches.push_back(ScalarMul(x, c));
+  }
+  Backward(SumAll(AddN(branches)));
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(x->grad.at(j), coeff_sum, 1e-4);
+  }
+}
+
+TEST(AutogradStressTest, SharedSubexpressionCountedOnce) {
+  // s = x * x reused twice: loss = sum(s) + sum(s) = 2 sum(x^2); dx = 4x.
+  Var x = Parameter(Tensor({3}, {1, -2, 3}));
+  Var s = Mul(x, x);
+  Backward(Add(SumAll(s), SumAll(s)));
+  EXPECT_TRUE(AllClose(x->grad, Tensor({3}, {4, -8, 12})));
+}
+
+TEST(AutogradStressTest, ParameterReusedAcrossStepsAccumulatesUntilZeroed) {
+  Var w = Parameter(Tensor({2}, {1, 1}));
+  for (int step = 1; step <= 3; ++step) {
+    Backward(SumAll(w));
+    EXPECT_FLOAT_EQ(w->grad.at(0), static_cast<float>(step));
+  }
+  w->ZeroGrad();
+  Backward(SumAll(w));
+  EXPECT_FLOAT_EQ(w->grad.at(0), 1.0f);
+}
+
+TEST(AutogradStressTest, BackwardWithExplicitSeed) {
+  // Vector-Jacobian product: seed selects one output row.
+  Var x = Parameter(Tensor({2, 2}, {1, 2, 3, 4}));
+  Var y = Mul(x, x);  // elementwise square
+  Tensor seed({2, 2});
+  seed.at(1, 0) = 1.0f;  // only element (1,0) contributes
+  Backward(y, seed);
+  EXPECT_FLOAT_EQ(x->grad.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(x->grad.at(1, 0), 6.0f);  // 2 * 3
+  EXPECT_FLOAT_EQ(x->grad.at(1, 1), 0.0f);
+}
+
+TEST(AutogradStressTest, MixedDeepGraphGradCheck) {
+  // A miniature Gaia-like block: conv -> attention-ish matmul softmax ->
+  // gated combine -> readout, all under one gradient check.
+  Rng rng(7);
+  std::vector<Var> params = {
+      Parameter(Tensor::Randn({6, 3}, &rng, 0.5f)),   // input
+      Parameter(Tensor::Randn({3, 2, 3}, &rng, 0.5f)),  // conv weight
+      Parameter(Tensor::Randn({3}, &rng, 0.5f)),      // conv bias
+      Parameter(Tensor::Randn({6}, &rng, 0.5f)),      // readout vector
+  };
+  auto build = [](const std::vector<Var>& p) {
+    Var features = Conv1d(p[0], p[1], p[2], PadMode::kCausal);
+    Var logits = ScalarMul(MatMul(features, Transpose(features)), 0.5f);
+    logits = Add(logits, Constant(CausalMask(6)));
+    Var attended = MatMul(SoftmaxRows(logits), features);
+    Var gated = Mul(Relu(attended), Sigmoid(features));
+    Var pooled = MatMul(Transpose(gated),
+                        Reshape(p[3], {6, 1}));  // [3, 1]
+    return SumAll(Mul(pooled, pooled));
+  };
+  auto result = CheckGradients(build, params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(AutogradStressTest, GraphReleaseKeepsParametersAlive) {
+  // Building and dropping many graphs must not disturb the leaf.
+  Var w = Parameter(Tensor({8}, {1, 2, 3, 4, 5, 6, 7, 8}));
+  for (int i = 0; i < 50; ++i) {
+    Var loss = MeanAll(Mul(w, w));
+    Backward(loss);
+  }
+  EXPECT_EQ(w->value.at(7), 8.0f);
+  EXPECT_TRUE(w->grad.AllFinite());
+}
+
+}  // namespace
+}  // namespace gaia::autograd

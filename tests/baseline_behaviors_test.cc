@@ -1,0 +1,205 @@
+// Behaviour-level tests for individual baseline architectures, beyond the
+// shared zoo contract: gating ranges, attention structure, graph usage and
+// AR-highway effects.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/gman.h"
+#include "baselines/graphsage.h"
+#include "baselines/logtrans.h"
+#include "baselines/lstm_forecaster.h"
+#include "baselines/mtgnn.h"
+#include "baselines/stgcn.h"
+#include "data/market_simulator.h"
+
+namespace gaia::baselines {
+namespace {
+
+class BaselineBehaviorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::MarketConfig cfg;
+    cfg.num_shops = 40;
+    cfg.history_months = 12;
+    cfg.seed = 99;
+    auto market = data::MarketSimulator(cfg).Generate();
+    ASSERT_TRUE(market.ok());
+    market_ = std::make_unique<data::MarketData>(std::move(market).value());
+    auto ds = data::ForecastDataset::Create(*market_, data::DatasetOptions{});
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<data::ForecastDataset>(std::move(ds).value());
+  }
+  std::unique_ptr<data::MarketData> market_;
+  std::unique_ptr<data::ForecastDataset> dataset_;
+};
+
+// --- LogTrans ---------------------------------------------------------------
+
+TEST_F(BaselineBehaviorTest, LogTransIsPureSequenceModel) {
+  // Perturbing another shop's features must not change a shop's forecast —
+  // LogTrans uses no graph.
+  LogTransConfig cfg;
+  cfg.channels = 6;
+  cfg.num_blocks = 1;
+  cfg.dropout = 0.0f;
+  LogTrans model(cfg, dataset_->history_len(), dataset_->horizon(),
+                 dataset_->temporal_dim(), dataset_->static_dim());
+  Rng rng(1);
+  auto pred_a = model.PredictNodes(*dataset_, {0}, false, &rng);
+  // Rebuild a dataset where shop 1's GMV is scaled 10x (shop 0 untouched).
+  data::MarketData mutated = *market_;
+  for (double& v : mutated.shops[1].gmv) v *= 10.0;
+  auto ds2 = data::ForecastDataset::Create(mutated, data::DatasetOptions{});
+  ASSERT_TRUE(ds2.ok());
+  auto pred_b = model.PredictNodes(ds2.value(), {0}, false, &rng);
+  EXPECT_TRUE(AllClose(pred_a[0]->value, pred_b[0]->value, 1e-6f));
+}
+
+TEST_F(BaselineBehaviorTest, GraphModelsReactToNeighborChanges) {
+  // GraphSAGE predictions for a shop change when a neighbour's series
+  // changes (unlike LogTrans above).
+  GraphSageConfig cfg;
+  cfg.hidden = 8;
+  GraphSage model(cfg, *dataset_);
+  // Find a node with at least one in-neighbour and perturb that neighbour.
+  int32_t center = -1, neighbor = -1;
+  for (int32_t v = 0; v < dataset_->num_nodes(); ++v) {
+    auto nbrs = dataset_->graph().InNeighbors(v);
+    if (!nbrs.empty()) {
+      center = v;
+      neighbor = nbrs.front().node;
+      break;
+    }
+  }
+  ASSERT_GE(center, 0);
+  Rng rng(2);
+  auto pred_a = model.PredictNodes(*dataset_, {center}, false, &rng);
+  data::MarketData mutated = *market_;
+  for (double& v : mutated.shops[static_cast<size_t>(neighbor)].gmv) {
+    v = v * 5.0 + 1000.0;
+  }
+  auto ds2 = data::ForecastDataset::Create(mutated, data::DatasetOptions{});
+  ASSERT_TRUE(ds2.ok());
+  auto pred_b = model.PredictNodes(ds2.value(), {center}, false, &rng);
+  EXPECT_FALSE(AllClose(pred_a[0]->value, pred_b[0]->value, 1e-6f));
+}
+
+// --- LSTNet -----------------------------------------------------------------
+
+TEST_F(BaselineBehaviorTest, LstNetArHighwayTracksRecentLevel) {
+  // Scaling a shop's recent GMV must move the LSTNet forecast in the same
+  // direction (the AR highway sees raw z).
+  LstNet::Config cfg;
+  cfg.channels = 6;
+  cfg.hidden = 8;
+  LstNet model(cfg, *dataset_);
+  Rng rng(3);
+  // Pick a shop with full history for a clean comparison.
+  int32_t shop = 0;
+  for (int32_t v = 0; v < dataset_->num_nodes(); ++v) {
+    if (dataset_->series_length(v) ==
+        static_cast<int>(dataset_->history_len())) {
+      shop = v;
+      break;
+    }
+  }
+  auto base = model.PredictNodes(*dataset_, {shop}, false, &rng);
+  data::MarketData mutated = *market_;
+  for (double& v : mutated.shops[static_cast<size_t>(shop)].gmv) v *= 1.0;
+  // Raise only the final observed months 3x.
+  for (int m = mutated.config.history_months - 3;
+       m < mutated.config.history_months; ++m) {
+    mutated.shops[static_cast<size_t>(shop)].gmv[static_cast<size_t>(m)] *= 3.0;
+  }
+  auto ds2 = data::ForecastDataset::Create(mutated, data::DatasetOptions{});
+  ASSERT_TRUE(ds2.ok());
+  auto boosted = model.PredictNodes(ds2.value(), {shop}, false, &rng);
+  EXPECT_FALSE(AllClose(base[0]->value, boosted[0]->value, 1e-6f));
+}
+
+// --- LSTM -------------------------------------------------------------------
+
+TEST_F(BaselineBehaviorTest, LstmUsesStaticContext) {
+  LstmConfig cfg;
+  cfg.hidden = 8;
+  LstmForecaster model(cfg, *dataset_);
+  Rng rng(4);
+  auto base = model.PredictNodes(*dataset_, {0}, false, &rng);
+  // Change only the static features (different industry one-hot).
+  data::MarketData mutated = *market_;
+  mutated.shops[0].industry =
+      (mutated.shops[0].industry + 1) % mutated.config.num_industries;
+  auto ds2 = data::ForecastDataset::Create(mutated, data::DatasetOptions{});
+  ASSERT_TRUE(ds2.ok());
+  auto changed = model.PredictNodes(ds2.value(), {0}, false, &rng);
+  EXPECT_FALSE(AllClose(base[0]->value, changed[0]->value, 1e-6f));
+}
+
+// --- MTGNN ------------------------------------------------------------------
+
+TEST_F(BaselineBehaviorTest, MtgnnLearnedGraphRespondsToEmbeddingUpdates) {
+  MtgnnConfig cfg;
+  cfg.channels = 6;
+  cfg.top_k = 2;
+  cfg.node_embedding_dim = 4;
+  Mtgnn model(cfg, *dataset_);
+  auto before = model.LearnedNeighbors();
+  // Manually rotate the embedding tables; the selected top-k must change
+  // for at least some node.
+  for (auto& [name, param] : model.NamedParameters()) {
+    if (name == "emb1" || name == "emb2") {
+      Rng rng(5);
+      param->value = Tensor::Randn(param->value.shape(), &rng);
+    }
+  }
+  auto after = model.LearnedNeighbors();
+  bool any_changed = false;
+  for (size_t u = 0; u < before.size(); ++u) {
+    if (before[u] != after[u]) any_changed = true;
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+// --- GMAN -------------------------------------------------------------------
+
+TEST_F(BaselineBehaviorTest, GmanPredictsFiniteWithIsolatedNodes) {
+  // A market where one shop is guaranteed isolated (no edges at all).
+  data::MarketData isolated = *market_;
+  auto empty_graph = graph::EsellerGraph::Create(
+      static_cast<int64_t>(isolated.shops.size()), {});
+  ASSERT_TRUE(empty_graph.ok());
+  isolated.graph = std::move(empty_graph).value();
+  auto ds = data::ForecastDataset::Create(isolated, data::DatasetOptions{});
+  ASSERT_TRUE(ds.ok());
+  GmanConfig cfg;
+  cfg.channels = 6;
+  Gman model(cfg, ds.value());
+  Rng rng(6);
+  auto preds = model.PredictNodes(ds.value(), {0, 1, 2}, false, &rng);
+  for (const auto& p : preds) EXPECT_TRUE(p->value.AllFinite());
+}
+
+// --- STGCN ------------------------------------------------------------------
+
+TEST_F(BaselineBehaviorTest, StgcnHandlesEdgelessGraph) {
+  data::MarketData isolated = *market_;
+  auto empty_graph = graph::EsellerGraph::Create(
+      static_cast<int64_t>(isolated.shops.size()), {});
+  ASSERT_TRUE(empty_graph.ok());
+  isolated.graph = std::move(empty_graph).value();
+  auto ds = data::ForecastDataset::Create(isolated, data::DatasetOptions{});
+  ASSERT_TRUE(ds.ok());
+  StgcnConfig cfg;
+  cfg.channels = 6;
+  Stgcn model(cfg, ds.value());
+  Rng rng(7);
+  auto preds = model.PredictNodes(ds.value(), {0}, false, &rng);
+  EXPECT_TRUE(preds[0]->value.AllFinite());
+  EXPECT_GE(preds[0]->value.Min(), 0.0f);
+}
+
+}  // namespace
+}  // namespace gaia::baselines

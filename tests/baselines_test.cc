@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/arima_forecaster.h"
+#include "baselines/mtgnn.h"
+#include "baselines/zoo.h"
+#include "core/trainer.h"
+#include "data/market_simulator.h"
+
+namespace gaia::baselines {
+namespace {
+
+data::MarketConfig SmallMarket() {
+  data::MarketConfig cfg;
+  cfg.num_shops = 50;
+  cfg.history_months = 14;
+  cfg.seed = 77;
+  return cfg;
+}
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto market = data::MarketSimulator(SmallMarket()).Generate();
+    ASSERT_TRUE(market.ok());
+    auto ds = data::ForecastDataset::Create(market.value(),
+                                            data::DatasetOptions{});
+    ASSERT_TRUE(ds.ok());
+    dataset_ =
+        std::make_unique<data::ForecastDataset>(std::move(ds).value());
+  }
+  std::unique_ptr<data::ForecastDataset> dataset_;
+};
+
+TEST_F(BaselinesTest, ZooListsAllTableOneMethods) {
+  auto names = TrainableModelNames();
+  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.back(), "Gaia");
+}
+
+TEST_F(BaselinesTest, ZooRejectsUnknownName) {
+  auto model = CreateModel("NotAModel", *dataset_);
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kNotFound);
+}
+
+// Every trainable model: builds, predicts the right shapes, produces finite
+// non-negative forecasts, and one optimizer step reduces training loss.
+class PerModelTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    auto market = data::MarketSimulator(SmallMarket()).Generate();
+    ASSERT_TRUE(market.ok());
+    auto ds = data::ForecastDataset::Create(market.value(),
+                                            data::DatasetOptions{});
+    ASSERT_TRUE(ds.ok());
+    dataset_ =
+        std::make_unique<data::ForecastDataset>(std::move(ds).value());
+  }
+  std::unique_ptr<data::ForecastDataset> dataset_;
+};
+
+TEST_P(PerModelTest, PredictShapesAndFiniteness) {
+  auto model = CreateModel(GetParam(), *dataset_, /*channels=*/6,
+                           /*seed=*/5);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  Rng rng(1);
+  std::vector<int32_t> nodes = {0, 3, 7};
+  auto preds = model.value()->PredictNodes(*dataset_, nodes, false, &rng);
+  ASSERT_EQ(preds.size(), nodes.size());
+  for (const auto& p : preds) {
+    EXPECT_EQ(p->value.ndim(), 1);
+    EXPECT_EQ(p->value.dim(0), dataset_->horizon());
+    EXPECT_TRUE(p->value.AllFinite());
+    EXPECT_GE(p->value.Min(), 0.0f) << "GMV forecasts must be non-negative";
+  }
+}
+
+TEST_P(PerModelTest, ShortTrainingReducesLoss) {
+  auto model = CreateModel(GetParam(), *dataset_, /*channels=*/6,
+                           /*seed=*/5);
+  ASSERT_TRUE(model.ok());
+  core::TrainConfig tc;
+  tc.max_epochs = 12;
+  tc.eval_every = 6;
+  tc.patience = 100;
+  tc.learning_rate = 5e-3f;
+  core::TrainResult result =
+      core::Trainer(tc).Fit(model.value().get(), *dataset_);
+  ASSERT_EQ(result.train_loss_history.size(), 12u);
+  EXPECT_LT(result.final_train_loss, result.train_loss_history.front());
+}
+
+TEST_P(PerModelTest, DeterministicGivenSeeds) {
+  Rng rng1(3), rng2(3);
+  auto m1 = CreateModel(GetParam(), *dataset_, 6, 5);
+  auto m2 = CreateModel(GetParam(), *dataset_, 6, 5);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  auto p1 = m1.value()->PredictNodes(*dataset_, {1}, false, &rng1);
+  auto p2 = m2.value()->PredictNodes(*dataset_, {1}, false, &rng2);
+  EXPECT_TRUE(AllClose(p1[0]->value, p2[0]->value, 0.0f));
+}
+
+std::vector<std::string> AllModelNames() {
+  std::vector<std::string> names = TrainableModelNames();
+  for (const std::string& extra : ExtraModelNames()) names.push_back(extra);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, PerModelTest, ::testing::ValuesIn(AllModelNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Model-specific behaviours
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselinesTest, MtgnnLearnsSparseGraph) {
+  MtgnnConfig cfg;
+  cfg.channels = 6;
+  cfg.top_k = 3;
+  Mtgnn model(cfg, *dataset_);
+  auto neighbors = model.LearnedNeighbors();
+  ASSERT_EQ(static_cast<int64_t>(neighbors.size()), dataset_->num_nodes());
+  for (const auto& nbrs : neighbors) {
+    EXPECT_LE(nbrs.size(), 3u);
+    for (int32_t v : nbrs) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, dataset_->num_nodes());
+    }
+  }
+}
+
+TEST_F(BaselinesTest, MtgnnIsTransductive) {
+  MtgnnConfig cfg;
+  cfg.channels = 6;
+  Mtgnn model(cfg, *dataset_);
+  // A dataset with a different node count must be rejected.
+  data::MarketConfig other = SmallMarket();
+  other.num_shops = 30;
+  auto market = data::MarketSimulator(other).Generate();
+  ASSERT_TRUE(market.ok());
+  auto ds = data::ForecastDataset::Create(market.value(),
+                                          data::DatasetOptions{});
+  ASSERT_TRUE(ds.ok());
+  Rng rng(1);
+  EXPECT_DEATH(model.PredictNodes(ds.value(), {0}, false, &rng),
+               "transductive");
+}
+
+TEST_F(BaselinesTest, GaiaAblationNamesRouteToVariants) {
+  for (const char* name :
+       {"Gaia w/o ITA", "Gaia w/o FFL", "Gaia w/o TEL"}) {
+    auto model = CreateModel(name, *dataset_, 6, 5);
+    ASSERT_TRUE(model.ok()) << name;
+    EXPECT_EQ(model.value()->name(), name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ARIMA forecaster adapter
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselinesTest, ArimaRawHistoryLengthMatchesSeriesLength) {
+  ArimaForecaster arima;
+  for (int32_t v = 0; v < 10; ++v) {
+    auto history = ArimaForecaster::RawHistory(*dataset_, v);
+    EXPECT_EQ(static_cast<int>(history.size()),
+              dataset_->series_length(v));
+    for (double g : history) EXPECT_GE(g, 0.0);
+  }
+}
+
+TEST_F(BaselinesTest, ArimaForecastsEveryRequestedNode) {
+  ArimaForecaster arima;
+  const std::vector<int32_t>& nodes = dataset_->test_nodes();
+  auto forecasts = arima.ForecastNodes(*dataset_, nodes);
+  ASSERT_EQ(forecasts.size(), nodes.size());
+  for (const auto& f : forecasts) {
+    EXPECT_EQ(static_cast<int64_t>(f.size()), dataset_->horizon());
+    for (double v : f) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_F(BaselinesTest, ArimaEvaluationReportIsComplete) {
+  ArimaForecaster arima;
+  core::EvaluationReport report =
+      arima.Evaluate(*dataset_, dataset_->test_nodes());
+  EXPECT_EQ(report.method, "ARIMA");
+  EXPECT_EQ(static_cast<int64_t>(report.per_month.size()),
+            dataset_->horizon());
+  EXPECT_GT(report.overall.count, 0);
+  EXPECT_EQ(report.overall.count,
+            report.new_shop.count + report.old_shop.count);
+}
+
+}  // namespace
+}  // namespace gaia::baselines

@@ -1,0 +1,101 @@
+#include "bench/bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace gaia::bench {
+namespace {
+
+core::EvaluationReport MakeReport(double base) {
+  core::EvaluationReport report;
+  report.method = "m";
+  for (int h = 0; h < 3; ++h) {
+    ts::ForecastMetrics m;
+    m.mae = base + h;
+    m.rmse = 2 * base + h;
+    m.mape = base / 100.0;
+    m.count = 10;
+    report.per_month.push_back(m);
+  }
+  report.overall.mae = base;
+  report.overall.count = 30;
+  report.new_shop.mae = base * 2;
+  report.old_shop.mae = base / 2;
+  return report;
+}
+
+TEST(BenchCommonTest, AverageReportsIsElementwiseMean) {
+  auto avg = AverageReports({MakeReport(10.0), MakeReport(20.0)});
+  EXPECT_EQ(avg.method, "m");
+  ASSERT_EQ(avg.per_month.size(), 3u);
+  EXPECT_DOUBLE_EQ(avg.per_month[0].mae, 15.0);
+  EXPECT_DOUBLE_EQ(avg.per_month[2].mae, 17.0);
+  EXPECT_DOUBLE_EQ(avg.per_month[1].rmse, 31.0);
+  EXPECT_DOUBLE_EQ(avg.overall.mae, 15.0);
+  EXPECT_DOUBLE_EQ(avg.new_shop.mae, 30.0);
+  EXPECT_DOUBLE_EQ(avg.old_shop.mae, 7.5);
+  // Counts accumulate (total samples seen across reps).
+  EXPECT_EQ(avg.overall.count, 60);
+}
+
+TEST(BenchCommonTest, AverageOfSingleReportIsIdentityOnMetrics) {
+  auto report = MakeReport(7.0);
+  auto avg = AverageReports({report});
+  EXPECT_DOUBLE_EQ(avg.overall.mae, report.overall.mae);
+  EXPECT_DOUBLE_EQ(avg.per_month[1].mape, report.per_month[1].mape);
+}
+
+TEST(BenchCommonTest, ScaleReadsEnvironment) {
+  setenv("GAIA_BENCH_SCALE", "full", 1);
+  setenv("GAIA_BENCH_SEED", "123", 1);
+  BenchScale full = GetBenchScale();
+  EXPECT_EQ(full.name, "full");
+  EXPECT_EQ(full.seed, 123u);
+  EXPECT_GT(full.num_shops, 300);
+  setenv("GAIA_BENCH_SCALE", "small", 1);
+  BenchScale small = GetBenchScale();
+  EXPECT_EQ(small.name, "small");
+  EXPECT_LT(small.num_shops, full.num_shops);
+  unsetenv("GAIA_BENCH_SCALE");
+  unsetenv("GAIA_BENCH_SEED");
+}
+
+TEST(BenchCommonTest, RepsDefaultToOneAndClampInvalid) {
+  unsetenv("GAIA_BENCH_REPS");
+  EXPECT_EQ(GetBenchReps(), 1);
+  setenv("GAIA_BENCH_REPS", "3", 1);
+  EXPECT_EQ(GetBenchReps(), 3);
+  setenv("GAIA_BENCH_REPS", "0", 1);
+  EXPECT_EQ(GetBenchReps(), 1);
+  setenv("GAIA_BENCH_REPS", "garbage", 1);
+  EXPECT_EQ(GetBenchReps(), 1);
+  unsetenv("GAIA_BENCH_REPS");
+}
+
+TEST(BenchCommonTest, HorizonMonthNamesFollowCalendar) {
+  data::MarketConfig cfg;
+  cfg.start_calendar_month = 9;  // October start
+  cfg.history_months = 24;
+  EXPECT_EQ(HorizonMonthName(cfg, 0), "Oct");
+  EXPECT_EQ(HorizonMonthName(cfg, 1), "Nov");
+  EXPECT_EQ(HorizonMonthName(cfg, 2), "Dec");
+  cfg.start_calendar_month = 0;
+  EXPECT_EQ(HorizonMonthName(cfg, 0), "Jan");
+}
+
+TEST(BenchCommonTest, PaperTableHasNineMethodsInOrder) {
+  const auto& table = PaperTable1();
+  ASSERT_EQ(table.size(), 9u);
+  EXPECT_EQ(table.front().method, "ARIMA");
+  EXPECT_EQ(table.back().method, "Gaia");
+  // Paper's headline: Gaia beats every baseline on every month's MAPE.
+  for (size_t i = 0; i + 1 < table.size(); ++i) {
+    for (int h = 0; h < 3; ++h) {
+      EXPECT_LT(table.back().mape[h], table[i].mape[h]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gaia::bench

@@ -1,0 +1,181 @@
+#include "core/gaia_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "data/market_simulator.h"
+
+namespace gaia::core {
+namespace {
+
+data::MarketConfig SmallMarket() {
+  data::MarketConfig cfg;
+  cfg.num_shops = 60;
+  cfg.history_months = 16;
+  cfg.horizon_months = 3;
+  cfg.seed = 7;
+  return cfg;
+}
+
+class GaiaModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto market = data::MarketSimulator(SmallMarket()).Generate();
+    ASSERT_TRUE(market.ok()) << market.status().ToString();
+    market_ = std::make_unique<data::MarketData>(std::move(market).value());
+    auto ds = data::ForecastDataset::Create(*market_, data::DatasetOptions{});
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = std::make_unique<data::ForecastDataset>(std::move(ds).value());
+  }
+
+  GaiaConfig SmallConfig() const {
+    GaiaConfig cfg;
+    cfg.channels = 8;
+    cfg.tel_groups = 2;
+    cfg.num_layers = 1;
+    cfg.seed = 3;
+    return cfg;
+  }
+
+  std::unique_ptr<GaiaModel> MakeModel(const GaiaConfig& cfg) const {
+    auto model = GaiaModel::Create(cfg, dataset_->history_len(),
+                                   dataset_->horizon(), dataset_->temporal_dim(),
+                                   dataset_->static_dim());
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    return std::move(model).value();
+  }
+
+  std::unique_ptr<data::MarketData> market_;
+  std::unique_ptr<data::ForecastDataset> dataset_;
+};
+
+TEST_F(GaiaModelTest, CreateRejectsBadConfig) {
+  GaiaConfig cfg = SmallConfig();
+  cfg.channels = 7;  // not divisible by tel_groups
+  auto model = GaiaModel::Create(cfg, 16, 3, 6, 16);
+  EXPECT_FALSE(model.ok());
+  cfg = SmallConfig();
+  cfg.num_layers = 0;
+  EXPECT_FALSE(GaiaModel::Create(cfg, 16, 3, 6, 16).ok());
+}
+
+TEST_F(GaiaModelTest, ForwardShapesAndFiniteness) {
+  auto model = MakeModel(SmallConfig());
+  Rng rng(0);
+  std::vector<int32_t> nodes = {0, 1, 2, 3};
+  auto preds = model->PredictNodes(*dataset_, nodes, false, &rng);
+  ASSERT_EQ(preds.size(), nodes.size());
+  for (const auto& p : preds) {
+    EXPECT_EQ(p->value.ndim(), 1);
+    EXPECT_EQ(p->value.dim(0), dataset_->horizon());
+    EXPECT_TRUE(p->value.AllFinite());
+    // ReLU head: predictions are non-negative (GMV is non-negative).
+    EXPECT_GE(p->value.Min(), 0.0f);
+  }
+}
+
+TEST_F(GaiaModelTest, TrainingReducesLoss) {
+  auto model = MakeModel(SmallConfig());
+  TrainConfig tc;
+  tc.max_epochs = 30;
+  tc.eval_every = 10;
+  tc.patience = 100;
+  tc.learning_rate = 5e-3f;
+  TrainResult result = Trainer(tc).Fit(model.get(), *dataset_);
+  ASSERT_GE(result.train_loss_history.size(), 10u);
+  EXPECT_LT(result.final_train_loss, result.train_loss_history.front());
+}
+
+TEST_F(GaiaModelTest, AblationVariantsConstructAndRun) {
+  for (int variant = 0; variant < 3; ++variant) {
+    GaiaConfig cfg = SmallConfig();
+    if (variant == 0) cfg.use_ita = false;
+    if (variant == 1) cfg.use_ffl = false;
+    if (variant == 2) cfg.use_tel = false;
+    auto model = MakeModel(cfg);
+    Rng rng(0);
+    auto preds = model->PredictNodes(*dataset_, {0, 5}, false, &rng);
+    ASSERT_EQ(preds.size(), 2u);
+    EXPECT_TRUE(preds[0]->value.AllFinite());
+  }
+}
+
+TEST_F(GaiaModelTest, MultiHeadAndMaskOffVariantsRun) {
+  for (int variant = 0; variant < 2; ++variant) {
+    GaiaConfig cfg = SmallConfig();
+    if (variant == 0) cfg.cau_heads = 2;
+    if (variant == 1) cfg.causal_mask = false;
+    auto model = MakeModel(cfg);
+    Rng rng(0);
+    auto preds = model->PredictNodes(*dataset_, {0, 1}, false, &rng);
+    ASSERT_EQ(preds.size(), 2u);
+    EXPECT_TRUE(preds[0]->value.AllFinite());
+    EXPECT_EQ(preds[0]->value.dim(0), dataset_->horizon());
+  }
+  // Heads must divide channels.
+  GaiaConfig bad = SmallConfig();
+  bad.cau_heads = 3;  // channels = 8
+  EXPECT_FALSE(GaiaModel::Create(bad, dataset_->history_len(),
+                                 dataset_->horizon(),
+                                 dataset_->temporal_dim(),
+                                 dataset_->static_dim())
+                   .ok());
+}
+
+TEST_F(GaiaModelTest, MaskOffAttendsToFutureInProbe) {
+  GaiaConfig cfg = SmallConfig();
+  cfg.causal_mask = false;
+  auto model = MakeModel(cfg);
+  ItaProbe probe = model->CollectAttention(*dataset_);
+  double future_mass = 0.0;
+  const Tensor& att = probe.intra.front().attention;
+  for (int64_t i = 0; i < att.dim(0); ++i) {
+    for (int64_t j = i + 1; j < att.dim(1); ++j) future_mass += att.at(i, j);
+  }
+  EXPECT_GT(future_mass, 0.0);
+}
+
+TEST_F(GaiaModelTest, EgoPredictionMatchesHorizonShape) {
+  auto model = MakeModel(SmallConfig());
+  Rng rng(11);
+  auto ego = graph::ExtractEgoSubgraph(dataset_->graph(), /*center=*/2,
+                                       /*num_hops=*/2, /*max_fanout=*/5, &rng);
+  Tensor pred = model->PredictEgo(*dataset_, ego);
+  EXPECT_EQ(pred.dim(0), dataset_->horizon());
+  EXPECT_TRUE(pred.AllFinite());
+}
+
+TEST_F(GaiaModelTest, AttentionProbeCoversEdgesAndNodes) {
+  auto model = MakeModel(SmallConfig());
+  ItaProbe probe = model->CollectAttention(*dataset_);
+  EXPECT_EQ(static_cast<int64_t>(probe.intra.size()), dataset_->num_nodes());
+  EXPECT_EQ(static_cast<int64_t>(probe.inter.size()),
+            dataset_->graph().num_edges());
+  // Attention rows sum to one over the allowed (past) positions.
+  const Tensor& att = probe.intra.front().attention;
+  for (int64_t i = 0; i < att.dim(0); ++i) {
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < att.dim(1); ++j) row_sum += att.at(i, j);
+    EXPECT_NEAR(row_sum, 1.0, 1e-4);
+    for (int64_t j = i + 1; j < att.dim(1); ++j) {
+      EXPECT_EQ(att.at(i, j), 0.0f) << "future attention leaked";
+    }
+  }
+}
+
+TEST_F(GaiaModelTest, EvaluatorProducesPerMonthMetrics) {
+  auto model = MakeModel(SmallConfig());
+  EvaluationReport report =
+      Evaluator::Evaluate(model.get(), *dataset_, dataset_->test_nodes());
+  ASSERT_EQ(report.per_month.size(),
+            static_cast<size_t>(dataset_->horizon()));
+  EXPECT_GT(report.overall.count, 0);
+  EXPECT_GE(report.overall.mae, 0.0);
+}
+
+}  // namespace
+}  // namespace gaia::core

@@ -1,0 +1,286 @@
+#include "data/dataset.h"
+#include "data/market_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/evaluator.h"
+#include "ts/metrics.h"
+
+namespace gaia::data {
+namespace {
+
+MarketConfig TestConfig() {
+  MarketConfig cfg;
+  cfg.num_shops = 200;
+  cfg.seed = 123;
+  return cfg;
+}
+
+class MarketSimulatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto market = MarketSimulator(TestConfig()).Generate();
+    ASSERT_TRUE(market.ok()) << market.status().ToString();
+    market_ = std::make_unique<MarketData>(std::move(market).value());
+  }
+  std::unique_ptr<MarketData> market_;
+};
+
+TEST_F(MarketSimulatorTest, ValidatesConfig) {
+  MarketConfig bad = TestConfig();
+  bad.num_shops = 5;
+  EXPECT_FALSE(MarketSimulator(bad).Generate().ok());
+  bad = TestConfig();
+  bad.supplier_fraction = 0.0;
+  EXPECT_FALSE(MarketSimulator(bad).Generate().ok());
+  bad = TestConfig();
+  bad.min_lead_months = 4;
+  bad.max_lead_months = 2;
+  EXPECT_FALSE(MarketSimulator(bad).Generate().ok());
+  bad = TestConfig();
+  bad.min_age_months = 0;
+  EXPECT_FALSE(MarketSimulator(bad).Generate().ok());
+  bad = TestConfig();
+  bad.noise_level = 2.0;
+  EXPECT_FALSE(MarketSimulator(bad).Generate().ok());
+}
+
+TEST_F(MarketSimulatorTest, DeterministicForSameSeed) {
+  auto second = MarketSimulator(TestConfig()).Generate();
+  ASSERT_TRUE(second.ok());
+  const MarketData& a = *market_;
+  const MarketData& b = second.value();
+  ASSERT_EQ(a.shops.size(), b.shops.size());
+  for (size_t i = 0; i < a.shops.size(); i += 17) {
+    EXPECT_EQ(a.shops[i].industry, b.shops[i].industry);
+    EXPECT_EQ(a.shops[i].age_months, b.shops[i].age_months);
+    ASSERT_EQ(a.shops[i].gmv.size(), b.shops[i].gmv.size());
+    for (size_t m = 0; m < a.shops[i].gmv.size(); ++m) {
+      EXPECT_DOUBLE_EQ(a.shops[i].gmv[m], b.shops[i].gmv[m]);
+    }
+  }
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+}
+
+TEST_F(MarketSimulatorTest, ShapesAndNonNegativity) {
+  const int total = TestConfig().total_months();
+  for (const Shop& shop : market_->shops) {
+    ASSERT_EQ(static_cast<int>(shop.gmv.size()), total);
+    for (int m = 0; m < total; ++m) {
+      EXPECT_GE(shop.gmv[static_cast<size_t>(m)], 0.0);
+      EXPECT_GE(shop.orders[static_cast<size_t>(m)], 0.0);
+      EXPECT_GE(shop.customers[static_cast<size_t>(m)], 0.0);
+    }
+    // Inactive before birth.
+    for (int m = 0; m < shop.birth_month; ++m) {
+      EXPECT_EQ(shop.gmv[static_cast<size_t>(m)], 0.0);
+    }
+    EXPECT_GE(shop.age_months, TestConfig().min_age_months);
+    EXPECT_LE(shop.age_months, TestConfig().history_months);
+  }
+}
+
+TEST_F(MarketSimulatorTest, AgeDistributionIsRightSkewed) {
+  int young = 0, old = 0;
+  for (const Shop& shop : market_->shops) {
+    (shop.age_months < 10 ? young : old) += 1;
+  }
+  // Pareto(1.1) from 4: most shops are young — the Fig. 1a shape.
+  EXPECT_GT(young, old);
+}
+
+TEST_F(MarketSimulatorTest, SupplierSeriesLeadsRetailer) {
+  // The planted inter temporal shift: supplier GMV at t correlates best
+  // with downstream retailer GMV at t + lead. Verify on links whose shops
+  // have full histories and a single dominant supplier-retailer pairing.
+  int checked = 0, leading = 0;
+  for (const SupplyLink& link : market_->supply_links) {
+    const Shop& supplier = market_->shops[static_cast<size_t>(link.supplier)];
+    const Shop& retailer = market_->shops[static_cast<size_t>(link.retailer)];
+    if (supplier.birth_month > 6 || retailer.birth_month > 6) continue;
+    std::vector<double> s(supplier.gmv.begin(), supplier.gmv.end());
+    std::vector<double> r(retailer.gmv.begin(), retailer.gmv.end());
+    ts::LagCorrelation best = ts::BestLagCorrelation(s, r, 6);
+    ++checked;
+    if (best.lag > 0) ++leading;
+    if (checked >= 60) break;
+  }
+  ASSERT_GT(checked, 4);
+  // A clear majority of links must show the supplier leading (positive lag).
+  EXPECT_GT(leading * 2, checked);
+}
+
+TEST_F(MarketSimulatorTest, NovemberFestivalSpikeVisible) {
+  // Average retailer GMV in November months should exceed the adjacent
+  // October/December months (festival boost 0.9).
+  const MarketConfig cfg = TestConfig();
+  double nov = 0.0, adjacent = 0.0;
+  int64_t nov_n = 0, adj_n = 0;
+  for (const Shop& shop : market_->shops) {
+    if (shop.is_supplier) continue;
+    for (int m = shop.birth_month; m < cfg.history_months; ++m) {
+      const int cal = market_->CalendarMonth(m);
+      if (cal == 10) {
+        nov += shop.gmv[static_cast<size_t>(m)];
+        ++nov_n;
+      } else if (cal == 9 || cal == 11) {
+        adjacent += shop.gmv[static_cast<size_t>(m)];
+        ++adj_n;
+      }
+    }
+  }
+  ASSERT_GT(nov_n, 0);
+  ASSERT_GT(adj_n, 0);
+  EXPECT_GT(nov / nov_n, 1.2 * adjacent / adj_n);
+}
+
+TEST_F(MarketSimulatorTest, GraphMatchesRelations) {
+  const graph::GraphStats stats = market_->graph.ComputeStats();
+  EXPECT_EQ(stats.num_nodes, TestConfig().num_shops);
+  EXPECT_GT(stats.supply_chain_edges, 0);
+  EXPECT_GT(stats.same_owner_edges, 0);
+  // Every supply link appears in both directions.
+  const SupplyLink& link = market_->supply_links.front();
+  bool found = false;
+  for (const auto& nb : market_->graph.InNeighbors(link.retailer)) {
+    if (nb.node == link.supplier &&
+        nb.type == graph::EdgeType::kSupplyChain) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MarketSimulatorTest, OwnerClustersAreDisjoint) {
+  std::vector<int> seen(static_cast<size_t>(TestConfig().num_shops), 0);
+  for (const auto& cluster : market_->owner_clusters) {
+    EXPECT_GE(cluster.size(), 2u);
+    EXPECT_LE(cluster.size(), 4u);
+    for (int32_t v : cluster) ++seen[static_cast<size_t>(v)];
+  }
+  for (int count : seen) EXPECT_LE(count, 1);
+}
+
+// ---------------------------------------------------------------------------
+// ForecastDataset
+// ---------------------------------------------------------------------------
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto market = MarketSimulator(TestConfig()).Generate();
+    ASSERT_TRUE(market.ok());
+    market_ = std::make_unique<MarketData>(std::move(market).value());
+    auto ds = ForecastDataset::Create(*market_, DatasetOptions{});
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = std::make_unique<ForecastDataset>(std::move(ds).value());
+  }
+  std::unique_ptr<MarketData> market_;
+  std::unique_ptr<ForecastDataset> dataset_;
+};
+
+TEST_F(DatasetTest, OptionValidation) {
+  DatasetOptions bad;
+  bad.train_fraction = 0.95;
+  bad.val_fraction = 0.1;
+  EXPECT_FALSE(ForecastDataset::Create(*market_, bad).ok());
+  bad = DatasetOptions{};
+  bad.mape_floor = -1.0;
+  EXPECT_FALSE(ForecastDataset::Create(*market_, bad).ok());
+}
+
+TEST_F(DatasetTest, FeatureShapes) {
+  const MarketConfig cfg = TestConfig();
+  EXPECT_EQ(dataset_->num_nodes(), cfg.num_shops);
+  EXPECT_EQ(dataset_->history_len(), cfg.history_months);
+  EXPECT_EQ(dataset_->horizon(), cfg.horizon_months);
+  const Tensor& z = dataset_->z(0);
+  EXPECT_EQ(z.dim(0), cfg.history_months);
+  const Tensor& temporal = dataset_->temporal(0);
+  EXPECT_EQ(temporal.dim(0), cfg.history_months);
+  EXPECT_EQ(temporal.dim(1), dataset_->temporal_dim());
+  EXPECT_EQ(dataset_->static_features(0).dim(0), dataset_->static_dim());
+  EXPECT_EQ(dataset_->target(0).dim(0), cfg.horizon_months);
+}
+
+TEST_F(DatasetTest, NormalizationRoundTrip) {
+  for (int32_t v = 0; v < 20; ++v) {
+    const Shop& shop = market_->shops[static_cast<size_t>(v)];
+    for (int h = 0; h < dataset_->horizon(); ++h) {
+      const double actual =
+          shop.gmv[static_cast<size_t>(TestConfig().history_months + h)];
+      EXPECT_NEAR(dataset_->ActualGmv(v, h), actual,
+                  1e-2 * std::max(actual, 1.0));
+    }
+  }
+}
+
+TEST_F(DatasetTest, NormalizedHistoryIsOrderOne) {
+  // Per-shop scaling: mean of active normalized history should be ~1.
+  for (int32_t v = 0; v < 20; ++v) {
+    const Tensor& z = dataset_->z(v);
+    const int len = dataset_->series_length(v);
+    double sum = 0.0;
+    for (int64_t t = z.dim(0) - len; t < z.dim(0); ++t) sum += z.at(t);
+    EXPECT_NEAR(sum / len, 1.0, 1e-3);
+  }
+}
+
+TEST_F(DatasetTest, StaticFeaturesOneHotStructure) {
+  const MarketConfig cfg = TestConfig();
+  for (int32_t v = 0; v < 10; ++v) {
+    const Tensor& s = dataset_->static_features(v);
+    double industry_sum = 0.0, region_sum = 0.0;
+    for (int i = 0; i < cfg.num_industries; ++i) industry_sum += s.at(i);
+    for (int r = 0; r < cfg.num_regions; ++r) {
+      region_sum += s.at(cfg.num_industries + r);
+    }
+    EXPECT_DOUBLE_EQ(industry_sum, 1.0);
+    EXPECT_DOUBLE_EQ(region_sum, 1.0);
+  }
+}
+
+TEST_F(DatasetTest, ActiveMaskMatchesSeriesLength) {
+  for (int32_t v = 0; v < 20; ++v) {
+    const Tensor& temporal = dataset_->temporal(v);
+    int active = 0;
+    for (int64_t t = 0; t < temporal.dim(0); ++t) {
+      active += temporal.at(t, 4) > 0.5f ? 1 : 0;
+    }
+    EXPECT_EQ(active, dataset_->series_length(v));
+  }
+}
+
+TEST_F(DatasetTest, SplitIsDisjointPartition) {
+  std::vector<int> seen(static_cast<size_t>(dataset_->num_nodes()), 0);
+  for (int32_t v : dataset_->train_nodes()) ++seen[static_cast<size_t>(v)];
+  for (int32_t v : dataset_->val_nodes()) ++seen[static_cast<size_t>(v)];
+  for (int32_t v : dataset_->test_nodes()) ++seen[static_cast<size_t>(v)];
+  for (int count : seen) EXPECT_EQ(count, 1);
+  // Roughly 70/10/20.
+  EXPECT_NEAR(static_cast<double>(dataset_->train_nodes().size()) /
+                  dataset_->num_nodes(),
+              0.7, 0.02);
+}
+
+TEST_F(DatasetTest, SplitDeterministicPerSeed) {
+  auto ds2 = ForecastDataset::Create(*market_, DatasetOptions{});
+  ASSERT_TRUE(ds2.ok());
+  EXPECT_EQ(dataset_->train_nodes(), ds2.value().train_nodes());
+  DatasetOptions other;
+  other.split_seed = 999;
+  auto ds3 = ForecastDataset::Create(*market_, other);
+  ASSERT_TRUE(ds3.ok());
+  EXPECT_NE(dataset_->train_nodes(), ds3.value().train_nodes());
+}
+
+TEST_F(DatasetTest, GraphCarriedOver) {
+  EXPECT_EQ(dataset_->graph().num_nodes(), market_->graph.num_nodes());
+  EXPECT_EQ(dataset_->graph().num_edges(), market_->graph.num_edges());
+}
+
+}  // namespace
+}  // namespace gaia::data

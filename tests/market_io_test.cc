@@ -1,0 +1,125 @@
+#include "data/market_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace gaia::data {
+namespace {
+
+class MarketIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/gaia_market_io_test";
+    std::system(("rm -rf " + dir_ + " && mkdir -p " + dir_).c_str());
+    MarketConfig cfg;
+    cfg.num_shops = 40;
+    cfg.history_months = 12;
+    cfg.seed = 5;
+    auto market = MarketSimulator(cfg).Generate();
+    ASSERT_TRUE(market.ok());
+    market_ = std::make_unique<MarketData>(std::move(market).value());
+  }
+
+  void Overwrite(const std::string& file, const std::string& contents) {
+    std::ofstream out(dir_ + "/" + file);
+    out << contents;
+  }
+
+  std::string dir_;
+  std::unique_ptr<MarketData> market_;
+};
+
+TEST_F(MarketIoTest, RoundTripPreservesEverything) {
+  ASSERT_TRUE(SaveMarketCsv(*market_, dir_).ok());
+  auto loaded = LoadMarketCsv(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const MarketData& a = *market_;
+  const MarketData& b = loaded.value();
+  ASSERT_EQ(a.shops.size(), b.shops.size());
+  EXPECT_EQ(a.config.history_months, b.config.history_months);
+  EXPECT_EQ(a.config.horizon_months, b.config.horizon_months);
+  EXPECT_EQ(a.config.start_calendar_month, b.config.start_calendar_month);
+  for (size_t i = 0; i < a.shops.size(); ++i) {
+    EXPECT_EQ(a.shops[i].industry, b.shops[i].industry);
+    EXPECT_EQ(a.shops[i].region, b.shops[i].region);
+    EXPECT_EQ(a.shops[i].is_supplier, b.shops[i].is_supplier);
+    EXPECT_EQ(a.shops[i].age_months, b.shops[i].age_months);
+    EXPECT_EQ(a.shops[i].birth_month, b.shops[i].birth_month);
+    for (size_t m = 0; m < a.shops[i].gmv.size(); ++m) {
+      EXPECT_NEAR(a.shops[i].gmv[m], b.shops[i].gmv[m],
+                  1e-6 * (1.0 + a.shops[i].gmv[m]));
+    }
+  }
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  // Same in-neighbour multiset for a few nodes.
+  for (int32_t u = 0; u < 10; ++u) {
+    auto na = a.graph.InNeighbors(u);
+    auto nb = b.graph.InNeighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+  }
+}
+
+TEST_F(MarketIoTest, LoadedMarketFeedsDatasetPipeline) {
+  ASSERT_TRUE(SaveMarketCsv(*market_, dir_).ok());
+  auto loaded = LoadMarketCsv(dir_);
+  ASSERT_TRUE(loaded.ok());
+  auto ds = ForecastDataset::Create(loaded.value(), DatasetOptions{});
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds.value().num_nodes(), market_->config.num_shops);
+}
+
+TEST_F(MarketIoTest, MissingDirectoryFails) {
+  auto loaded = LoadMarketCsv("/tmp/definitely_missing_market_dir");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(MarketIoTest, RejectsBadShopId) {
+  ASSERT_TRUE(SaveMarketCsv(*market_, dir_).ok());
+  Overwrite("shops.csv",
+            "id,industry,region,is_supplier,age_months,birth_month\n"
+            "999,0,0,0,4,0\n");
+  EXPECT_FALSE(LoadMarketCsv(dir_).ok());
+}
+
+TEST_F(MarketIoTest, RejectsMalformedNumbers) {
+  ASSERT_TRUE(SaveMarketCsv(*market_, dir_).ok());
+  Overwrite("series.csv", "shop,month,gmv,customers,orders\n0,0,abc,0,0\n");
+  auto loaded = LoadMarketCsv(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MarketIoTest, RejectsWrongFieldCount) {
+  ASSERT_TRUE(SaveMarketCsv(*market_, dir_).ok());
+  Overwrite("edges.csv", "src,dst,type\n1,2\n");
+  EXPECT_FALSE(LoadMarketCsv(dir_).ok());
+}
+
+TEST_F(MarketIoTest, RejectsBadEdgeType) {
+  ASSERT_TRUE(SaveMarketCsv(*market_, dir_).ok());
+  Overwrite("edges.csv", "src,dst,type\n0,1,7\n");
+  EXPECT_FALSE(LoadMarketCsv(dir_).ok());
+}
+
+TEST_F(MarketIoTest, RejectsDuplicateShops) {
+  ASSERT_TRUE(SaveMarketCsv(*market_, dir_).ok());
+  std::string rows = "id,industry,region,is_supplier,age_months,birth_month\n";
+  for (int64_t i = 0; i < market_->config.num_shops; ++i) {
+    rows += "0,0,0,0,4,0\n";  // all rows claim id 0
+  }
+  Overwrite("shops.csv", rows);
+  auto loaded = LoadMarketCsv(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace gaia::data

@@ -1,0 +1,285 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "autograd/grad_check.h"
+#include "nn/init.h"
+
+namespace gaia::nn {
+namespace {
+
+namespace ag = autograd;
+using ag::Var;
+
+// ---------------------------------------------------------------------------
+// Module registry / checkpointing
+// ---------------------------------------------------------------------------
+
+class TinyModule : public Module {
+ public:
+  explicit TinyModule(Rng* rng) {
+    child_ = AddModule("child", std::make_shared<Linear>(3, 2, rng));
+    scale_ = AddParameter("scale", Tensor::Ones({1}));
+  }
+  std::shared_ptr<Linear> child_;
+  Var scale_;
+};
+
+TEST(ModuleTest, CollectsParametersRecursively) {
+  Rng rng(1);
+  TinyModule module(&rng);
+  auto named = module.NamedParameters();
+  ASSERT_EQ(named.size(), 3u);  // own scale first, then child weight+bias
+  EXPECT_EQ(named[0].first, "scale");
+  EXPECT_EQ(named[1].first, "child.weight");
+  EXPECT_EQ(named[2].first, "child.bias");
+  EXPECT_EQ(module.ParameterCount(), 3 * 2 + 2 + 1);
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Rng rng(2);
+  TinyModule module(&rng);
+  for (const Var& p : module.Parameters()) {
+    p->AccumulateGrad(Tensor::Ones(p->value.shape()));
+  }
+  module.ZeroGrad();
+  for (const Var& p : module.Parameters()) {
+    EXPECT_EQ(p->grad.Sum(), 0.0);
+  }
+}
+
+TEST(ModuleTest, SaveLoadRoundTrip) {
+  Rng rng(3);
+  TinyModule a(&rng);
+  const std::string path = "/tmp/gaia_nn_test_checkpoint.bin";
+  ASSERT_TRUE(a.Save(path).ok());
+
+  Rng rng2(99);  // different init
+  TinyModule b(&rng2);
+  ASSERT_FALSE(AllClose(a.child_->Parameters()[0]->value,
+                        b.child_->Parameters()[0]->value));
+  ASSERT_TRUE(b.Load(path).ok());
+  for (size_t i = 0; i < a.Parameters().size(); ++i) {
+    EXPECT_TRUE(AllClose(a.Parameters()[i]->value, b.Parameters()[i]->value,
+                         0.0f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModuleTest, LoadRejectsMissingFile) {
+  Rng rng(4);
+  TinyModule module(&rng);
+  EXPECT_FALSE(module.Load("/tmp/definitely_missing_gaia_ckpt.bin").ok());
+}
+
+TEST(ModuleTest, LoadRejectsStructureMismatch) {
+  Rng rng(5);
+  TinyModule a(&rng);
+  const std::string path = "/tmp/gaia_nn_test_mismatch.bin";
+  ASSERT_TRUE(a.Save(path).ok());
+  Linear other(3, 2, &rng);
+  Status status = other.Load(path);
+  EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Init
+// ---------------------------------------------------------------------------
+
+TEST(InitTest, GlorotBounds) {
+  Rng rng(6);
+  Tensor w = GlorotUniform({50, 50}, 50, 50, &rng);
+  const float bound = std::sqrt(6.0f / 100.0f);
+  EXPECT_GE(w.Min(), -bound);
+  EXPECT_LE(w.Max(), bound);
+  // Not degenerate.
+  EXPECT_GT(w.Norm(), 0.1);
+}
+
+TEST(InitTest, HeNormalVariance) {
+  Rng rng(7);
+  Tensor w = HeNormal({200, 200}, 200, &rng);
+  const double var = w.Norm() * w.Norm() / static_cast<double>(w.size());
+  EXPECT_NEAR(var, 2.0 / 200.0, 2e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Layers
+// ---------------------------------------------------------------------------
+
+TEST(LinearTest, ShapeAndBias) {
+  Rng rng(8);
+  Linear layer(4, 3, &rng);
+  Var x = ag::Constant(Tensor::Ones({2, 4}));
+  Var y = layer.Forward(x);
+  EXPECT_EQ(y->value.dim(0), 2);
+  EXPECT_EQ(y->value.dim(1), 3);
+  // Both rows identical for identical inputs.
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(y->value.at(0, j), y->value.at(1, j));
+  }
+}
+
+TEST(LinearTest, NoBiasHasSingleParameter) {
+  Rng rng(9);
+  Linear layer(4, 3, &rng, /*use_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(10);
+  auto layer = std::make_shared<Linear>(3, 2, &rng);
+  auto build = [&](const std::vector<Var>&) {
+    Var x = ag::Constant(Tensor::Full({2, 3}, 0.5f));
+    return ag::SumAll(layer->Forward(x));
+  };
+  ag::GradCheckResult result =
+      ag::CheckGradients(build, layer->Parameters());
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Conv1dLayerTest, PreservesLength) {
+  Rng rng(11);
+  Conv1dLayer layer(4, 6, 3, PadMode::kSame, &rng);
+  Var x = ag::Constant(Tensor::Randn({10, 4}, &rng));
+  Var y = layer.Forward(x);
+  EXPECT_EQ(y->value.dim(0), 10);
+  EXPECT_EQ(y->value.dim(1), 6);
+}
+
+TEST(DropoutTest, InactiveWhenEvaluating) {
+  Dropout dropout(0.5f);
+  Rng rng(12);
+  Var x = ag::Constant(Tensor::Ones({4, 4}));
+  Var y = dropout.Forward(x, /*training=*/false, &rng);
+  EXPECT_TRUE(AllClose(y->value, x->value));
+}
+
+TEST(DropoutTest, ScalesKeptUnitsWhenTraining) {
+  Dropout dropout(0.5f);
+  Rng rng(13);
+  Var x = ag::Constant(Tensor::Ones({40, 40}));
+  Var y = dropout.Forward(x, /*training=*/true, &rng);
+  int zeros = 0, doubled = 0;
+  for (int64_t i = 0; i < y->value.size(); ++i) {
+    const float v = y->value.data()[i];
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // 1 / (1 - 0.5)
+      ++doubled;
+    }
+  }
+  EXPECT_GT(zeros, 600);
+  EXPECT_GT(doubled, 600);
+}
+
+TEST(EmbeddingTest, LookupReturnsRow) {
+  Rng rng(14);
+  Embedding emb(5, 3, &rng);
+  Var row = emb.Forward(2);
+  EXPECT_EQ(row->value.dim(0), 3);
+  const Tensor& table = emb.Parameters()[0]->value;
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(row->value.at(j), table.at(2, j));
+  }
+}
+
+TEST(EmbeddingDeathTest, OutOfRangeIdAborts) {
+  Rng rng(15);
+  Embedding emb(5, 3, &rng);
+  EXPECT_DEATH(emb.Forward(5), "GAIA_CHECK failed");
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm norm(6);
+  Rng rng(16);
+  Var x = ag::Constant(Tensor::Randn({3, 6}, &rng, 4.0f));
+  Var y = norm.Forward(x);
+  for (int64_t i = 0; i < 3; ++i) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t j = 0; j < 6; ++j) mean += y->value.at(i, j);
+    mean /= 6.0;
+    for (int64_t j = 0; j < 6; ++j) {
+      const double d = y->value.at(i, j) - mean;
+      var += d * d;
+    }
+    var /= 6.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LstmCellTest, StateShapesAndBoundedActivations) {
+  Rng rng(17);
+  LstmCell cell(4, 6, &rng);
+  auto state = cell.InitialState();
+  EXPECT_EQ(state.h->value.dim(0), 6);
+  Var x = ag::Constant(Tensor::Randn({4}, &rng));
+  for (int step = 0; step < 5; ++step) {
+    state = cell.Forward(x, state);
+  }
+  // h = o * tanh(c) is bounded in (-1, 1).
+  EXPECT_LT(state.h->value.Max(), 1.0f);
+  EXPECT_GT(state.h->value.Min(), -1.0f);
+  EXPECT_TRUE(state.c->value.AllFinite());
+}
+
+TEST(LstmCellTest, GradientsFlowThroughSteps) {
+  Rng rng(18);
+  auto cell = std::make_shared<LstmCell>(2, 3, &rng);
+  auto build = [&](const std::vector<Var>&) {
+    Var x = ag::Constant(Tensor::Full({2}, 0.3f));
+    auto state = cell->InitialState();
+    state = cell->Forward(x, state);
+    state = cell->Forward(x, state);
+    return ag::SumAll(state.h);
+  };
+  ag::GradCheckResult result = ag::CheckGradients(build, cell->Parameters());
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(SelfAttentionTest, OutputShapeAndMaskEffect) {
+  Rng rng(19);
+  SelfAttention attn(8, 2, &rng);
+  Var x = ag::Constant(Tensor::Randn({6, 8}, &rng));
+  Var unmasked = attn.Forward(x, Tensor());
+  Var masked = attn.Forward(x, CausalMask(6));
+  EXPECT_EQ(unmasked->value.dim(0), 6);
+  EXPECT_EQ(unmasked->value.dim(1), 8);
+  // Mask changes the result (future positions carry information here).
+  EXPECT_FALSE(AllClose(unmasked->value, masked->value));
+}
+
+TEST(SelfAttentionTest, CausalMaskBlocksFutureLeakage) {
+  Rng rng(20);
+  SelfAttention attn(4, 1, &rng);
+  Tensor base_in = Tensor::Randn({5, 4}, &rng);
+  Var y_base = attn.Forward(ag::Constant(base_in), CausalMask(5));
+  Tensor perturbed = base_in;
+  perturbed.at(4, 2) += 7.0f;  // change only the last timestep
+  Var y_pert = attn.Forward(ag::Constant(perturbed), CausalMask(5));
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(y_base->value.at(t, c), y_pert->value.at(t, c))
+          << "future leaked into t=" << t;
+    }
+  }
+}
+
+TEST(MlpTest, OutBiasInitSeedsOutput) {
+  Rng rng(21);
+  Mlp mlp(3, 4, 2, &rng, /*out_bias_init=*/1.0f);
+  // fc2 bias is parameter index 3 (fc1 w, fc1 b, fc2 w, fc2 b).
+  EXPECT_FLOAT_EQ(mlp.Parameters()[3]->value.at(0), 1.0f);
+  Var y = mlp.Forward(ag::Constant(Tensor({1, 3})));
+  EXPECT_EQ(y->value.dim(1), 2);
+}
+
+}  // namespace
+}  // namespace gaia::nn

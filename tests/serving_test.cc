@@ -1,0 +1,172 @@
+#include "serving/model_server.h"
+
+#include "serving/monthly_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "data/market_simulator.h"
+
+namespace gaia::serving {
+namespace {
+
+class ServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::MarketConfig cfg;
+    cfg.num_shops = 60;
+    cfg.history_months = 14;
+    cfg.seed = 31;
+    auto market = data::MarketSimulator(cfg).Generate();
+    ASSERT_TRUE(market.ok());
+    auto ds = data::ForecastDataset::Create(market.value(),
+                                            data::DatasetOptions{});
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_shared<data::ForecastDataset>(std::move(ds).value());
+
+    core::GaiaConfig model_cfg;
+    model_cfg.channels = 8;
+    model_cfg.tel_groups = 2;
+    model_cfg.num_layers = 1;
+    auto model = core::GaiaModel::Create(
+        model_cfg, dataset_->history_len(), dataset_->horizon(),
+        dataset_->temporal_dim(), dataset_->static_dim());
+    ASSERT_TRUE(model.ok());
+    model_ = std::shared_ptr<core::GaiaModel>(std::move(model).value());
+  }
+
+  std::shared_ptr<data::ForecastDataset> dataset_;
+  std::shared_ptr<core::GaiaModel> model_;
+};
+
+TEST_F(ServingTest, PredictReturnsHorizonForecastInGmvUnits) {
+  ModelServer server(model_, dataset_, ServerConfig{});
+  auto prediction = server.Predict(3);
+  EXPECT_EQ(prediction.shop, 3);
+  ASSERT_EQ(static_cast<int64_t>(prediction.gmv.size()),
+            dataset_->horizon());
+  for (double v : prediction.gmv) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+  EXPECT_GE(prediction.latency_ms, 0.0);
+  EXPECT_GE(prediction.ego_nodes, 1);
+}
+
+TEST_F(ServingTest, BatchAccumulatesServerStats) {
+  ModelServer server(model_, dataset_, ServerConfig{});
+  auto predictions = server.PredictBatch({0, 1, 2, 3, 4});
+  EXPECT_EQ(predictions.size(), 5u);
+  EXPECT_EQ(server.total_requests(), 5);
+  EXPECT_GT(server.total_latency_ms(), 0.0);
+}
+
+TEST_F(ServingTest, EgoFanoutCapBoundsSubgraph) {
+  ServerConfig cfg;
+  cfg.ego_hops = 1;
+  cfg.max_fanout = 2;
+  ModelServer server(model_, dataset_, cfg);
+  for (int32_t shop = 0; shop < 10; ++shop) {
+    auto prediction = server.Predict(shop);
+    EXPECT_LE(prediction.ego_nodes, 3);  // centre + at most 2
+  }
+}
+
+TEST_F(ServingTest, OfflinePipelinePublishesLoadableCheckpoint) {
+  const std::string path = "/tmp/gaia_serving_test_ckpt.bin";
+  OfflineTrainingPipeline::Config cfg;
+  cfg.model.channels = 8;
+  cfg.model.tel_groups = 2;
+  cfg.model.num_layers = 1;
+  cfg.train.max_epochs = 5;
+  cfg.train.eval_every = 5;
+  cfg.checkpoint_path = path;
+  OfflineTrainingPipeline pipeline(cfg);
+  OfflineTrainingPipeline::RunReport report;
+  auto trained = pipeline.Run(*dataset_, &report);
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+  EXPECT_EQ(report.train.epochs_run, 5);
+  EXPECT_EQ(report.checkpoint_path, path);
+
+  // A fresh server hot-swaps the published weights and then matches the
+  // trained model's predictions exactly.
+  ModelServer server(model_, dataset_, ServerConfig{});
+  ASSERT_TRUE(server.LoadCheckpoint(path).ok());
+  ModelServer trained_server(trained.value(), dataset_, ServerConfig{});
+  auto a = server.Predict(7);
+  auto b = trained_server.Predict(7);
+  ASSERT_EQ(a.gmv.size(), b.gmv.size());
+  for (size_t i = 0; i < a.gmv.size(); ++i) {
+    EXPECT_NEAR(a.gmv[i], b.gmv[i], 1e-6 * (1.0 + std::abs(b.gmv[i])));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServingTest, CheckpointReloadIsIdempotentForPredictions) {
+  // Same server, same request twice -> identical forecast values (ego
+  // sampling uses the server RNG, so fix fanout above the true degree).
+  ServerConfig cfg;
+  cfg.max_fanout = 1000;
+  ModelServer server(model_, dataset_, cfg);
+  auto first = server.Predict(5);
+  auto second = server.Predict(5);
+  ASSERT_EQ(first.gmv.size(), second.gmv.size());
+  for (size_t i = 0; i < first.gmv.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first.gmv[i], second.gmv[i]);
+  }
+}
+
+TEST_F(ServingTest, MonthlySchedulerRunsAllCycles) {
+  MonthlyScheduler::Config cfg;
+  cfg.market.num_shops = 40;
+  cfg.market.history_months = 12;
+  cfg.market.seed = 17;
+  cfg.offline.model.channels = 8;
+  cfg.offline.model.tel_groups = 2;
+  cfg.offline.model.num_layers = 1;
+  cfg.offline.train.max_epochs = 4;
+  cfg.offline.train.eval_every = 4;
+  cfg.offline.checkpoint_path = "/tmp/gaia_scheduler_test_ckpt.bin";
+  cfg.num_cycles = 3;
+  MonthlyScheduler scheduler(cfg);
+  auto reports = scheduler.Run();
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+  ASSERT_EQ(reports.value().size(), 3u);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const auto& report = reports.value()[static_cast<size_t>(cycle)];
+    EXPECT_EQ(report.cycle, cycle);
+    // The calendar advances one month per cycle.
+    EXPECT_EQ(report.calendar_start_month,
+              (cfg.market.start_calendar_month + cycle) % 12);
+    EXPECT_EQ(report.train.epochs_run, 4);
+    EXPECT_GT(report.online.overall.count, 0);
+    EXPECT_GT(report.graph_edges, 0);
+    EXPECT_GE(report.mean_latency_ms, 0.0);
+  }
+  // The graph population actually changes between cycles.
+  EXPECT_NE(reports.value()[0].graph_edges, reports.value()[1].graph_edges);
+  std::remove("/tmp/gaia_scheduler_test_ckpt.bin");
+}
+
+TEST_F(ServingTest, MonthlySchedulerPropagatesBadConfig) {
+  MonthlyScheduler::Config cfg;
+  cfg.market.num_shops = 5;  // below the simulator's minimum
+  cfg.num_cycles = 1;
+  MonthlyScheduler scheduler(cfg);
+  EXPECT_FALSE(scheduler.Run().ok());
+}
+
+TEST_F(ServingTest, LoadCheckpointFailsCleanlyOnMissingFile) {
+  ModelServer server(model_, dataset_, ServerConfig{});
+  Status status = server.LoadCheckpoint("/tmp/no_such_gaia_ckpt.bin");
+  EXPECT_FALSE(status.ok());
+  // Server still serves with its previous weights.
+  EXPECT_EQ(static_cast<int64_t>(server.Predict(0).gmv.size()),
+            dataset_->horizon());
+}
+
+}  // namespace
+}  // namespace gaia::serving

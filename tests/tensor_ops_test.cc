@@ -1,0 +1,285 @@
+#include "tensor/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gaia {
+namespace {
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(AllClose(c, Tensor({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({5, 5}, &rng);
+  EXPECT_TRUE(AllClose(MatMul(a, Tensor::Eye(5)), a));
+  EXPECT_TRUE(AllClose(MatMul(Tensor::Eye(5), a), a));
+}
+
+TEST(MatMulDeathTest, InnerDimMismatchAborts) {
+  EXPECT_DEATH(MatMul(Tensor({2, 3}), Tensor({2, 3})), "GAIA_CHECK failed");
+}
+
+TEST(MatVecTest, MatchesMatMul) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({4, 6}, &rng);
+  Tensor x = Tensor::Randn({6}, &rng);
+  Tensor via_matmul = MatMul(a, x.Reshape({6, 1})).Reshape({4});
+  EXPECT_TRUE(AllClose(MatVec(a, x), via_matmul, 1e-4f));
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentity) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({3, 7}, &rng);
+  EXPECT_TRUE(AllClose(Transpose(Transpose(a)), a));
+}
+
+TEST(DotOuterTest, Consistency) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  EXPECT_FLOAT_EQ(Dot(a, b), 32.0f);
+  Tensor o = Outer(a, b);
+  EXPECT_EQ(o.at(2, 0), 12.0f);
+  EXPECT_EQ(o.at(0, 2), 6.0f);
+}
+
+TEST(ActivationTest, ReluClampsNegatives) {
+  Tensor x({4}, {-2, -0.5f, 0, 3});
+  EXPECT_TRUE(AllClose(Relu(x), Tensor({4}, {0, 0, 0, 3})));
+}
+
+TEST(ActivationTest, SigmoidRangeAndSymmetry) {
+  Tensor x({3}, {-10, 0, 10});
+  Tensor y = Sigmoid(x);
+  EXPECT_NEAR(y.at(0), 0.0f, 1e-4);
+  EXPECT_FLOAT_EQ(y.at(1), 0.5f);
+  EXPECT_NEAR(y.at(2), 1.0f, 1e-4);
+}
+
+TEST(ActivationTest, TanhExpLogSqrtAbs) {
+  Tensor x({2}, {1.0f, 4.0f});
+  EXPECT_NEAR(Tanh(x).at(0), std::tanh(1.0f), 1e-6);
+  EXPECT_NEAR(Exp(x).at(0), std::exp(1.0f), 1e-5);
+  EXPECT_NEAR(Log(x).at(1), std::log(4.0f), 1e-6);
+  EXPECT_NEAR(Sqrt(x).at(1), 2.0f, 1e-6);
+  EXPECT_EQ(Abs(Tensor({2}, {-3, 3})).at(0), 3.0f);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(4);
+  Tensor logits = Tensor::Randn({5, 8}, &rng, 3.0f);
+  Tensor probs = SoftmaxRows(logits);
+  for (int64_t i = 0; i < 5; ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_GE(probs.at(i, j), 0.0f);
+      sum += probs.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, MaskedEntriesGetZeroProbability) {
+  Tensor logits({1, 3}, {1.0f, kMaskNegInf, 2.0f});
+  Tensor probs = SoftmaxRows(logits);
+  EXPECT_EQ(probs.at(0, 1), 0.0f);
+  EXPECT_NEAR(probs.at(0, 0) + probs.at(0, 2), 1.0, 1e-6);
+}
+
+TEST(SoftmaxTest, FullyMaskedRowIsZero) {
+  Tensor logits({1, 2}, {kMaskNegInf, kMaskNegInf});
+  Tensor probs = SoftmaxRows(logits);
+  EXPECT_EQ(probs.at(0, 0), 0.0f);
+  EXPECT_EQ(probs.at(0, 1), 0.0f);
+}
+
+TEST(SoftmaxTest, InvariantToLogitShift) {
+  Tensor a({1, 3}, {1, 2, 3});
+  Tensor b({1, 3}, {101, 102, 103});
+  EXPECT_TRUE(AllClose(SoftmaxRows(a), SoftmaxRows(b), 1e-5f));
+}
+
+TEST(SoftmaxTest, BackwardMatchesFiniteDifference) {
+  // d/dx of sum(w . softmax(x)) via the analytic backward.
+  Tensor x({1, 4}, {0.3f, -0.1f, 0.7f, 0.2f});
+  Tensor w({1, 4}, {1.0f, 2.0f, -1.0f, 0.5f});
+  Tensor y = SoftmaxRows(x);
+  Tensor analytic = SoftmaxRowsBackward(y, w);
+  const double eps = 1e-3;
+  for (int64_t j = 0; j < 4; ++j) {
+    Tensor xp = x, xm = x;
+    xp.at(0, j) += static_cast<float>(eps);
+    xm.at(0, j) -= static_cast<float>(eps);
+    const double fp = (SoftmaxRows(xp) * w).Sum();
+    const double fm = (SoftmaxRows(xm) * w).Sum();
+    EXPECT_NEAR(analytic.at(0, j), (fp - fm) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(ReductionTest, AxisSums) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(AllClose(SumAxis0(a), Tensor({3}, {5, 7, 9})));
+  EXPECT_TRUE(AllClose(SumAxis1(a), Tensor({2}, {6, 15})));
+}
+
+TEST(BroadcastTest, AddRowAndColVectors) {
+  Tensor a({2, 2}, {1, 1, 1, 1});
+  EXPECT_TRUE(AllClose(AddRowVector(a, Tensor({2}, {1, 2})),
+                       Tensor({2, 2}, {2, 3, 2, 3})));
+  EXPECT_TRUE(AllClose(AddColVector(a, Tensor({2}, {1, 2})),
+                       Tensor({2, 2}, {2, 2, 3, 3})));
+}
+
+TEST(ConcatSliceTest, RoundTripCols) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({3, 2}, &rng);
+  Tensor b = Tensor::Randn({3, 5}, &rng);
+  Tensor cat = ConcatCols({a, b});
+  EXPECT_EQ(cat.dim(1), 7);
+  EXPECT_TRUE(AllClose(SliceCols(cat, 0, 2), a));
+  EXPECT_TRUE(AllClose(SliceCols(cat, 2, 5), b));
+}
+
+TEST(ConcatSliceTest, RoundTripRows) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn({2, 4}, &rng);
+  Tensor b = Tensor::Randn({3, 4}, &rng);
+  Tensor cat = ConcatRows({a, b});
+  EXPECT_EQ(cat.dim(0), 5);
+  EXPECT_TRUE(AllClose(SliceRows(cat, 0, 2), a));
+  EXPECT_TRUE(AllClose(SliceRows(cat, 2, 3), b));
+}
+
+// ---------------------------------------------------------------------------
+// Conv1d
+// ---------------------------------------------------------------------------
+
+TEST(Conv1dTest, IdentityKernelReproducesInput) {
+  // Width-1 identity kernel: out[t, o] = in[t, o].
+  Rng rng(7);
+  Tensor input = Tensor::Randn({6, 3}, &rng);
+  Tensor weight({3, 1, 3});
+  for (int64_t o = 0; o < 3; ++o) weight.at(o, 0, o) = 1.0f;
+  Tensor out = Conv1d(input, weight, Tensor(), PadMode::kCausal);
+  EXPECT_TRUE(AllClose(out, input));
+}
+
+TEST(Conv1dTest, CausalSumKernel) {
+  // Width-2 causal all-ones kernel on a 1-channel ramp: out[t] = x[t-1]+x[t].
+  Tensor input({5, 1}, {1, 2, 3, 4, 5});
+  Tensor weight = Tensor::Ones({1, 2, 1});
+  Tensor out = Conv1d(input, weight, Tensor(), PadMode::kCausal);
+  EXPECT_TRUE(AllClose(out, Tensor({5, 1}, {1, 3, 5, 7, 9})));
+}
+
+TEST(Conv1dTest, SamePaddingCentersKernel) {
+  // Width-3 same-padded averaging-style kernel touches t-1, t, t+1.
+  Tensor input({4, 1}, {1, 2, 3, 4});
+  Tensor weight = Tensor::Ones({1, 3, 1});
+  Tensor out = Conv1d(input, weight, Tensor(), PadMode::kSame);
+  EXPECT_TRUE(AllClose(out, Tensor({4, 1}, {3, 6, 9, 7})));
+}
+
+TEST(Conv1dTest, BiasIsAdded) {
+  Tensor input({2, 1}, {0, 0});
+  Tensor weight({2, 1, 1});
+  Tensor bias({2}, {1.5f, -2.0f});
+  Tensor out = Conv1d(input, weight, bias, PadMode::kCausal);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), -2.0f);
+}
+
+TEST(Conv1dTest, CausalNeverSeesFuture) {
+  // Perturbing input at time t must not change outputs before t.
+  Rng rng(8);
+  Tensor input = Tensor::Randn({10, 2}, &rng);
+  Tensor weight = Tensor::Randn({2, 4, 2}, &rng);
+  Tensor base = Conv1d(input, weight, Tensor(), PadMode::kCausal, 2);
+  Tensor perturbed = input;
+  perturbed.at(7, 1) += 10.0f;
+  Tensor out = Conv1d(perturbed, weight, Tensor(), PadMode::kCausal, 2);
+  for (int64_t t = 0; t < 7; ++t) {
+    for (int64_t c = 0; c < 2; ++c) EXPECT_EQ(out.at(t, c), base.at(t, c));
+  }
+}
+
+TEST(Conv1dTest, DilationWidensReceptiveField) {
+  // Width-2, dilation-3 causal kernel: out[t] = x[t-3] + x[t].
+  Tensor input({6, 1}, {1, 2, 3, 4, 5, 6});
+  Tensor weight = Tensor::Ones({1, 2, 1});
+  Tensor out = Conv1d(input, weight, Tensor(), PadMode::kCausal, 3);
+  EXPECT_TRUE(AllClose(out, Tensor({6, 1}, {1, 2, 3, 5, 7, 9})));
+}
+
+TEST(Conv1dTest, BackwardInputMatchesFiniteDifference) {
+  Rng rng(9);
+  Tensor input = Tensor::Randn({6, 2}, &rng);
+  Tensor weight = Tensor::Randn({3, 3, 2}, &rng);
+  Tensor grad_out = Tensor::Randn({6, 3}, &rng);
+  Tensor analytic =
+      Conv1dBackwardInput(grad_out, weight, 6, PadMode::kSame, 1);
+  const double eps = 1e-2;
+  for (int64_t t = 0; t < 6; ++t) {
+    for (int64_t c = 0; c < 2; ++c) {
+      Tensor plus = input, minus = input;
+      plus.at(t, c) += static_cast<float>(eps);
+      minus.at(t, c) -= static_cast<float>(eps);
+      const double fp =
+          (Conv1d(plus, weight, Tensor(), PadMode::kSame) * grad_out).Sum();
+      const double fm =
+          (Conv1d(minus, weight, Tensor(), PadMode::kSame) * grad_out).Sum();
+      EXPECT_NEAR(analytic.at(t, c), (fp - fm) / (2 * eps), 5e-2);
+    }
+  }
+}
+
+TEST(Conv1dTest, BackwardWeightMatchesFiniteDifference) {
+  Rng rng(10);
+  Tensor input = Tensor::Randn({5, 2}, &rng);
+  Tensor weight = Tensor::Randn({2, 2, 2}, &rng);
+  Tensor grad_out = Tensor::Randn({5, 2}, &rng);
+  Tensor analytic =
+      Conv1dBackwardWeight(grad_out, input, 2, PadMode::kCausal, 1);
+  const double eps = 1e-2;
+  for (int64_t o = 0; o < 2; ++o) {
+    for (int64_t k = 0; k < 2; ++k) {
+      for (int64_t c = 0; c < 2; ++c) {
+        Tensor plus = weight, minus = weight;
+        plus.at(o, k, c) += static_cast<float>(eps);
+        minus.at(o, k, c) -= static_cast<float>(eps);
+        const double fp =
+            (Conv1d(input, plus, Tensor(), PadMode::kCausal) * grad_out).Sum();
+        const double fm =
+            (Conv1d(input, minus, Tensor(), PadMode::kCausal) * grad_out)
+                .Sum();
+        EXPECT_NEAR(analytic.at(o, k, c), (fp - fm) / (2 * eps), 5e-2);
+      }
+    }
+  }
+}
+
+TEST(Conv1dTest, BackwardBiasIsColumnSum) {
+  Tensor grad_out({3, 2}, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(AllClose(Conv1dBackwardBias(grad_out), Tensor({2}, {9, 12})));
+}
+
+TEST(CausalMaskTest, LowerTriangularStructure) {
+  Tensor mask = CausalMask(4);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      if (j <= i) {
+        EXPECT_EQ(mask.at(i, j), 0.0f);
+      } else {
+        EXPECT_EQ(mask.at(i, j), kMaskNegInf);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gaia

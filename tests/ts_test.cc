@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ts/arima.h"
+#include "ts/metrics.h"
+#include "util/rng.h"
+
+namespace gaia::ts {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, HandComputedValues) {
+  ForecastMetrics m = ComputeMetrics({3.0, 5.0}, {1.0, 5.0});
+  EXPECT_DOUBLE_EQ(m.mae, 1.0);                   // (2 + 0) / 2
+  EXPECT_DOUBLE_EQ(m.rmse, std::sqrt(2.0));       // sqrt((4 + 0) / 2)
+  EXPECT_DOUBLE_EQ(m.mape, 1.0 + 0.0 == 1.0 ? (2.0 / 1.0 + 0.0) / 2.0 : 0.0);
+  EXPECT_EQ(m.count, 2);
+}
+
+TEST(MetricsTest, WapeIsErrorMassOverActualMass) {
+  // WAPE = (2 + 0 + 3) / (1 + 5 + 10).
+  ForecastMetrics m = ComputeMetrics({3.0, 5.0, 13.0}, {1.0, 5.0, 10.0});
+  EXPECT_DOUBLE_EQ(m.wape, 5.0 / 16.0);
+  // WAPE is immune to the MAPE small-denominator blowup (denominator above
+  // the floor but far below the error scale).
+  ForecastMetrics tail = ComputeMetrics({1000.0, 1000.0}, {2.0, 1000.0});
+  EXPECT_GT(tail.mape, 100.0);   // exploded: (998/2 + 0) / 2
+  EXPECT_LT(tail.wape, 1.1);     // bounded by total actual mass
+}
+
+TEST(MetricsTest, PerfectForecastIsZeroError) {
+  ForecastMetrics m = ComputeMetrics({2, 4, 8}, {2, 4, 8});
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.mape, 0.0);
+}
+
+TEST(MetricsTest, MapeFloorExcludesTinyActuals) {
+  MetricsAccumulator acc(/*mape_floor=*/10.0);
+  acc.Add(5.0, 0.001);  // excluded from MAPE, included in MAE
+  acc.Add(20.0, 10.0);  // included everywhere
+  ForecastMetrics m = acc.Finalize();
+  EXPECT_EQ(m.count, 2);
+  EXPECT_EQ(m.mape_count, 1);
+  EXPECT_DOUBLE_EQ(m.mape, 1.0);  // |20-10|/10
+}
+
+TEST(MetricsTest, RmseDominatedByOutliers) {
+  ForecastMetrics small = ComputeMetrics({1, 1, 1, 1}, {0, 0, 0, 0});
+  ForecastMetrics outlier = ComputeMetrics({4, 0, 0, 0}, {0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(small.mae, outlier.mae);     // same MAE = 1
+  EXPECT_GT(outlier.rmse, small.rmse);          // RMSE punishes the spike
+}
+
+TEST(MetricsTest, MergeEqualsJointComputation) {
+  MetricsAccumulator a, b, joint;
+  const std::vector<double> preds = {1, 2, 3, 4};
+  const std::vector<double> actuals = {2, 2, 5, 3};
+  for (int i = 0; i < 2; ++i) a.Add(preds[i], actuals[i]);
+  for (int i = 2; i < 4; ++i) b.Add(preds[i], actuals[i]);
+  for (int i = 0; i < 4; ++i) joint.Add(preds[i], actuals[i]);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Finalize().mae, joint.Finalize().mae);
+  EXPECT_DOUBLE_EQ(a.Finalize().rmse, joint.Finalize().rmse);
+  EXPECT_DOUBLE_EQ(a.Finalize().mape, joint.Finalize().mape);
+}
+
+TEST(CorrelationTest, PerfectAndAnti) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  std::vector<double> z = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(CrossCorrelationTest, DetectsKnownLag) {
+  // b[t] = a[t - 3]: a leads b by 3 => corr(a_t, b_{t+3}) maximal.
+  Rng rng(5);
+  std::vector<double> a(40);
+  for (auto& v : a) v = rng.Normal();
+  std::vector<double> b(40, 0.0);
+  for (size_t t = 3; t < b.size(); ++t) b[t] = a[t - 3];
+  LagCorrelation best = BestLagCorrelation(a, b, 6);
+  EXPECT_EQ(best.lag, 3);
+  EXPECT_GT(best.correlation, 0.95);
+}
+
+TEST(CrossCorrelationTest, ShortOverlapReturnsZero) {
+  EXPECT_DOUBLE_EQ(CrossCorrelationAtLag({1, 2}, {1, 2}, 1), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Differencing / integration
+// ---------------------------------------------------------------------------
+
+TEST(DifferenceTest, FirstAndSecondOrder) {
+  std::vector<double> x = {1, 3, 6, 10};
+  EXPECT_EQ(Difference(x, 1), (std::vector<double>{2, 3, 4}));
+  EXPECT_EQ(Difference(x, 2), (std::vector<double>{1, 1}));
+  EXPECT_EQ(Difference(x, 0), x);
+}
+
+TEST(IntegrateTest, InvertsDifferencing) {
+  std::vector<double> x = {2, 5, 4, 8, 7, 11};
+  for (int d = 0; d <= 2; ++d) {
+    std::vector<double> history(x.begin(), x.end() - 2);
+    std::vector<double> diffed_full = Difference(x, d);
+    // The last 2 differenced values act as the "forecast".
+    std::vector<double> fc(diffed_full.end() - 2, diffed_full.end());
+    std::vector<double> restored = Integrate(fc, history, d);
+    ASSERT_EQ(restored.size(), 2u);
+    EXPECT_NEAR(restored[0], x[x.size() - 2], 1e-9) << "d=" << d;
+    EXPECT_NEAR(restored[1], x[x.size() - 1], 1e-9) << "d=" << d;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ARIMA
+// ---------------------------------------------------------------------------
+
+std::vector<double> SimulateAr2(double phi1, double phi2, double c, int n,
+                                uint64_t seed, double noise = 0.5) {
+  Rng rng(seed);
+  std::vector<double> x = {c, c};
+  for (int t = 2; t < n; ++t) {
+    x.push_back(c + phi1 * x[static_cast<size_t>(t - 1)] +
+                phi2 * x[static_cast<size_t>(t - 2)] +
+                rng.Normal(0.0, noise));
+  }
+  return x;
+}
+
+TEST(ArimaTest, RecoversAr2Coefficients) {
+  std::vector<double> x = SimulateAr2(0.6, -0.3, 2.0, 600, 7);
+  auto fit = Arima::Fit(x, ArimaOrder{2, 0, 0});
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_NEAR(fit.value().ar_coefficients()[0], 0.6, 0.1);
+  EXPECT_NEAR(fit.value().ar_coefficients()[1], -0.3, 0.1);
+}
+
+TEST(ArimaTest, RejectsDegenerateOrders) {
+  std::vector<double> x(50, 1.0);
+  EXPECT_FALSE(Arima::Fit(x, ArimaOrder{0, 0, 0}).ok());
+  EXPECT_FALSE(Arima::Fit(x, ArimaOrder{-1, 0, 0}).ok());
+}
+
+TEST(ArimaTest, RejectsShortSeries) {
+  std::vector<double> x = {1, 2, 3, 4};
+  auto fit = Arima::Fit(x, ArimaOrder{2, 0, 2});
+  EXPECT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ArimaTest, ForecastLinearTrendWithDifferencing) {
+  // x_t = 3t + noise: ARIMA(1,1,0) should extrapolate the slope.
+  Rng rng(11);
+  std::vector<double> x;
+  for (int t = 0; t < 80; ++t) x.push_back(3.0 * t + rng.Normal(0.0, 0.2));
+  auto fit = Arima::Fit(x, ArimaOrder{1, 1, 0});
+  ASSERT_TRUE(fit.ok());
+  std::vector<double> forecast = fit.value().Forecast(3);
+  for (int h = 0; h < 3; ++h) {
+    EXPECT_NEAR(forecast[static_cast<size_t>(h)], 3.0 * (80 + h), 3.0);
+  }
+}
+
+TEST(ArimaTest, ForecastStationarySeriesNearMean) {
+  std::vector<double> x = SimulateAr2(0.5, 0.0, 5.0, 300, 13, 0.3);
+  auto fit = Arima::Fit(x, ArimaOrder{1, 0, 1});
+  ASSERT_TRUE(fit.ok());
+  const double mean = 5.0 / (1.0 - 0.5);
+  std::vector<double> forecast = fit.value().Forecast(12);
+  // Long-horizon forecast reverts toward the unconditional mean.
+  EXPECT_NEAR(forecast.back(), mean, 1.5);
+}
+
+TEST(ArimaTest, AicPrefersTrueOrderFamily) {
+  std::vector<double> x = SimulateAr2(0.7, -0.2, 1.0, 500, 17);
+  auto best = AutoArima(x, 2, 1, 2);
+  ASSERT_TRUE(best.ok());
+  // The selected model should fit far better than white-noise MA(1).
+  auto ma1 = Arima::Fit(x, ArimaOrder{0, 0, 1});
+  ASSERT_TRUE(ma1.ok());
+  EXPECT_LT(best.value().aic(), ma1.value().aic());
+}
+
+TEST(ArimaTest, ToStringMentionsOrder) {
+  std::vector<double> x = SimulateAr2(0.5, 0.1, 0.0, 100, 19);
+  auto fit = Arima::Fit(x, ArimaOrder{2, 0, 1});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NE(fit.value().ToString().find("ARIMA(2,0,1)"), std::string::npos);
+}
+
+TEST(ForecastWithFallbackTest, EmptySeriesGivesZeros) {
+  std::vector<double> forecast = ForecastWithFallback({}, 3);
+  EXPECT_EQ(forecast, (std::vector<double>{0, 0, 0}));
+}
+
+TEST(ForecastWithFallbackTest, ShortSeriesUsesRecentMean) {
+  std::vector<double> forecast = ForecastWithFallback({10, 20, 30}, 2);
+  EXPECT_EQ(forecast.size(), 2u);
+  EXPECT_NEAR(forecast[0], 20.0, 1e-9);
+  EXPECT_NEAR(forecast[1], 20.0, 1e-9);
+}
+
+TEST(ForecastWithFallbackTest, LongSeriesProducesFiniteSaneValues) {
+  std::vector<double> x = SimulateAr2(0.6, -0.1, 100.0, 60, 23, 5.0);
+  std::vector<double> forecast = ForecastWithFallback(x, 3);
+  const double max_obs = *std::max_element(x.begin(), x.end());
+  for (double v : forecast) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LE(std::fabs(v), 10.0 * max_obs);
+  }
+}
+
+// Property sweep: fallback never explodes across many random short series.
+class FallbackPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FallbackPropertyTest, BoundedForecastForAnyHistoryLength) {
+  const int length = GetParam();
+  Rng rng(static_cast<uint64_t>(length) * 31 + 1);
+  std::vector<double> x;
+  for (int t = 0; t < length; ++t) {
+    x.push_back(std::max(0.0, 1000.0 * (1.0 + rng.Normal(0.0, 0.5))));
+  }
+  std::vector<double> forecast = ForecastWithFallback(x, 3);
+  ASSERT_EQ(forecast.size(), 3u);
+  for (double v : forecast) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LE(std::fabs(v), 1e6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FallbackPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10, 12, 16,
+                                           20, 24, 30, 40));
+
+// Order-grid property sweep: every (p, d, q) in the paper's search grid
+// either fails cleanly or yields finite coefficients and forecasts.
+class ArimaOrderPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ArimaOrderPropertyTest, FitIsCleanOrFiniteForecast) {
+  const auto [p, d, q] = GetParam();
+  std::vector<double> series = SimulateAr2(0.5, -0.2, 10.0, 120, 29, 1.0);
+  auto fit = Arima::Fit(series, ArimaOrder{p, d, q});
+  if (p == 0 && q == 0) {
+    EXPECT_FALSE(fit.ok());
+    return;
+  }
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_EQ(fit.value().ar_coefficients().size(), static_cast<size_t>(p));
+  EXPECT_EQ(fit.value().ma_coefficients().size(), static_cast<size_t>(q));
+  for (double v : fit.value().Forecast(6)) {
+    EXPECT_TRUE(std::isfinite(v)) << "p=" << p << " d=" << d << " q=" << q;
+  }
+  EXPECT_TRUE(std::isfinite(fit.value().aic()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, ArimaOrderPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),   // p <= max(p) = 2
+                       ::testing::Values(0, 1),      // d
+                       ::testing::Values(0, 1, 2)),  // q <= max(q) = 2
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "d" +
+             std::to_string(std::get<1>(info.param)) + "q" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace gaia::ts

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace gaia {
+namespace {
+
+double benchmark_sink_ = 0.0;
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shape");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists,
+        StatusCode::kFailedPrecondition, StatusCode::kIoError,
+        StatusCode::kNotImplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.value_or(3), 7);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(3), 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailingHelper() { return Status::IoError("disk"); }
+Status PropagatingHelper() {
+  GAIA_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  Status s = PropagatingHelper();
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// GAIA_CHECK
+// ---------------------------------------------------------------------------
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ GAIA_CHECK(1 == 2) << "custom context"; },
+               "GAIA_CHECK failed.*custom context");
+}
+
+TEST(CheckDeathTest, BinaryCheckPrintsOperands) {
+  int a = 3, b = 4;
+  EXPECT_DEATH({ GAIA_CHECK_EQ(a, b); }, "3 vs 4");
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  GAIA_CHECK(true) << "never evaluated";
+  GAIA_CHECK_LE(1, 2);
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint32(), b.NextUint32());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint32() != b.NextUint32()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(6);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all buckets hit
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(7);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, ParetoRespectsMinimumAndSkew) {
+  Rng rng(8);
+  int small = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.Pareto(1.1, 4.0);
+    EXPECT_GE(x, 4.0);
+    if (x < 8.0) ++small;
+  }
+  // Heavy right skew: majority of mass near the minimum.
+  EXPECT_GT(small, 1000);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentlyDeterministic) {
+  Rng a(11), b(11);
+  Rng child_a = a.Split();
+  Rng child_b = b.Split();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(child_a.NextUint32(), child_b.NextUint32());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TablePrinter
+// ---------------------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"A", "Method"});
+  table.AddRow({"1", "Gaia"});
+  table.AddRow({"22", "x"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| A  | Method |"), std::string::npos);
+  EXPECT_NE(out.find("| 22 | x      |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterDeathTest, RowArityMismatchAborts) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "GAIA_CHECK failed");
+}
+
+TEST(TablePrinterTest, FormatCountInsertsSeparators) {
+  EXPECT_EQ(TablePrinter::FormatCount(0), "0");
+  EXPECT_EQ(TablePrinter::FormatCount(999), "999");
+  EXPECT_EQ(TablePrinter::FormatCount(1000), "1,000");
+  EXPECT_EQ(TablePrinter::FormatCount(1234567.4), "1,234,567");
+  EXPECT_EQ(TablePrinter::FormatCount(-56789), "-56,789");
+}
+
+TEST(TablePrinterTest, FormatDoublePrecision) {
+  EXPECT_EQ(TablePrinter::FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  benchmark_sink_ = sink;  // keep the loop observable
+  const double before_restart = watch.ElapsedSeconds();
+  EXPECT_GT(before_restart, 0.0);
+  // Elapsed time is monotone non-decreasing.
+  EXPECT_GE(watch.ElapsedSeconds(), before_restart);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), before_restart + 1.0);
+}
+
+}  // namespace
+}  // namespace gaia

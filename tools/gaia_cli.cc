@@ -1,0 +1,206 @@
+// gaia_cli — command-line workflow around the library:
+//
+//   gaia_cli simulate --out DIR [--shops N] [--seed S] [--history T]
+//       Generate a synthetic market and write it as CSVs.
+//   gaia_cli train --market DIR --checkpoint FILE [--epochs N]
+//       [--channels C] [--layers L]
+//       Train Gaia on a market directory and publish a checkpoint.
+//   gaia_cli evaluate --market DIR --checkpoint FILE [--channels C]
+//       [--layers L]
+//       Evaluate a published checkpoint on the market's test split.
+//   gaia_cli serve --market DIR --checkpoint FILE [--requests N]
+//       Replay N online requests through the model server and report
+//       latency statistics.
+//
+// Exit code 0 on success; a diagnostic on stderr otherwise.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/gaia_model.h"
+#include "core/trainer.h"
+#include "data/market_io.h"
+#include "data/market_simulator.h"
+#include "serving/model_server.h"
+#include "util/table_printer.h"
+
+namespace gaia::cli {
+namespace {
+
+/// Minimal --flag value parser; flags are all optional strings.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) == 0) key = key.substr(2);
+      values_[key] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+Result<data::ForecastDataset> LoadDataset(const std::string& dir) {
+  auto market = data::LoadMarketCsv(dir);
+  if (!market.ok()) return market.status();
+  return data::ForecastDataset::Create(market.value(),
+                                       data::DatasetOptions{});
+}
+
+Result<std::unique_ptr<core::GaiaModel>> BuildModel(
+    const data::ForecastDataset& dataset, const Args& args) {
+  core::GaiaConfig cfg;
+  cfg.channels = args.GetInt("channels", 16);
+  cfg.num_layers = args.GetInt("layers", 2);
+  cfg.tel_groups = 4;
+  while (cfg.tel_groups > 1 && cfg.channels % cfg.tel_groups != 0) {
+    --cfg.tel_groups;
+  }
+  cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  return core::GaiaModel::Create(cfg, dataset.history_len(),
+                                 dataset.horizon(), dataset.temporal_dim(),
+                                 dataset.static_dim());
+}
+
+void PrintReport(const core::EvaluationReport& report) {
+  TablePrinter table({"Slice", "MAE", "RMSE", "MAPE"});
+  for (size_t h = 0; h < report.per_month.size(); ++h) {
+    const auto& m = report.per_month[h];
+    table.AddRow({"month +" + std::to_string(h + 1),
+                  TablePrinter::FormatCount(m.mae),
+                  TablePrinter::FormatCount(m.rmse),
+                  TablePrinter::FormatDouble(m.mape, 4)});
+  }
+  table.AddSeparator();
+  table.AddRow({"overall", TablePrinter::FormatCount(report.overall.mae),
+                TablePrinter::FormatCount(report.overall.rmse),
+                TablePrinter::FormatDouble(report.overall.mape, 4)});
+  table.Print(std::cout);
+}
+
+int Simulate(const Args& args) {
+  if (!args.Has("out")) return Fail("simulate requires --out DIR");
+  data::MarketConfig cfg;
+  cfg.num_shops = args.GetInt("shops", 300);
+  cfg.history_months = static_cast<int>(args.GetInt("history", 24));
+  cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  auto market = data::MarketSimulator(cfg).Generate();
+  if (!market.ok()) return Fail(market.status().ToString());
+  const std::string dir = args.Get("out", "");
+  Status saved = data::SaveMarketCsv(market.value(), dir);
+  if (!saved.ok()) return Fail(saved.ToString());
+  std::cout << "wrote market to " << dir << ": "
+            << market.value().graph.ToString() << "\n";
+  return 0;
+}
+
+int Train(const Args& args) {
+  if (!args.Has("market") || !args.Has("checkpoint")) {
+    return Fail("train requires --market DIR and --checkpoint FILE");
+  }
+  auto dataset = LoadDataset(args.Get("market", ""));
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  auto model = BuildModel(dataset.value(), args);
+  if (!model.ok()) return Fail(model.status().ToString());
+  core::TrainConfig tc;
+  tc.max_epochs = static_cast<int>(args.GetInt("epochs", 100));
+  tc.verbose = args.Has("verbose");
+  core::TrainResult result =
+      core::Trainer(tc).Fit(model.value().get(), dataset.value());
+  std::cout << "trained " << result.epochs_run << " epochs in "
+            << TablePrinter::FormatDouble(result.seconds, 1)
+            << "s, best val MSE "
+            << TablePrinter::FormatDouble(result.best_val_loss, 4) << "\n";
+  Status saved = model.value()->Save(args.Get("checkpoint", ""));
+  if (!saved.ok()) return Fail(saved.ToString());
+  std::cout << "checkpoint written to " << args.Get("checkpoint", "") << "\n";
+  PrintReport(core::Evaluator::Evaluate(model.value().get(), dataset.value(),
+                                        dataset.value().test_nodes()));
+  return 0;
+}
+
+int Evaluate(const Args& args) {
+  if (!args.Has("market") || !args.Has("checkpoint")) {
+    return Fail("evaluate requires --market DIR and --checkpoint FILE");
+  }
+  auto dataset = LoadDataset(args.Get("market", ""));
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  auto model = BuildModel(dataset.value(), args);
+  if (!model.ok()) return Fail(model.status().ToString());
+  Status loaded = model.value()->Load(args.Get("checkpoint", ""));
+  if (!loaded.ok()) return Fail(loaded.ToString());
+  PrintReport(core::Evaluator::Evaluate(model.value().get(), dataset.value(),
+                                        dataset.value().test_nodes()));
+  return 0;
+}
+
+int Serve(const Args& args) {
+  if (!args.Has("market") || !args.Has("checkpoint")) {
+    return Fail("serve requires --market DIR and --checkpoint FILE");
+  }
+  auto dataset_result = LoadDataset(args.Get("market", ""));
+  if (!dataset_result.ok()) return Fail(dataset_result.status().ToString());
+  auto dataset = std::make_shared<data::ForecastDataset>(
+      std::move(dataset_result).value());
+  auto model = BuildModel(*dataset, args);
+  if (!model.ok()) return Fail(model.status().ToString());
+  Status loaded = model.value()->Load(args.Get("checkpoint", ""));
+  if (!loaded.ok()) return Fail(loaded.ToString());
+  serving::ModelServer server(
+      std::shared_ptr<core::GaiaModel>(std::move(model).value()), dataset,
+      serving::ServerConfig{});
+  const int64_t requests = args.GetInt("requests", 50);
+  const auto& shops = dataset->test_nodes();
+  for (int64_t i = 0; i < requests; ++i) {
+    server.Predict(shops[static_cast<size_t>(i) % shops.size()]);
+  }
+  std::cout << "served " << server.total_requests() << " requests, mean "
+            << TablePrinter::FormatDouble(
+                   server.total_latency_ms() / server.total_requests(), 2)
+            << " ms each\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: gaia_cli {simulate|train|evaluate|serve} "
+                 "[--flag value ...]\n";
+    return 1;
+  }
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  if (command == "simulate") return Simulate(args);
+  if (command == "train") return Train(args);
+  if (command == "evaluate") return Evaluate(args);
+  if (command == "serve") return Serve(args);
+  return Fail("unknown command: " + command);
+}
+
+}  // namespace
+}  // namespace gaia::cli
+
+int main(int argc, char** argv) { return gaia::cli::Main(argc, argv); }
