@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_sim.dir/deployment_sim.cc.o"
+  "CMakeFiles/deployment_sim.dir/deployment_sim.cc.o.d"
+  "deployment_sim"
+  "deployment_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_comparison.dir/extended_comparison.cc.o"
+  "CMakeFiles/extended_comparison.dir/extended_comparison.cc.o.d"
+  "extended_comparison"
+  "extended_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_deficiency.dir/fig1_deficiency.cc.o"
+  "CMakeFiles/fig1_deficiency.dir/fig1_deficiency.cc.o.d"
+  "fig1_deficiency"
+  "fig1_deficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_deficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_group_analysis.dir/fig3_group_analysis.cc.o"
+  "CMakeFiles/fig3_group_analysis.dir/fig3_group_analysis.cc.o.d"
+  "fig3_group_analysis"
+  "fig3_group_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_group_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

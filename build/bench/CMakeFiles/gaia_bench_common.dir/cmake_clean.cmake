@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/gaia_bench_common.dir/bench_common.cc.o.d"
+  "libgaia_bench_common.a"
+  "libgaia_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

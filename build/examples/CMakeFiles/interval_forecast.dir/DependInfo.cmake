@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/interval_forecast.cpp" "examples/CMakeFiles/interval_forecast.dir/interval_forecast.cpp.o" "gcc" "examples/CMakeFiles/interval_forecast.dir/interval_forecast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gaia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gaia_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/gaia_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gaia_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/gaia_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/gaia_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gaia_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gaia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gaia_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/gaia_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_forecast.dir/interval_forecast.cpp.o"
+  "CMakeFiles/interval_forecast.dir/interval_forecast.cpp.o.d"
+  "interval_forecast"
+  "interval_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

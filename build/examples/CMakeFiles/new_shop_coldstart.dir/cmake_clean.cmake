@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/new_shop_coldstart.dir/new_shop_coldstart.cpp.o"
+  "CMakeFiles/new_shop_coldstart.dir/new_shop_coldstart.cpp.o.d"
+  "new_shop_coldstart"
+  "new_shop_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/new_shop_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_serving.dir/online_serving.cpp.o"
+  "CMakeFiles/online_serving.dir/online_serving.cpp.o.d"
+  "online_serving"
+  "online_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

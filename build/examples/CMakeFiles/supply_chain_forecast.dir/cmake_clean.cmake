@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supply_chain_forecast.dir/supply_chain_forecast.cpp.o"
+  "CMakeFiles/supply_chain_forecast.dir/supply_chain_forecast.cpp.o.d"
+  "supply_chain_forecast"
+  "supply_chain_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supply_chain_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

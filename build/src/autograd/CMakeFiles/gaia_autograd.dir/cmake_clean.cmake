@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_autograd.dir/grad_check.cc.o"
+  "CMakeFiles/gaia_autograd.dir/grad_check.cc.o.d"
+  "CMakeFiles/gaia_autograd.dir/ops.cc.o"
+  "CMakeFiles/gaia_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/gaia_autograd.dir/variable.cc.o"
+  "CMakeFiles/gaia_autograd.dir/variable.cc.o.d"
+  "libgaia_autograd.a"
+  "libgaia_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/arima_forecaster.cc" "src/baselines/CMakeFiles/gaia_baselines.dir/arima_forecaster.cc.o" "gcc" "src/baselines/CMakeFiles/gaia_baselines.dir/arima_forecaster.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/gaia_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/gaia_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/gat.cc" "src/baselines/CMakeFiles/gaia_baselines.dir/gat.cc.o" "gcc" "src/baselines/CMakeFiles/gaia_baselines.dir/gat.cc.o.d"
+  "/root/repo/src/baselines/geniepath.cc" "src/baselines/CMakeFiles/gaia_baselines.dir/geniepath.cc.o" "gcc" "src/baselines/CMakeFiles/gaia_baselines.dir/geniepath.cc.o.d"
+  "/root/repo/src/baselines/gman.cc" "src/baselines/CMakeFiles/gaia_baselines.dir/gman.cc.o" "gcc" "src/baselines/CMakeFiles/gaia_baselines.dir/gman.cc.o.d"
+  "/root/repo/src/baselines/graphsage.cc" "src/baselines/CMakeFiles/gaia_baselines.dir/graphsage.cc.o" "gcc" "src/baselines/CMakeFiles/gaia_baselines.dir/graphsage.cc.o.d"
+  "/root/repo/src/baselines/logtrans.cc" "src/baselines/CMakeFiles/gaia_baselines.dir/logtrans.cc.o" "gcc" "src/baselines/CMakeFiles/gaia_baselines.dir/logtrans.cc.o.d"
+  "/root/repo/src/baselines/lstm_forecaster.cc" "src/baselines/CMakeFiles/gaia_baselines.dir/lstm_forecaster.cc.o" "gcc" "src/baselines/CMakeFiles/gaia_baselines.dir/lstm_forecaster.cc.o.d"
+  "/root/repo/src/baselines/mtgnn.cc" "src/baselines/CMakeFiles/gaia_baselines.dir/mtgnn.cc.o" "gcc" "src/baselines/CMakeFiles/gaia_baselines.dir/mtgnn.cc.o.d"
+  "/root/repo/src/baselines/stgcn.cc" "src/baselines/CMakeFiles/gaia_baselines.dir/stgcn.cc.o" "gcc" "src/baselines/CMakeFiles/gaia_baselines.dir/stgcn.cc.o.d"
+  "/root/repo/src/baselines/zoo.cc" "src/baselines/CMakeFiles/gaia_baselines.dir/zoo.cc.o" "gcc" "src/baselines/CMakeFiles/gaia_baselines.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gaia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gaia_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/gaia_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/gaia_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gaia_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gaia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gaia_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/gaia_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_baselines.dir/arima_forecaster.cc.o"
+  "CMakeFiles/gaia_baselines.dir/arima_forecaster.cc.o.d"
+  "CMakeFiles/gaia_baselines.dir/common.cc.o"
+  "CMakeFiles/gaia_baselines.dir/common.cc.o.d"
+  "CMakeFiles/gaia_baselines.dir/gat.cc.o"
+  "CMakeFiles/gaia_baselines.dir/gat.cc.o.d"
+  "CMakeFiles/gaia_baselines.dir/geniepath.cc.o"
+  "CMakeFiles/gaia_baselines.dir/geniepath.cc.o.d"
+  "CMakeFiles/gaia_baselines.dir/gman.cc.o"
+  "CMakeFiles/gaia_baselines.dir/gman.cc.o.d"
+  "CMakeFiles/gaia_baselines.dir/graphsage.cc.o"
+  "CMakeFiles/gaia_baselines.dir/graphsage.cc.o.d"
+  "CMakeFiles/gaia_baselines.dir/logtrans.cc.o"
+  "CMakeFiles/gaia_baselines.dir/logtrans.cc.o.d"
+  "CMakeFiles/gaia_baselines.dir/lstm_forecaster.cc.o"
+  "CMakeFiles/gaia_baselines.dir/lstm_forecaster.cc.o.d"
+  "CMakeFiles/gaia_baselines.dir/mtgnn.cc.o"
+  "CMakeFiles/gaia_baselines.dir/mtgnn.cc.o.d"
+  "CMakeFiles/gaia_baselines.dir/stgcn.cc.o"
+  "CMakeFiles/gaia_baselines.dir/stgcn.cc.o.d"
+  "CMakeFiles/gaia_baselines.dir/zoo.cc.o"
+  "CMakeFiles/gaia_baselines.dir/zoo.cc.o.d"
+  "libgaia_baselines.a"
+  "libgaia_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

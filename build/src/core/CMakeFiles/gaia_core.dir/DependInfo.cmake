@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cau.cc" "src/core/CMakeFiles/gaia_core.dir/cau.cc.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/cau.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/gaia_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/ffl.cc" "src/core/CMakeFiles/gaia_core.dir/ffl.cc.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/ffl.cc.o.d"
+  "/root/repo/src/core/forecast_model.cc" "src/core/CMakeFiles/gaia_core.dir/forecast_model.cc.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/forecast_model.cc.o.d"
+  "/root/repo/src/core/gaia_model.cc" "src/core/CMakeFiles/gaia_core.dir/gaia_model.cc.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/gaia_model.cc.o.d"
+  "/root/repo/src/core/ita_gcn.cc" "src/core/CMakeFiles/gaia_core.dir/ita_gcn.cc.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/ita_gcn.cc.o.d"
+  "/root/repo/src/core/probabilistic_gaia.cc" "src/core/CMakeFiles/gaia_core.dir/probabilistic_gaia.cc.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/probabilistic_gaia.cc.o.d"
+  "/root/repo/src/core/tel.cc" "src/core/CMakeFiles/gaia_core.dir/tel.cc.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/tel.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/gaia_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/gaia_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/gaia_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/gaia_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gaia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gaia_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/gaia_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/gaia_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gaia_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

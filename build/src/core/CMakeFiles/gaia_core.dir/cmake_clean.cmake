@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_core.dir/cau.cc.o"
+  "CMakeFiles/gaia_core.dir/cau.cc.o.d"
+  "CMakeFiles/gaia_core.dir/evaluator.cc.o"
+  "CMakeFiles/gaia_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/gaia_core.dir/ffl.cc.o"
+  "CMakeFiles/gaia_core.dir/ffl.cc.o.d"
+  "CMakeFiles/gaia_core.dir/forecast_model.cc.o"
+  "CMakeFiles/gaia_core.dir/forecast_model.cc.o.d"
+  "CMakeFiles/gaia_core.dir/gaia_model.cc.o"
+  "CMakeFiles/gaia_core.dir/gaia_model.cc.o.d"
+  "CMakeFiles/gaia_core.dir/ita_gcn.cc.o"
+  "CMakeFiles/gaia_core.dir/ita_gcn.cc.o.d"
+  "CMakeFiles/gaia_core.dir/probabilistic_gaia.cc.o"
+  "CMakeFiles/gaia_core.dir/probabilistic_gaia.cc.o.d"
+  "CMakeFiles/gaia_core.dir/tel.cc.o"
+  "CMakeFiles/gaia_core.dir/tel.cc.o.d"
+  "CMakeFiles/gaia_core.dir/trainer.cc.o"
+  "CMakeFiles/gaia_core.dir/trainer.cc.o.d"
+  "libgaia_core.a"
+  "libgaia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

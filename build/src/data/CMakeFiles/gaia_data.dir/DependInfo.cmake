@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/gaia_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/gaia_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/market_io.cc" "src/data/CMakeFiles/gaia_data.dir/market_io.cc.o" "gcc" "src/data/CMakeFiles/gaia_data.dir/market_io.cc.o.d"
+  "/root/repo/src/data/market_simulator.cc" "src/data/CMakeFiles/gaia_data.dir/market_simulator.cc.o" "gcc" "src/data/CMakeFiles/gaia_data.dir/market_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gaia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gaia_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

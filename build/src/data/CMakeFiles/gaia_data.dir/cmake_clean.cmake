@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_data.dir/dataset.cc.o"
+  "CMakeFiles/gaia_data.dir/dataset.cc.o.d"
+  "CMakeFiles/gaia_data.dir/market_io.cc.o"
+  "CMakeFiles/gaia_data.dir/market_io.cc.o.d"
+  "CMakeFiles/gaia_data.dir/market_simulator.cc.o"
+  "CMakeFiles/gaia_data.dir/market_simulator.cc.o.d"
+  "libgaia_data.a"
+  "libgaia_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

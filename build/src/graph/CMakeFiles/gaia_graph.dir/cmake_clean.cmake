@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_graph.dir/eseller_graph.cc.o"
+  "CMakeFiles/gaia_graph.dir/eseller_graph.cc.o.d"
+  "libgaia_graph.a"
+  "libgaia_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_nn.dir/init.cc.o"
+  "CMakeFiles/gaia_nn.dir/init.cc.o.d"
+  "CMakeFiles/gaia_nn.dir/layers.cc.o"
+  "CMakeFiles/gaia_nn.dir/layers.cc.o.d"
+  "CMakeFiles/gaia_nn.dir/module.cc.o"
+  "CMakeFiles/gaia_nn.dir/module.cc.o.d"
+  "libgaia_nn.a"
+  "libgaia_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

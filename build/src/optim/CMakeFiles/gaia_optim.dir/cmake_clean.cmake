@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_optim.dir/lr_schedule.cc.o"
+  "CMakeFiles/gaia_optim.dir/lr_schedule.cc.o.d"
+  "CMakeFiles/gaia_optim.dir/optimizer.cc.o"
+  "CMakeFiles/gaia_optim.dir/optimizer.cc.o.d"
+  "libgaia_optim.a"
+  "libgaia_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_serving.dir/model_server.cc.o"
+  "CMakeFiles/gaia_serving.dir/model_server.cc.o.d"
+  "CMakeFiles/gaia_serving.dir/monthly_scheduler.cc.o"
+  "CMakeFiles/gaia_serving.dir/monthly_scheduler.cc.o.d"
+  "libgaia_serving.a"
+  "libgaia_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

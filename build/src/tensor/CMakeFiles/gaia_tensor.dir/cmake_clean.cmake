@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_tensor.dir/tensor.cc.o"
+  "CMakeFiles/gaia_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/gaia_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/gaia_tensor.dir/tensor_ops.cc.o.d"
+  "libgaia_tensor.a"
+  "libgaia_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

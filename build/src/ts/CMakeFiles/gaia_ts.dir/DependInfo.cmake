@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/arima.cc" "src/ts/CMakeFiles/gaia_ts.dir/arima.cc.o" "gcc" "src/ts/CMakeFiles/gaia_ts.dir/arima.cc.o.d"
+  "/root/repo/src/ts/holt_winters.cc" "src/ts/CMakeFiles/gaia_ts.dir/holt_winters.cc.o" "gcc" "src/ts/CMakeFiles/gaia_ts.dir/holt_winters.cc.o.d"
+  "/root/repo/src/ts/metrics.cc" "src/ts/CMakeFiles/gaia_ts.dir/metrics.cc.o" "gcc" "src/ts/CMakeFiles/gaia_ts.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gaia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_ts.dir/arima.cc.o"
+  "CMakeFiles/gaia_ts.dir/arima.cc.o.d"
+  "CMakeFiles/gaia_ts.dir/holt_winters.cc.o"
+  "CMakeFiles/gaia_ts.dir/holt_winters.cc.o.d"
+  "CMakeFiles/gaia_ts.dir/metrics.cc.o"
+  "CMakeFiles/gaia_ts.dir/metrics.cc.o.d"
+  "libgaia_ts.a"
+  "libgaia_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

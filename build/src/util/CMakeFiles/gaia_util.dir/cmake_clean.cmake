@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_util.dir/check.cc.o"
+  "CMakeFiles/gaia_util.dir/check.cc.o.d"
+  "CMakeFiles/gaia_util.dir/logging.cc.o"
+  "CMakeFiles/gaia_util.dir/logging.cc.o.d"
+  "CMakeFiles/gaia_util.dir/rng.cc.o"
+  "CMakeFiles/gaia_util.dir/rng.cc.o.d"
+  "CMakeFiles/gaia_util.dir/status.cc.o"
+  "CMakeFiles/gaia_util.dir/status.cc.o.d"
+  "CMakeFiles/gaia_util.dir/table_printer.cc.o"
+  "CMakeFiles/gaia_util.dir/table_printer.cc.o.d"
+  "libgaia_util.a"
+  "libgaia_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

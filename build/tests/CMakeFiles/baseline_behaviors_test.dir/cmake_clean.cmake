@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_behaviors_test.dir/baseline_behaviors_test.cc.o"
+  "CMakeFiles/baseline_behaviors_test.dir/baseline_behaviors_test.cc.o.d"
+  "baseline_behaviors_test"
+  "baseline_behaviors_test.pdb"
+  "baseline_behaviors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_behaviors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gaia_test.dir/core_gaia_test.cc.o"
+  "CMakeFiles/core_gaia_test.dir/core_gaia_test.cc.o.d"
+  "core_gaia_test"
+  "core_gaia_test.pdb"
+  "core_gaia_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gaia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaia_cli.dir/gaia_cli.cc.o"
+  "CMakeFiles/gaia_cli.dir/gaia_cli.cc.o.d"
+  "gaia_cli"
+  "gaia_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaia_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
