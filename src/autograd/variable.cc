@@ -1,6 +1,5 @@
 #include "autograd/variable.h"
 
-#include <algorithm>
 #include <atomic>
 #include <unordered_set>
 
@@ -41,28 +40,39 @@ Var Parameter(Tensor value) {
 void Backward(const Var& root, const Tensor& seed) {
   GAIA_CHECK(root != nullptr);
   GAIA_CHECK(root->value.SameShape(seed));
-  // Collect all reachable nodes that require grad.
-  std::vector<AutogradNode*> order;
+  // Reverse-topological order via iterative DFS post-order over the parents
+  // of grad-requiring nodes. For every child -> parent edge the child
+  // finishes after the parent, so the reversed finish order processes each
+  // node before any of its parents — i.e. a node's grad is fully accumulated
+  // before its backward_fn fires. Unlike a creation-id sort, this order
+  // depends only on graph structure (root identity and the parents vectors),
+  // not on how node ids interleaved during a multi-threaded forward pass, so
+  // gradient accumulation order — and hence every gradient bit — is
+  // identical at any thread count.
+  struct Frame {
+    AutogradNode* node;
+    size_t next_parent;
+  };
+  std::vector<AutogradNode*> post_order;
   std::unordered_set<AutogradNode*> seen;
-  std::vector<AutogradNode*> stack = {root.get()};
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root.get(), 0});
   seen.insert(root.get());
   while (!stack.empty()) {
-    AutogradNode* node = stack.back();
-    stack.pop_back();
-    order.push_back(node);
-    for (const Var& parent : node->parents) {
-      if (parent->requires_grad && seen.insert(parent.get()).second) {
-        stack.push_back(parent.get());
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      AutogradNode* parent = frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && seen.insert(parent).second) {
+        stack.push_back(Frame{parent, 0});
       }
+    } else {
+      post_order.push_back(frame.node);
+      stack.pop_back();
     }
   }
-  // Descending creation id == reverse topological order.
-  std::sort(order.begin(), order.end(),
-            [](const AutogradNode* a, const AutogradNode* b) {
-              return a->id > b->id;
-            });
   root->AccumulateGrad(seed);
-  for (AutogradNode* node : order) {
+  for (auto it = post_order.rbegin(); it != post_order.rend(); ++it) {
+    AutogradNode* node = *it;
     if (node->backward_fn && node->requires_grad && !node->grad.empty()) {
       node->backward_fn(*node);
     }

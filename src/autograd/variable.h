@@ -18,8 +18,10 @@ using Var = std::shared_ptr<AutogradNode>;
 
 /// \brief One node of the reverse-mode tape.
 ///
-/// Nodes are created in forward order with monotonically increasing ids, so
-/// descending-id order is a valid reverse topological order for backprop.
+/// Nodes may be created concurrently (forward passes parallelize over nodes
+/// and edges); ids come from an atomic counter and are only a debugging aid.
+/// Backward derives its reverse-topological order from the graph structure
+/// itself, so gradients are bitwise identical at any thread count.
 /// Leaf parameters persist across steps (grads accumulate until ZeroGrad);
 /// interior nodes are released when the last Var referencing the loss dies.
 class AutogradNode {
@@ -35,7 +37,7 @@ class AutogradNode {
   /// True when this node or any ancestor is a trainable parameter.
   bool requires_grad = false;
 
-  /// Creation sequence number (reverse topological key).
+  /// Creation sequence number (diagnostic only; see class comment).
   uint64_t id = 0;
 
   /// Direct inputs of the op that produced this node.

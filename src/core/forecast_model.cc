@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace gaia::core {
 
@@ -12,11 +13,15 @@ Var ForecastModel::TrainingLoss(const data::ForecastDataset& dataset,
                                 bool training, Rng* rng) {
   GAIA_CHECK(!nodes.empty());
   std::vector<Var> preds = PredictNodes(dataset, nodes, training, rng);
-  std::vector<Var> losses;
-  losses.reserve(preds.size());
-  for (size_t i = 0; i < preds.size(); ++i) {
-    losses.push_back(ag::MseLoss(preds[i], dataset.target(nodes[i])));
-  }
+  // Per-sample losses are independent subgraphs; build them in parallel into
+  // fixed slots, then reduce with AddN in batch order (deterministic at any
+  // thread count).
+  std::vector<Var> losses(preds.size());
+  util::ParallelFor(static_cast<int64_t>(preds.size()), [&](int64_t i) {
+    losses[static_cast<size_t>(i)] =
+        ag::MseLoss(preds[static_cast<size_t>(i)],
+                    dataset.target(nodes[static_cast<size_t>(i)]));
+  });
   return ag::ScalarMul(ag::AddN(losses),
                        1.0f / static_cast<float>(losses.size()));
 }

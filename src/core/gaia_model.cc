@@ -2,6 +2,7 @@
 
 #include "nn/init.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace gaia::core {
 
@@ -48,6 +49,9 @@ GaiaModel::GaiaModel(const GaiaConfig& config, int64_t t_len, int64_t horizon,
       horizon_(horizon),
       d_temporal_(d_temporal),
       d_static_(d_static) {
+  if (config.num_threads > 0) {
+    util::ThreadPool::SetGlobalThreads(config.num_threads);
+  }
   Rng rng(config.seed);
   const int64_t c = config.channels;
   if (config.use_ffl) {
@@ -175,23 +179,33 @@ Tensor GaiaModel::PredictEgo(const data::ForecastDataset& dataset,
 std::vector<Var> GaiaModel::PredictNodesViaEgo(
     const data::ForecastDataset& dataset, const std::vector<int32_t>& nodes,
     int64_t num_hops, int64_t max_fanout, Rng* rng) const {
-  std::vector<Var> out;
-  out.reserve(nodes.size());
-  for (int32_t center : nodes) {
+  // Ego extraction stays serial: sampling consumes the rng, whose draw order
+  // must not depend on thread scheduling. The per-sample forwards are then
+  // independent graphs and fan out across the pool.
+  struct EgoWork {
+    graph::EsellerGraph graph;
+    std::vector<NodeInput> inputs;
+  };
+  std::vector<EgoWork> work(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
     graph::EgoSubgraph ego = graph::ExtractEgoSubgraph(
-        dataset.graph(), center, num_hops, max_fanout, rng);
+        dataset.graph(), nodes[i], num_hops, max_fanout, rng);
     Result<graph::EsellerGraph> local =
         graph::EsellerGraph::Create(ego.num_nodes(), ego.edges);
     GAIA_CHECK(local.ok()) << local.status().ToString();
-    std::vector<NodeInput> inputs;
-    inputs.reserve(ego.nodes.size());
+    work[i].graph = std::move(local).value();
+    work[i].inputs.reserve(ego.nodes.size());
     for (int32_t global_id : ego.nodes) {
-      inputs.push_back(NodeInput{&dataset.z(global_id),
-                                 &dataset.temporal(global_id),
-                                 &dataset.static_features(global_id)});
+      work[i].inputs.push_back(NodeInput{&dataset.z(global_id),
+                                         &dataset.temporal(global_id),
+                                         &dataset.static_features(global_id)});
     }
-    out.push_back(ForwardGraph(local.value(), inputs).front());
   }
+  std::vector<Var> out(nodes.size());
+  util::ParallelFor(static_cast<int64_t>(work.size()), [&](int64_t i) {
+    const EgoWork& w = work[static_cast<size_t>(i)];
+    out[static_cast<size_t>(i)] = ForwardGraph(w.graph, w.inputs).front();
+  });
   return out;
 }
 

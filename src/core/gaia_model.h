@@ -35,6 +35,12 @@ struct GaiaConfig {
 
   uint64_t seed = 1;
 
+  /// Worker threads for the parallel ITA-GCN forward. 0 keeps the current
+  /// process-wide pool (GAIA_NUM_THREADS or hardware concurrency); > 0 pins
+  /// the global pool to that size when the model is created. Outputs are
+  /// bitwise identical at any setting; 1 recovers the serial path exactly.
+  int num_threads = 0;
+
   /// Validates against the sequence length (kernel group widths must fit).
   Status Validate(int64_t t_len) const;
 };

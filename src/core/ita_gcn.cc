@@ -1,6 +1,7 @@
 #include "core/ita_gcn.h"
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace gaia::core {
 
@@ -31,36 +32,44 @@ std::vector<Var> ItaGcnLayer::Forward(const graph::EsellerGraph& graph,
   const auto n = static_cast<int32_t>(h.size());
   GAIA_CHECK_EQ(static_cast<int64_t>(n), graph.num_nodes());
 
-  // Project every node once; edges then only pay the T x T attention.
-  std::vector<ConvAttentionUnit::Projection> proj;
-  proj.reserve(static_cast<size_t>(n));
+  // Phase 1 — project every node once; edges then only pay the T x T
+  // attention. Nodes are independent, and each task writes only its own
+  // slot, so the fan-out is bitwise-deterministic at any thread count.
+  std::vector<ConvAttentionUnit::Projection> proj(static_cast<size_t>(n));
   std::vector<Var> score_src, score_dst;
-  for (int32_t u = 0; u < n; ++u) {
-    GAIA_CHECK_EQ(h[static_cast<size_t>(u)]->value.dim(0), t_len_);
-    proj.push_back(cau_->Project(h[static_cast<size_t>(u)]));
-    if (use_ita_) {
-      score_src.push_back(conv_src_->Forward(h[static_cast<size_t>(u)]));
-      score_dst.push_back(conv_dst_->Forward(h[static_cast<size_t>(u)]));
-    }
+  if (use_ita_) {
+    score_src.resize(static_cast<size_t>(n));
+    score_dst.resize(static_cast<size_t>(n));
   }
+  util::ParallelFor(n, [&](int64_t i) {
+    const auto u = static_cast<size_t>(i);
+    GAIA_CHECK_EQ(h[u]->value.dim(0), t_len_);
+    proj[u] = cau_->Project(h[u]);
+    if (use_ita_) {
+      score_src[u] = conv_src_->Forward(h[u]);
+      score_dst[u] = conv_dst_->Forward(h[u]);
+    }
+  });
 
-  std::vector<Var> out;
-  out.reserve(static_cast<size_t>(n));
-  for (int32_t u = 0; u < n; ++u) {
+  // Phase 2 — CAU attention fans across this node's in-edges; neighbour
+  // messages accumulate in the graph's fixed in-neighbour order, so the sum
+  // does not depend on which thread runs the node.
+  std::vector<Var> out(static_cast<size_t>(n));
+  auto compute_node = [&](int32_t u, ItaProbe* node_probe) {
     const auto& pu = proj[static_cast<size_t>(u)];
 
     // Intra self-attention term CAU(H_u, H_u).
     Tensor self_attention;
     Var self_term = cau_->Attend(pu.q, pu.k, pu.v,
-                                 probe ? &self_attention : nullptr);
-    if (probe) {
-      probe->intra.push_back(EdgeAttentionRecord{u, u, self_attention});
+                                 node_probe ? &self_attention : nullptr);
+    if (node_probe) {
+      node_probe->intra.push_back(EdgeAttentionRecord{u, u, self_attention});
     }
 
     const std::vector<graph::Neighbor> neighbors = graph.InNeighbors(u);
     if (neighbors.empty()) {
-      out.push_back(self_term);
-      continue;
+      out[static_cast<size_t>(u)] = self_term;
+      return;
     }
 
     // Neighbour aggregation weights alpha_uv.
@@ -85,14 +94,14 @@ std::vector<Var> ItaGcnLayer::Forward(const graph::EsellerGraph& graph,
           {static_cast<int64_t>(neighbors.size())},
           1.0f / static_cast<float>(neighbors.size())));
     }
-    if (probe) {
+    if (node_probe) {
       NeighborAlphaRecord rec;
       rec.u = u;
       for (const graph::Neighbor& nb : neighbors) {
         rec.neighbors.push_back(nb.node);
       }
       rec.alpha = alpha->value;
-      probe->alphas.push_back(std::move(rec));
+      node_probe->alphas.push_back(std::move(rec));
     }
 
     // Inter neighbour-attention term: sum_v alpha_uv CAU(H_u, H_v).
@@ -102,15 +111,24 @@ std::vector<Var> ItaGcnLayer::Forward(const graph::EsellerGraph& graph,
       const auto& pv = proj[static_cast<size_t>(neighbors[i].node)];
       Tensor edge_attention;
       Var message = cau_->Attend(pu.q, pv.k, pv.v,
-                                 probe ? &edge_attention : nullptr);
-      if (probe) {
-        probe->inter.push_back(
+                                 node_probe ? &edge_attention : nullptr);
+      if (node_probe) {
+        node_probe->inter.push_back(
             EdgeAttentionRecord{u, neighbors[i].node, edge_attention});
       }
       messages.push_back(ag::ScaleByScalar(
           message, ag::SelectScalar(alpha, static_cast<int64_t>(i))));
     }
-    out.push_back(ag::Add(ag::AddN(messages), self_term));
+    out[static_cast<size_t>(u)] = ag::Add(ag::AddN(messages), self_term);
+  };
+
+  if (probe != nullptr) {
+    // Introspection path stays serial so probe records keep their documented
+    // node-then-edge order.
+    for (int32_t u = 0; u < n; ++u) compute_node(u, probe);
+  } else {
+    util::ParallelFor(
+        n, [&](int64_t u) { compute_node(static_cast<int32_t>(u), nullptr); });
   }
   return out;
 }

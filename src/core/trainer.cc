@@ -9,6 +9,7 @@
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace gaia::core {
 
@@ -21,15 +22,25 @@ double Trainer::EvaluateMse(ForecastModel* model,
   Rng rng(0);
   std::vector<Var> preds =
       model->PredictNodes(dataset, nodes, /*training=*/false, &rng);
+  // Per-sample squared-error partials run in parallel; the reduction over
+  // samples stays serial in node order so the result is thread-count
+  // invariant.
+  std::vector<double> partial(preds.size(), 0.0);
+  util::ParallelFor(static_cast<int64_t>(preds.size()), [&](int64_t i) {
+    const Tensor& target = dataset.target(nodes[static_cast<size_t>(i)]);
+    double sample_total = 0.0;
+    for (int64_t h = 0; h < target.size(); ++h) {
+      const double d = preds[static_cast<size_t>(i)]->value.data()[h] -
+                       target.data()[h];
+      sample_total += d * d;
+    }
+    partial[static_cast<size_t>(i)] = sample_total;
+  });
   double total = 0.0;
   int64_t count = 0;
   for (size_t i = 0; i < preds.size(); ++i) {
-    const Tensor& target = dataset.target(nodes[i]);
-    for (int64_t h = 0; h < target.size(); ++h) {
-      const double d = preds[i]->value.data()[h] - target.data()[h];
-      total += d * d;
-      ++count;
-    }
+    total += partial[i];
+    count += dataset.target(nodes[i]).size();
   }
   return total / static_cast<double>(count);
 }
@@ -37,6 +48,9 @@ double Trainer::EvaluateMse(ForecastModel* model,
 TrainResult Trainer::Fit(ForecastModel* model,
                          const data::ForecastDataset& dataset) const {
   GAIA_CHECK(model != nullptr);
+  if (config_.num_threads > 0) {
+    util::ThreadPool::SetGlobalThreads(config_.num_threads);
+  }
   Stopwatch watch;
   Rng rng(config_.seed);
   std::vector<Var> params = model->Parameters();

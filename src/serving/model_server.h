@@ -18,6 +18,11 @@ struct ServerConfig {
   int64_t ego_hops = 2;     ///< matches the stacked ITA-GCN depth
   int64_t max_fanout = 10;  ///< per-hop neighbour cap for latency control
   uint64_t seed = 5;
+  /// Worker threads for the batch sweep (PredictBatch fans requests across
+  /// the pool). 0 keeps the current process-wide pool (GAIA_NUM_THREADS or
+  /// hardware concurrency); > 0 pins the global pool to that size at server
+  /// construction. Forecast values are bitwise identical at any setting.
+  int num_threads = 0;
 };
 
 /// \brief Real-time prediction service over a trained Gaia model.

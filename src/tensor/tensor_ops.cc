@@ -1,19 +1,40 @@
 #include "tensor/tensor_ops.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace gaia {
 
 namespace {
+
+/// Approximate per-chunk work (in scalar ops) for the parallel kernels.
+/// Anything smaller than one chunk runs serially — parallel dispatch costs a
+/// few microseconds, so only tensors well past cache size benefit. Chunk
+/// boundaries depend on shape only (never thread count), and every output
+/// row/element is produced by the same serial inner loop either way, so the
+/// parallel kernels are bitwise identical to the serial ones.
+constexpr int64_t kGrainWork = int64_t{1} << 15;
+
+/// Splits [0, rows) into chunks carrying ~kGrainWork of `work_per_row` each
+/// and runs them on the global pool (inline when one chunk suffices).
+template <typename Body>
+void ParallelRows(int64_t rows, int64_t work_per_row, const Body& body) {
+  const int64_t grain =
+      std::max<int64_t>(1, kGrainWork / std::max<int64_t>(1, work_per_row));
+  util::ParallelForRange(rows, grain, body);
+}
 
 template <typename Fn>
 Tensor Map(const Tensor& a, Fn fn) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < a.size(); ++i) po[i] = fn(pa[i]);
+  ParallelRows(a.size(), 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = fn(pa[i]);
+  });
   return out;
 }
 
@@ -35,15 +56,17 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float aip = pa[i * k + p];
-      if (aip == 0.0f) continue;
-      const float* brow = pb + p * n;
-      float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += aip * brow[j];
+  ParallelRows(m, k * n, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float aip = pa[i * k + p];
+        if (aip == 0.0f) continue;
+        const float* brow = pb + p * n;
+        float* orow = po + i * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += aip * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -123,21 +146,24 @@ Tensor SoftmaxRows(const Tensor& logits) {
   GAIA_CHECK_EQ(logits.ndim(), 2);
   const int64_t rows = logits.dim(0), cols = logits.dim(1);
   Tensor out({rows, cols});
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* in = logits.data() + i * cols;
-    float* po = out.data() + i * cols;
-    float row_max = kMaskNegInf;
-    for (int64_t j = 0; j < cols; ++j) row_max = std::max(row_max, in[j]);
-    if (row_max <= kMaskNegInf) continue;  // fully masked row -> zeros
-    double denom = 0.0;
-    for (int64_t j = 0; j < cols; ++j) {
-      float e = in[j] <= kMaskNegInf ? 0.0f : std::exp(in[j] - row_max);
-      po[j] = e;
-      denom += e;
+  // exp dominates the per-row cost; weight it when sizing parallel chunks.
+  ParallelRows(rows, cols * 8, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* in = logits.data() + i * cols;
+      float* po = out.data() + i * cols;
+      float row_max = kMaskNegInf;
+      for (int64_t j = 0; j < cols; ++j) row_max = std::max(row_max, in[j]);
+      if (row_max <= kMaskNegInf) continue;  // fully masked row -> zeros
+      double denom = 0.0;
+      for (int64_t j = 0; j < cols; ++j) {
+        float e = in[j] <= kMaskNegInf ? 0.0f : std::exp(in[j] - row_max);
+        po[j] = e;
+        denom += e;
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t j = 0; j < cols; ++j) po[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < cols; ++j) po[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -289,19 +315,22 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   }
   const int64_t left = PadLeft(kernel, mode, dilation);
   Tensor out({t_len, c_out});
-  for (int64_t t = 0; t < t_len; ++t) {
-    for (int64_t o = 0; o < c_out; ++o) {
-      double acc = has_bias ? bias.at(o) : 0.0;
-      for (int64_t k = 0; k < kernel; ++k) {
-        const int64_t s = t + k * dilation - left;
-        if (s < 0 || s >= t_len) continue;
-        const float* in_row = input.data() + s * c_in;
-        const float* w_row = weight.data() + (o * kernel + k) * c_in;
-        for (int64_t c = 0; c < c_in; ++c) acc += in_row[c] * w_row[c];
+  ParallelRows(t_len, c_out * kernel * c_in,
+               [&](int64_t t_begin, int64_t t_end) {
+    for (int64_t t = t_begin; t < t_end; ++t) {
+      for (int64_t o = 0; o < c_out; ++o) {
+        double acc = has_bias ? bias.at(o) : 0.0;
+        for (int64_t k = 0; k < kernel; ++k) {
+          const int64_t s = t + k * dilation - left;
+          if (s < 0 || s >= t_len) continue;
+          const float* in_row = input.data() + s * c_in;
+          const float* w_row = weight.data() + (o * kernel + k) * c_in;
+          for (int64_t c = 0; c < c_in; ++c) acc += in_row[c] * w_row[c];
+        }
+        out.at(t, o) = static_cast<float>(acc);
       }
-      out.at(t, o) = static_cast<float>(acc);
     }
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,198 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "util/check.h"
+
+namespace gaia::util {
+
+namespace {
+
+/// Set while a thread is executing chunks of some job; nested ParallelFor
+/// calls observe it and run inline.
+thread_local bool tl_in_parallel_region = false;
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+/// One dispatched loop. Chunks are claimed through `next`; the job is done
+/// when `completed` reaches `num_chunks`.
+struct ThreadPool::Job {
+  int64_t n = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  const std::function<void(int64_t, int64_t)>* body = nullptr;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> completed{0};
+  std::atomic<bool> has_error{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  GAIA_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return stop_ ||
+               (job_ != nullptr &&
+                job_->next.load(std::memory_order_relaxed) < job_->num_chunks);
+      });
+      if (stop_) return;
+      job = job_;
+    }
+    RunChunks(*job);
+  }
+}
+
+void ThreadPool::RunChunks(Job& job) {
+  const bool previous = tl_in_parallel_region;
+  tl_in_parallel_region = true;
+  for (;;) {
+    const int64_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.num_chunks) break;
+    if (!job.has_error.load(std::memory_order_relaxed)) {
+      try {
+        const int64_t begin = chunk * job.grain;
+        const int64_t end = std::min(job.n, begin + job.grain);
+        (*job.body)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mu);
+        if (job.error == nullptr) job.error = std::current_exception();
+        job.has_error.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.num_chunks) {
+      std::lock_guard<std::mutex> lock(job.done_mu);
+      job.done_cv.notify_all();
+    }
+  }
+  tl_in_parallel_region = previous;
+}
+
+void ThreadPool::ParallelForRange(
+    int64_t n, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  if (workers_.empty() || tl_in_parallel_region || n <= grain) {
+    body(0, n);
+    return;
+  }
+  // One job at a time: concurrent top-level callers queue up here.
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->grain = grain;
+  job->num_chunks = (n + grain - 1) / grain;
+  job->body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+  }
+  cv_.notify_all();
+  RunChunks(*job);  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) == job->num_chunks;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job_ == job) job_ = nullptr;
+  }
+  if (job->error != nullptr) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& body,
+                             int64_t grain) {
+  ParallelForRange(n, grain, [&body](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_pool == nullptr) {
+    g_global_pool = std::make_unique<ThreadPool>(DefaultThreads());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  GAIA_CHECK_GE(num_threads, 1);
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_pool != nullptr &&
+      g_global_pool->num_threads() == num_threads) {
+    return;
+  }
+  g_global_pool.reset();  // join old workers before spawning new ones
+  g_global_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+int ThreadPool::GlobalThreads() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  return g_global_pool != nullptr ? g_global_pool->num_threads()
+                                  : DefaultThreads();
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("GAIA_NUM_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return std::min(parsed, 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool ThreadPool::InParallelRegion() { return tl_in_parallel_region; }
+
+void ParallelFor(int64_t n, const std::function<void(int64_t)>& body,
+                 int64_t grain) {
+  if (n <= 0) return;
+  if (ThreadPool::InParallelRegion() || n <= std::max<int64_t>(1, grain)) {
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool::Global().ParallelFor(n, body, grain);
+}
+
+void ParallelForRange(int64_t n, int64_t grain,
+                      const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  if (ThreadPool::InParallelRegion() || n <= std::max<int64_t>(1, grain)) {
+    body(0, n);
+    return;
+  }
+  ThreadPool::Global().ParallelForRange(n, grain, body);
+}
+
+}  // namespace gaia::util

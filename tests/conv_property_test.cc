@@ -5,11 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <tuple>
 
 #include "autograd/grad_check.h"
 #include "autograd/ops.h"
+#include "core/cau.h"
 #include "tensor/tensor_ops.h"
 
 namespace gaia {
@@ -142,6 +145,102 @@ INSTANTIATE_TEST_SUITE_P(Sizes, SoftmaxPropertyTest,
                                                                        24),
                                             ::testing::Values<int64_t>(1, 7,
                                                                        24)));
+
+// ---------------------------------------------------------------------------
+// ConvAttentionUnit properties, parameterized over the head count.
+// ---------------------------------------------------------------------------
+
+class CauHeadsTest : public ::testing::TestWithParam<int64_t> {};
+
+// The multi-head path (SliceCols / per-head softmax / ConcatCols) has its own
+// backward composition; finite differences must agree through the full CAU
+// for both the unit's parameters and the node representations.
+TEST_P(CauHeadsTest, MultiHeadGradientsMatchFiniteDifferences) {
+  const int64_t heads = GetParam();
+  Rng rng(41);
+  const int64_t t_len = 6, c = 4;
+  core::ConvAttentionUnit cau(c, &rng, /*dense_projections=*/false,
+                              /*causal=*/true, heads);
+  Var h_u = ag::Parameter(Tensor::Randn({t_len, c}, &rng, 0.5f));
+  Var h_v = ag::Parameter(Tensor::Randn({t_len, c}, &rng, 0.5f));
+  std::vector<Var> params = cau.Parameters();
+  params.push_back(h_u);
+  params.push_back(h_v);
+  auto build = [&](const std::vector<Var>&) {
+    Var out = cau.Forward(h_u, h_v);
+    return ag::SumAll(ag::Mul(out, out));
+  };
+  auto result = ag::CheckGradients(build, params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+// Causal property of the whole unit: since Q/K/V projections are causal
+// convolutions and the mask kills rightward attention, the output at t is a
+// function of inputs at <= t only. Perturbing timestamps >= t_perturb (on
+// both endpoints of the edge) must leave every earlier row untouched.
+TEST_P(CauHeadsTest, CausalMaskBlocksFutureInfluence) {
+  const int64_t heads = GetParam();
+  const int64_t t_len = 10, c = 4;
+  Rng rng(51);
+  core::ConvAttentionUnit cau(c, &rng, /*dense_projections=*/false,
+                              /*causal=*/true, heads);
+  Rng data_rng(52);
+  Tensor h_u = Tensor::Randn({t_len, c}, &data_rng);
+  Tensor h_v = Tensor::Randn({t_len, c}, &data_rng);
+  Tensor base = cau.Forward(ag::Constant(h_u), ag::Constant(h_v))->value;
+  for (int64_t t_perturb : {t_len - 1, t_len - 4}) {
+    Tensor pu = h_u, pv = h_v;
+    for (int64_t t = t_perturb; t < t_len; ++t) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        pu.at(t, ch) += 50.0f;
+        pv.at(t, ch) -= 50.0f;
+      }
+    }
+    Tensor out = cau.Forward(ag::Constant(pu), ag::Constant(pv))->value;
+    for (int64_t t = 0; t < t_perturb; ++t) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        ASSERT_FLOAT_EQ(out.at(t, ch), base.at(t, ch))
+            << "future leak at t=" << t << " after perturbing >= " << t_perturb
+            << " with " << heads << " heads";
+      }
+    }
+  }
+}
+
+// Control for the property above: with the mask disabled (the w/o-causal
+// ablation) the same perturbation *must* reach earlier rows through the
+// attention weights — otherwise the previous test proves nothing.
+TEST_P(CauHeadsTest, NonCausalAttentionSeesFuturePerturbations) {
+  const int64_t heads = GetParam();
+  const int64_t t_len = 10, c = 4;
+  Rng rng(51);
+  core::ConvAttentionUnit cau(c, &rng, /*dense_projections=*/false,
+                              /*causal=*/false, heads);
+  Rng data_rng(52);
+  Tensor h_u = Tensor::Randn({t_len, c}, &data_rng);
+  Tensor h_v = Tensor::Randn({t_len, c}, &data_rng);
+  Tensor base = cau.Forward(ag::Constant(h_u), ag::Constant(h_v))->value;
+  const int64_t t_perturb = t_len - 2;
+  Tensor pv = h_v;
+  for (int64_t t = t_perturb; t < t_len; ++t) {
+    for (int64_t ch = 0; ch < c; ++ch) pv.at(t, ch) += 50.0f;
+  }
+  Tensor out = cau.Forward(ag::Constant(h_u), ag::Constant(pv))->value;
+  float max_diff = 0.0f;
+  for (int64_t t = 0; t < t_perturb; ++t) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      max_diff = std::max(max_diff, std::fabs(out.at(t, ch) - base.at(t, ch)));
+    }
+  }
+  EXPECT_GT(max_diff, 1e-6f)
+      << "unmasked attention should leak the future into earlier rows";
+}
+
+INSTANTIATE_TEST_SUITE_P(Heads, CauHeadsTest,
+                         ::testing::Values<int64_t>(1, 2, 4),
+                         [](const ::testing::TestParamInfo<int64_t>& info) {
+                           return "h" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace gaia

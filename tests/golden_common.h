@@ -1,0 +1,153 @@
+// Shared fixture for the golden-regression layer: tools/golden_dump.cc
+// *writes* these tensors to tests/golden/ and tests/golden_test.cc *compares*
+// freshly computed values against the committed files. Both sides include
+// this header so the fixture definitions can never drift apart.
+//
+// Everything here is seeded and runs on deterministic code paths (no dropout,
+// thread-count-invariant kernels), so the committed goldens are stable across
+// machines up to libm rounding — hence the 1e-6 comparison tolerance rather
+// than bitwise equality.
+
+#ifndef GAIA_TESTS_GOLDEN_COMMON_H_
+#define GAIA_TESTS_GOLDEN_COMMON_H_
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/cau.h"
+#include "core/ffl.h"
+#include "core/gaia_model.h"
+#include "core/tel.h"
+#include "data/dataset.h"
+#include "data/market_simulator.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace gaia::golden {
+
+struct NamedTensor {
+  std::string name;  ///< file stem under tests/golden/
+  Tensor value;
+};
+
+/// Recomputes every golden tensor from fixed seeds. Covers each Gaia
+/// component in isolation (FFL, TEL, CAU) plus the full model's 3-step
+/// predictions and training loss on a small fixed market.
+inline std::vector<NamedTensor> ComputeGoldenOutputs() {
+  namespace ag = autograd;
+  std::vector<NamedTensor> out;
+
+  // --- Component fixtures: one rng stream for weights, one for inputs. ---
+  {
+    Rng layer_rng(101);
+    Rng input_rng(202);
+    constexpr int64_t kT = 8, kDt = 3, kDs = 2, kC = 8;
+
+    core::FeatureFusionLayer ffl(kT, kDt, kDs, kC, &layer_rng);
+    ag::Var z = ag::Constant(Tensor::Randn({kT}, &input_rng));
+    ag::Var temporal = ag::Constant(Tensor::Randn({kT, kDt}, &input_rng));
+    ag::Var statics = ag::Constant(Tensor::Randn({kDs}, &input_rng));
+    out.push_back({"ffl_forward", ffl.Forward(z, temporal, statics)->value});
+
+    core::TemporalEmbeddingLayer tel(kC, /*num_groups=*/2, &layer_rng);
+    ag::Var s = ag::Constant(Tensor::Randn({kT, kC}, &input_rng));
+    out.push_back({"tel_forward", tel.Forward(s)->value});
+
+    core::ConvAttentionUnit cau(kC, &layer_rng);
+    ag::Var h_u = ag::Constant(Tensor::Randn({kT, kC}, &input_rng));
+    ag::Var h_v = ag::Constant(Tensor::Randn({kT, kC}, &input_rng));
+    Tensor attention;
+    out.push_back({"cau_forward", cau.Forward(h_u, h_v, &attention)->value});
+    out.push_back({"cau_attention", attention});
+  }
+
+  // --- Full model on a small fixed market. ---
+  {
+    data::MarketConfig market_cfg;
+    market_cfg.num_shops = 40;
+    market_cfg.seed = 77;
+    auto market = data::MarketSimulator(market_cfg).Generate();
+    data::ForecastDataset dataset =
+        std::move(data::ForecastDataset::Create(market.value(),
+                                                data::DatasetOptions{}))
+            .value();
+    core::GaiaConfig cfg;
+    cfg.channels = 8;
+    cfg.tel_groups = 2;
+    cfg.num_layers = 2;
+    cfg.seed = 5;
+    std::unique_ptr<core::GaiaModel> model =
+        std::move(core::GaiaModel::Create(cfg, dataset.history_len(),
+                                          dataset.horizon(),
+                                          dataset.temporal_dim(),
+                                          dataset.static_dim()))
+            .value();
+
+    const std::vector<int32_t> nodes = {0, 1, 2, 5, 11};
+    std::vector<autograd::Var> preds =
+        model->PredictNodes(dataset, nodes, /*training=*/false, nullptr);
+    const int64_t horizon = dataset.horizon();
+    Tensor stacked({static_cast<int64_t>(nodes.size()), horizon});
+    for (size_t i = 0; i < preds.size(); ++i) {
+      for (int64_t h = 0; h < horizon; ++h) {
+        stacked.at(static_cast<int64_t>(i), h) = preds[i]->value.data()[h];
+      }
+    }
+    out.push_back({"gaia_predictions", std::move(stacked)});
+
+    Rng loss_rng(0);
+    ag::Var loss =
+        model->TrainingLoss(dataset, nodes, /*training=*/false, &loss_rng);
+    out.push_back({"gaia_mse_loss", loss->value});
+  }
+  return out;
+}
+
+/// Text format: line 1 is "ndim d0 d1 ...", then one %.9e value per line.
+/// Plain text keeps goldens reviewable in diffs; 9 significant digits is
+/// well inside the 1e-6 comparison tolerance for these O(1)-magnitude
+/// activations.
+inline bool WriteTensorFile(const std::string& path, const Tensor& t) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << t.ndim();
+  for (int64_t d : t.shape()) file << ' ' << d;
+  file << '\n';
+  char buf[32];
+  for (int64_t i = 0; i < t.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.9e", static_cast<double>(t.data()[i]));
+    file << buf << '\n';
+  }
+  return static_cast<bool>(file);
+}
+
+inline bool ReadTensorFile(const std::string& path, Tensor* out) {
+  std::ifstream file(path);
+  if (!file) return false;
+  int64_t ndim = -1;
+  file >> ndim;
+  if (ndim < 0 || ndim > 8) return false;
+  std::vector<int64_t> shape(static_cast<size_t>(ndim));
+  int64_t total = 1;
+  for (int64_t& d : shape) {
+    file >> d;
+    if (!file || d <= 0) return false;
+    total *= d;
+  }
+  std::vector<float> data(static_cast<size_t>(total));
+  for (float& v : data) {
+    file >> v;
+    if (!file) return false;
+  }
+  *out = Tensor(std::move(shape), std::move(data));
+  return true;
+}
+
+}  // namespace gaia::golden
+
+#endif  // GAIA_TESTS_GOLDEN_COMMON_H_

@@ -1,0 +1,64 @@
+// Golden-regression layer: recomputes the fixed-seed fixture outputs from
+// tests/golden_common.h and compares them against the committed reference
+// files in tests/golden/. A failure here means the numerics changed — either
+// a bug, or an intentional change that must be re-blessed by running
+// tools/golden_dump and committing the refreshed files (see docs/TESTING.md).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/golden_common.h"
+
+#ifndef GAIA_GOLDEN_DIR
+#error "GAIA_GOLDEN_DIR must point at the committed tests/golden directory"
+#endif
+
+namespace gaia {
+namespace {
+
+constexpr float kTolerance = 1e-6f;
+
+TEST(GoldenTest, OutputsMatchCommittedReferences) {
+  const std::vector<golden::NamedTensor> computed =
+      golden::ComputeGoldenOutputs();
+  ASSERT_FALSE(computed.empty());
+  for (const golden::NamedTensor& fresh : computed) {
+    SCOPED_TRACE(fresh.name);
+    const std::string path =
+        std::string(GAIA_GOLDEN_DIR) + "/" + fresh.name + ".txt";
+    Tensor reference;
+    ASSERT_TRUE(golden::ReadTensorFile(path, &reference))
+        << "missing or unparsable golden file " << path
+        << " — regenerate with ./build/tools/golden_dump";
+    ASSERT_EQ(reference.shape(), fresh.value.shape());
+    float max_diff = 0.0f;
+    for (int64_t i = 0; i < reference.size(); ++i) {
+      max_diff = std::max(max_diff,
+                          std::fabs(reference.data()[i] - fresh.value.data()[i]));
+    }
+    EXPECT_LE(max_diff, kTolerance)
+        << fresh.name << " drifted from its committed golden by " << max_diff;
+  }
+}
+
+// The fixture itself must be reproducible within a process — otherwise a
+// golden mismatch could be blamed on the fixture instead of the model.
+TEST(GoldenTest, FixtureIsReproducible) {
+  const std::vector<golden::NamedTensor> a = golden::ComputeGoldenOutputs();
+  const std::vector<golden::NamedTensor> b = golden::ComputeGoldenOutputs();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(a[i].name);
+    ASSERT_EQ(a[i].name, b[i].name);
+    ASSERT_TRUE(a[i].value.SameShape(b[i].value));
+    for (int64_t j = 0; j < a[i].value.size(); ++j) {
+      ASSERT_EQ(a[i].value.data()[j], b[i].value.data()[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gaia

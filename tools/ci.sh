@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml for offline use: a Release build
+# running the full suite, then an ASan+UBSan build running the labelled
+# concurrency/golden subset.
+#
+#   tools/ci.sh            # both jobs
+#   tools/ci.sh release    # release job only
+#   tools/ci.sh sanitize   # sanitizer job only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+job="${1:-all}"
+jobs=$(nproc)
+
+if [[ "$job" == "release" || "$job" == "all" ]]; then
+  echo "=== Release build + full test suite ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$jobs"
+  ctest --test-dir build --output-on-failure -j"$jobs"
+fi
+
+if [[ "$job" == "sanitize" || "$job" == "all" ]]; then
+  echo "=== ASan+UBSan build + concurrency/golden tests ==="
+  cmake -B build-asan -S . -DGAIA_SANITIZE=ON
+  cmake --build build-asan -j"$jobs"
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan --output-on-failure -L "concurrency|golden"
+fi

@@ -1,0 +1,33 @@
+// Regenerates the golden-regression reference files:
+//
+//   ./build/tools/golden_dump [output_dir]     (default: tests/golden)
+//
+// Run from the repo root after an *intentional* numerical change, eyeball the
+// diff, and commit the updated files together with the change that caused
+// them. tests/golden_test.cc fails loudly when outputs drift without this
+// ritual.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tests/golden_common.h"
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "tests/golden";
+  const std::vector<gaia::golden::NamedTensor> goldens =
+      gaia::golden::ComputeGoldenOutputs();
+  int failures = 0;
+  for (const gaia::golden::NamedTensor& golden : goldens) {
+    const std::string path = out_dir + "/" + golden.name + ".txt";
+    if (gaia::golden::WriteTensorFile(path, golden.value)) {
+      std::printf("wrote %-20s %s -> %s\n", golden.name.c_str(),
+                  golden.value.ShapeString().c_str(), path.c_str());
+    } else {
+      std::fprintf(stderr, "FAILED to write %s (does %s exist?)\n",
+                   path.c_str(), out_dir.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
