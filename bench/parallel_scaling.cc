@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <numeric>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "core/trainer.h"
 #include "data/dataset.h"
 #include "data/market_simulator.h"
+#include "obs/obs.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -124,4 +126,27 @@ BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace
 }  // namespace gaia
 
-BENCHMARK_MAIN();
+// Custom main so a GAIA_OBS=1 run can correlate the thread sweep with the
+// internal phase spans: after the benchmarks, the by-name span aggregate and
+// pool counters are printed (see docs/OBSERVABILITY.md). With GAIA_OBS unset
+// the instrumentation stays off and timings are unperturbed.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (gaia::obs::Enabled()) {
+    std::printf("\n-- span aggregate (all thread counts pooled) --\n");
+    std::printf("%-24s %10s %14s %12s\n", "phase", "count", "total_ms",
+                "mean_ms");
+    for (const auto& [name, stat] :
+         gaia::obs::TraceBuffer::Global().AggregateByName()) {
+      std::printf("%-24s %10llu %14.3f %12.4f\n", name.c_str(),
+                  static_cast<unsigned long long>(stat.count), stat.total_ms,
+                  stat.total_ms / static_cast<double>(stat.count));
+    }
+    std::printf("\n%s\n",
+                gaia::obs::MetricsRegistry::Global().ExportPrometheus().c_str());
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <unordered_set>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace gaia::autograd {
@@ -40,6 +41,7 @@ Var Parameter(Tensor value) {
 void Backward(const Var& root, const Tensor& seed) {
   GAIA_CHECK(root != nullptr);
   GAIA_CHECK(root->value.SameShape(seed));
+  GAIA_OBS_SPAN("autograd.backward");
   // Reverse-topological order via iterative DFS post-order over the parents
   // of grad-requiring nodes. For every child -> parent edge the child
   // finishes after the parent, so the reversed finish order processes each
@@ -69,6 +71,16 @@ void Backward(const Var& root, const Tensor& seed) {
       post_order.push_back(frame.node);
       stack.pop_back();
     }
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("gaia_autograd_backward_total",
+                    "Backward passes executed")
+        .Increment();
+    obs::MetricsRegistry::Global()
+        .GetCounter("gaia_autograd_nodes_total",
+                    "Grad-requiring nodes visited by Backward")
+        .Increment(post_order.size());
   }
   root->AccumulateGrad(seed);
   for (auto it = post_order.rbegin(); it != post_order.rend(); ++it) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace gaia::core {
@@ -40,6 +41,13 @@ ConvAttentionUnit::Projection ConvAttentionUnit::Project(const Var& h) const {
 
 Var ConvAttentionUnit::Attend(const Var& q_u, const Var& k_v, const Var& v_v,
                               Tensor* attention_out) const {
+  // Per-edge hot path: span only at detail level, counter at phase level.
+  GAIA_OBS_SPAN_DETAIL("cau.attend");
+  if (obs::Enabled()) {
+    static obs::Counter& attends = obs::MetricsRegistry::Global().GetCounter(
+        "gaia_cau_attend_total", "CAU attention evaluations (edges + self)");
+    attends.Increment();
+  }
   const int64_t t_len = q_u->value.dim(0);
   const Tensor mask = causal_ ? CausalMask(t_len) : Tensor();
   if (num_heads_ == 1) {

@@ -1,6 +1,7 @@
 #include "core/ffl.h"
 
 #include "nn/init.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace gaia::core {
@@ -27,6 +28,7 @@ FeatureFusionLayer::FeatureFusionLayer(int64_t t_len, int64_t d_temporal,
 
 Var FeatureFusionLayer::Forward(const Var& z, const Var& f_temporal,
                                 const Var& f_static) const {
+  GAIA_OBS_SPAN("ffl.forward");
   GAIA_CHECK_EQ(z->value.ndim(), 1);
   GAIA_CHECK_EQ(z->value.dim(0), t_len_);
   GAIA_CHECK_EQ(f_temporal->value.dim(0), t_len_);

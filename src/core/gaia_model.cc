@@ -1,6 +1,7 @@
 #include "core/gaia_model.h"
 
 #include "nn/init.h"
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -106,11 +107,15 @@ Var GaiaModel::EncodeNode(const NodeInput& input) const {
 std::vector<Var> GaiaModel::ForwardGraph(const graph::EsellerGraph& graph,
                                          const std::vector<NodeInput>& inputs,
                                          ItaProbe* probe) const {
+  GAIA_OBS_SPAN("model.forward_graph");
   GAIA_CHECK_EQ(static_cast<int64_t>(inputs.size()), graph.num_nodes());
   std::vector<Var> embeddings;  // E_v from TEL
   embeddings.reserve(inputs.size());
-  for (const NodeInput& input : inputs) {
-    embeddings.push_back(EncodeNode(input));
+  {
+    GAIA_OBS_SPAN("model.encode");
+    for (const NodeInput& input : inputs) {
+      embeddings.push_back(EncodeNode(input));
+    }
   }
   std::vector<Var> h = embeddings;
   for (size_t l = 0; l < layers_.size(); ++l) {
@@ -118,6 +123,7 @@ std::vector<Var> GaiaModel::ForwardGraph(const graph::EsellerGraph& graph,
     h = layers_[l]->Forward(graph, h, is_last ? probe : nullptr);
   }
   // Prediction head with the TEL residual (Eq. 9).
+  GAIA_OBS_SPAN("model.head");
   std::vector<Var> predictions;
   predictions.reserve(inputs.size());
   for (size_t v = 0; v < inputs.size(); ++v) {

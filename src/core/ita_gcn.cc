@@ -1,5 +1,6 @@
 #include "core/ita_gcn.h"
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -29,6 +30,7 @@ ItaGcnLayer::ItaGcnLayer(int64_t channels, int64_t t_len, Rng* rng,
 std::vector<Var> ItaGcnLayer::Forward(const graph::EsellerGraph& graph,
                                       const std::vector<Var>& h,
                                       ItaProbe* probe) const {
+  GAIA_OBS_SPAN("ita_gcn.forward");
   const auto n = static_cast<int32_t>(h.size());
   GAIA_CHECK_EQ(static_cast<int64_t>(n), graph.num_nodes());
 
@@ -41,15 +43,18 @@ std::vector<Var> ItaGcnLayer::Forward(const graph::EsellerGraph& graph,
     score_src.resize(static_cast<size_t>(n));
     score_dst.resize(static_cast<size_t>(n));
   }
-  util::ParallelFor(n, [&](int64_t i) {
-    const auto u = static_cast<size_t>(i);
-    GAIA_CHECK_EQ(h[u]->value.dim(0), t_len_);
-    proj[u] = cau_->Project(h[u]);
-    if (use_ita_) {
-      score_src[u] = conv_src_->Forward(h[u]);
-      score_dst[u] = conv_dst_->Forward(h[u]);
-    }
-  });
+  {
+    GAIA_OBS_SPAN("ita_gcn.project");
+    util::ParallelFor(n, [&](int64_t i) {
+      const auto u = static_cast<size_t>(i);
+      GAIA_CHECK_EQ(h[u]->value.dim(0), t_len_);
+      proj[u] = cau_->Project(h[u]);
+      if (use_ita_) {
+        score_src[u] = conv_src_->Forward(h[u]);
+        score_dst[u] = conv_dst_->Forward(h[u]);
+      }
+    });
+  }
 
   // Phase 2 — CAU attention fans across this node's in-edges; neighbour
   // messages accumulate in the graph's fixed in-neighbour order, so the sum
@@ -122,13 +127,16 @@ std::vector<Var> ItaGcnLayer::Forward(const graph::EsellerGraph& graph,
     out[static_cast<size_t>(u)] = ag::Add(ag::AddN(messages), self_term);
   };
 
+  GAIA_OBS_SPAN("ita_gcn.attend");
   if (probe != nullptr) {
     // Introspection path stays serial so probe records keep their documented
     // node-then-edge order.
     for (int32_t u = 0; u < n; ++u) compute_node(u, probe);
   } else {
-    util::ParallelFor(
-        n, [&](int64_t u) { compute_node(static_cast<int32_t>(u), nullptr); });
+    util::ParallelFor(n, [&](int64_t u) {
+      GAIA_OBS_SPAN_DETAIL("ita_gcn.node");
+      compute_node(static_cast<int32_t>(u), nullptr);
+    });
   }
   return out;
 }

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace gaia::core {
@@ -40,6 +41,7 @@ TemporalEmbeddingLayer::TemporalEmbeddingLayer(int64_t channels,
 }
 
 Var TemporalEmbeddingLayer::Forward(const Var& s) const {
+  GAIA_OBS_SPAN("tel.forward");
   GAIA_CHECK_EQ(s->value.ndim(), 2);
   GAIA_CHECK_EQ(s->value.dim(1), channels_);
   std::vector<Var> capture_parts, denoise_parts;

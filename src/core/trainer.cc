@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "obs/obs.h"
 #include "optim/lr_schedule.h"
 #include "optim/optimizer.h"
 #include "util/check.h"
@@ -18,6 +19,7 @@ namespace ag = autograd;
 double Trainer::EvaluateMse(ForecastModel* model,
                             const data::ForecastDataset& dataset,
                             const std::vector<int32_t>& nodes) {
+  GAIA_OBS_SPAN("trainer.eval");
   GAIA_CHECK(!nodes.empty());
   Rng rng(0);
   std::vector<Var> preds =
@@ -51,6 +53,7 @@ TrainResult Trainer::Fit(ForecastModel* model,
   if (config_.num_threads > 0) {
     util::ThreadPool::SetGlobalThreads(config_.num_threads);
   }
+  GAIA_OBS_SPAN("trainer.fit");
   Stopwatch watch;
   Rng rng(config_.seed);
   std::vector<Var> params = model->Parameters();
@@ -87,19 +90,53 @@ TrainResult Trainer::Fit(ForecastModel* model,
       rng.Shuffle(&batch);
       batch.resize(static_cast<size_t>(config_.batch_nodes));
     }
-    Var loss = model->TrainingLoss(dataset, batch, /*training=*/true, &rng);
-    model->ZeroGrad();
-    ag::Backward(loss);
-    optim::ClipGradNorm(params, config_.grad_clip);
-    optimizer.Step();
-    result.train_loss_history.push_back(loss->value.data()[0]);
-    result.final_train_loss = loss->value.data()[0];
+    Stopwatch step_watch;
+    float step_loss;
+    {
+      GAIA_OBS_SPAN("trainer.step");
+      Var loss;
+      {
+        GAIA_OBS_SPAN("trainer.loss_forward");
+        loss = model->TrainingLoss(dataset, batch, /*training=*/true, &rng);
+      }
+      model->ZeroGrad();
+      ag::Backward(loss);
+      {
+        GAIA_OBS_SPAN("trainer.optimizer_step");
+        optim::ClipGradNorm(params, config_.grad_clip);
+        optimizer.Step();
+      }
+      step_loss = loss->value.data()[0];
+    }
+    if (obs::Enabled()) {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      registry
+          .GetCounter("gaia_train_steps_total", "Optimizer steps completed")
+          .Increment();
+      registry
+          .GetHistogram("gaia_train_step_seconds", {},
+                        "Wall time of one training step (forward + backward "
+                        "+ optimizer)")
+          .Observe(step_watch.ElapsedSeconds());
+      registry
+          .GetGauge("gaia_train_last_train_loss",
+                    "Training loss of the most recent step")
+          .Set(static_cast<double>(step_loss));
+    }
+    result.train_loss_history.push_back(step_loss);
+    result.final_train_loss = step_loss;
     ++result.epochs_run;
 
     const bool eval_now = (epoch + 1) % config_.eval_every == 0 ||
                           epoch + 1 == config_.max_epochs;
     if (eval_now && !val_nodes.empty()) {
       const double val_loss = EvaluateMse(model, dataset, val_nodes);
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global()
+            .GetGauge("gaia_train_last_val_loss",
+                      "Validation MSE of the most recent evaluation")
+            .Set(val_loss);
+      }
       result.val_loss_history.push_back(val_loss);
       if (config_.verbose) {
         GAIA_LOG(Info) << model->name() << " epoch " << (epoch + 1)

@@ -1,0 +1,12 @@
+#ifndef GAIA_OBS_OBS_H_
+#define GAIA_OBS_OBS_H_
+
+/// \file Umbrella header for the observability layer: include this from
+/// instrumentation sites. See docs/OBSERVABILITY.md for the metric/span
+/// naming conventions and the operator workflow (GAIA_OBS levels, exporters,
+/// Chrome traces, tools/metrics_snapshot and tools/trace_dump).
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#endif  // GAIA_OBS_OBS_H_

@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace gaia::obs {
+
+namespace internal_trace {
+
+namespace {
+std::chrono::steady_clock::time_point Epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+}  // namespace
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch())
+          .count());
+}
+
+uint32_t ThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+}  // namespace internal_trace
+
+namespace {
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+/// Innermost active span id on this thread; parent of the next span opened.
+thread_local uint64_t tl_current_span = 0;
+
+}  // namespace
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::Record(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_slot_ % capacity_] = record;
+  }
+  ++next_slot_;
+  SpanStats& stats = aggregate_[record.name];
+  ++stats.count;
+  const double ms = static_cast<double>(record.dur_ns) * 1e-6;
+  stats.total_ms += ms;
+  if (ms > stats.max_ms) stats.max_ms = ms;
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_slot_ <= capacity_) return ring_;
+  std::vector<SpanRecord> out;
+  out.reserve(capacity_);
+  const size_t head = next_slot_ % capacity_;  // oldest retained record
+  out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(head),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<ptrdiff_t>(head));
+  return out;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_slot_ > capacity_ ? next_slot_ - capacity_ : 0;
+}
+
+uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_slot_;
+}
+
+std::map<std::string, SpanStats> TraceBuffer::AggregateByName() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregate_;
+}
+
+void TraceBuffer::DumpChromeTrace(std::ostream& os) const {
+  const std::vector<SpanRecord> spans = Snapshot();
+  // Complete events; timestamps and durations are decimal microseconds.
+  auto micros = [](uint64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return std::string(buf);
+  };
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << span.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << span.tid << ",\"ts\":" << micros(span.start_ns)
+       << ",\"dur\":" << micros(span.dur_ns)
+       << ",\"args\":{\"id\":" << span.id
+       << ",\"parent\":" << span.parent_id << "}}";
+  }
+  os << "]}";
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_slot_ = 0;
+  aggregate_.clear();
+}
+
+TraceSpan::TraceSpan(const char* name, Level min_level) {
+  if (CurrentLevel() < min_level) return;
+  active_ = true;
+  name_ = name;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = tl_current_span;
+  tl_current_span = id_;
+  start_ns_ = internal_trace::NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  SpanRecord record;
+  record.name = name_;
+  record.start_ns = start_ns_;
+  record.dur_ns = internal_trace::NowNs() - start_ns_;
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.tid = internal_trace::ThreadId();
+  tl_current_span = parent_id_;
+  TraceBuffer::Global().Record(record);
+}
+
+uint64_t TraceSpan::CurrentSpanId() { return tl_current_span; }
+
+}  // namespace gaia::obs

@@ -1,0 +1,130 @@
+#ifndef GAIA_OBS_TRACE_H_
+#define GAIA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gaia::obs {
+
+/// \brief One completed span. `name` must be a string literal (spans are
+/// recorded on hot paths; no allocation happens per span).
+struct SpanRecord {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;   ///< steady-clock ns since TraceBuffer epoch
+  uint64_t dur_ns = 0;
+  uint64_t id = 0;         ///< unique per span, process-wide
+  uint64_t parent_id = 0;  ///< 0 = top-level on its thread
+  uint32_t tid = 0;        ///< dense per-thread id (0 = first seen thread)
+};
+
+/// Aggregate wall-time statistics for one span name.
+struct SpanStats {
+  uint64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// \brief Fixed-capacity ring of completed spans plus a by-name aggregate.
+///
+/// The ring keeps the most recent `capacity` spans for Chrome-trace dumps
+/// and wraps silently (dropped() counts overwritten records); the aggregate
+/// map counts *every* span ever recorded, so per-phase totals from
+/// AggregateByName() stay exact even after the ring wraps. Record() takes a
+/// short mutex — tracing is a profiling tool, not a steady-state cost: with
+/// the level at kOff, TraceSpan construction is a single relaxed load and
+/// nothing here is touched.
+class TraceBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  static TraceBuffer& Global();
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity);
+
+  void Record(const SpanRecord& record);
+
+  /// Oldest-to-newest snapshot of the retained ring contents.
+  std::vector<SpanRecord> Snapshot() const;
+  /// Spans overwritten after the ring wrapped.
+  uint64_t dropped() const;
+  /// Spans recorded since construction / last Clear (ring + overwritten).
+  uint64_t total_recorded() const;
+
+  /// Exact per-name statistics over every recorded span.
+  std::map<std::string, SpanStats> AggregateByName() const;
+
+  /// Chrome trace_event JSON (open in chrome://tracing or Perfetto):
+  /// complete ("ph":"X") events with microsecond timestamps, one lane per
+  /// pool thread, span ids threaded through the args for parent lookup.
+  void DumpChromeTrace(std::ostream& os) const;
+
+  /// Drops all retained spans and aggregates.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  size_t capacity_;
+  uint64_t next_slot_ = 0;  // total records ever; slot = next_slot_ % capacity
+  std::map<std::string, SpanStats> aggregate_;
+};
+
+/// \brief RAII wall-time scope recorded into TraceBuffer::Global().
+///
+/// Parenting is tracked through a thread-local span stack, so nested spans
+/// — including spans opened inside ParallelFor bodies on worker threads —
+/// form a per-thread hierarchy. Construction is a no-op (one relaxed atomic
+/// load) unless CurrentLevel() >= `min_level`; instrumentation never
+/// touches the data it measures, so determinism guarantees are unaffected.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Level min_level = Level::kOn);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when this span is live (level was high enough at construction).
+  bool active() const { return active_; }
+  /// Id of the innermost active span on this thread (0 = none).
+  static uint64_t CurrentSpanId();
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  bool active_ = false;
+};
+
+namespace internal_trace {
+/// Steady-clock ns since the process trace epoch (first use).
+uint64_t NowNs();
+/// Dense id for the calling thread (0 = first thread observed).
+uint32_t ThreadId();
+}  // namespace internal_trace
+
+}  // namespace gaia::obs
+
+// Convenience macros: a phase-level span and a high-frequency detail span.
+// Compile to nothing when GAIA_OBS_DISABLE is defined (the CMake
+// -DGAIA_OBS_DISABLE=ON kill switch); otherwise cost one relaxed load when
+// the runtime level is kOff.
+#ifdef GAIA_OBS_DISABLE
+#define GAIA_OBS_SPAN(name) ((void)0)
+#define GAIA_OBS_SPAN_DETAIL(name) ((void)0)
+#else
+#define GAIA_OBS_CONCAT_INNER_(a, b) a##b
+#define GAIA_OBS_CONCAT_(a, b) GAIA_OBS_CONCAT_INNER_(a, b)
+#define GAIA_OBS_SPAN(name) \
+  ::gaia::obs::TraceSpan GAIA_OBS_CONCAT_(gaia_obs_span_, __LINE__)(name)
+#define GAIA_OBS_SPAN_DETAIL(name)                                      \
+  ::gaia::obs::TraceSpan GAIA_OBS_CONCAT_(gaia_obs_span_, __LINE__)(    \
+      name, ::gaia::obs::Level::kDetail)
+#endif
+
+#endif  // GAIA_OBS_TRACE_H_

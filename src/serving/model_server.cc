@@ -1,11 +1,43 @@
 #include "serving/model_server.h"
 
 #include "graph/eseller_graph.h"
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace gaia::serving {
+
+namespace {
+
+/// Serving metrics, resolved once. Only touched when obs::Enabled().
+struct ServeMetrics {
+  obs::Counter& requests = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_serve_requests_total", "Predictions served (single + batch)");
+  obs::Counter& batches = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_serve_batches_total", "PredictBatch sweeps served");
+  obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
+      "gaia_serve_latency_seconds", {},
+      "Per-request forward latency (ego extraction + model forward)");
+  obs::Histogram& ego_nodes = obs::MetricsRegistry::Global().GetHistogram(
+      "gaia_serve_ego_nodes",
+      obs::Histogram::ExponentialBuckets(1.0, 2.0, 12),
+      "Ego-subgraph size per request, in nodes");
+  static ServeMetrics& Get() {
+    static ServeMetrics* metrics = new ServeMetrics();
+    return *metrics;
+  }
+};
+
+void ObservePrediction(const ModelServer::Prediction& prediction) {
+  if (!obs::Enabled()) return;
+  ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.requests.Increment();
+  metrics.latency.Observe(prediction.latency_ms * 1e-3);
+  metrics.ego_nodes.Observe(static_cast<double>(prediction.ego_nodes));
+}
+
+}  // namespace
 
 ModelServer::ModelServer(std::shared_ptr<core::GaiaModel> model,
                          std::shared_ptr<const data::ForecastDataset> dataset,
@@ -22,6 +54,7 @@ ModelServer::ModelServer(std::shared_ptr<core::GaiaModel> model,
 }
 
 ModelServer::Prediction ModelServer::Predict(int32_t shop) {
+  GAIA_OBS_SPAN("server.predict");
   Stopwatch watch;
   graph::EgoSubgraph ego =
       graph::ExtractEgoSubgraph(dataset_->graph(), shop, config_.ego_hops,
@@ -36,6 +69,7 @@ ModelServer::Prediction ModelServer::Predict(int32_t shop) {
   }
   prediction.latency_ms = watch.ElapsedMillis();
   prediction.ego_nodes = ego.num_nodes();
+  ObservePrediction(prediction);
   ++total_requests_;
   total_latency_ms_ += prediction.latency_ms;
   return prediction;
@@ -43,6 +77,8 @@ ModelServer::Prediction ModelServer::Predict(int32_t shop) {
 
 std::vector<ModelServer::Prediction> ModelServer::PredictBatch(
     const std::vector<int32_t>& shops) {
+  GAIA_OBS_SPAN("server.predict_batch");
+  if (obs::Enabled()) ServeMetrics::Get().batches.Increment();
   // The monthly sweep: ego extraction stays serial (it consumes rng_ in
   // request order, exactly as repeated Predict calls would), then the
   // per-shop model forwards — the dominant cost — fan out across the pool.
@@ -69,6 +105,7 @@ std::vector<ModelServer::Prediction> ModelServer::PredictBatch(
     prediction.ego_nodes = egos[idx].num_nodes();
   });
   for (const Prediction& prediction : out) {
+    ObservePrediction(prediction);
     ++total_requests_;
     total_latency_ms_ += prediction.latency_ms;
   }

@@ -1,6 +1,7 @@
 #include "serving/monthly_scheduler.h"
 
 #include "data/dataset.h"
+#include "obs/obs.h"
 
 namespace gaia::serving {
 
@@ -9,6 +10,13 @@ Result<std::vector<MonthlyScheduler::CycleReport>> MonthlyScheduler::Run()
   std::vector<CycleReport> reports;
   reports.reserve(static_cast<size_t>(config_.num_cycles));
   for (int cycle = 0; cycle < config_.num_cycles; ++cycle) {
+    GAIA_OBS_SPAN("scheduler.cycle");
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("gaia_scheduler_cycles_total",
+                      "Monthly retrain+serve cycles completed")
+          .Increment();
+    }
     // The month advances: calendar shifts and the population is redrawn.
     data::MarketConfig market_cfg = config_.market;
     market_cfg.start_calendar_month =

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace gaia::util {
@@ -14,6 +15,25 @@ namespace {
 /// Set while a thread is executing chunks of some job; nested ParallelFor
 /// calls observe it and run inline.
 thread_local bool tl_in_parallel_region = false;
+
+/// Pool metrics, resolved once (registry lookups take a mutex; the returned
+/// references are stable). Only touched when obs::Enabled().
+struct PoolMetrics {
+  obs::Counter& jobs = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_pool_jobs_total", "Top-level ParallelFor jobs dispatched to workers");
+  obs::Counter& chunks = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_pool_chunks_total", "Loop chunks executed across all threads");
+  obs::Counter& busy_ns = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_pool_busy_ns_total",
+      "Nanoseconds spent running loop bodies, summed over threads");
+  obs::Histogram& queue_wait = obs::MetricsRegistry::Global().GetHistogram(
+      "gaia_pool_queue_wait_seconds", {},
+      "Delay between job submit and a thread claiming its first chunk");
+  static PoolMetrics& Get() {
+    static PoolMetrics* metrics = new PoolMetrics();
+    return *metrics;
+  }
+};
 
 std::mutex g_global_mu;
 std::unique_ptr<ThreadPool> g_global_pool;
@@ -26,6 +46,7 @@ struct ThreadPool::Job {
   int64_t n = 0;
   int64_t grain = 1;
   int64_t num_chunks = 0;
+  uint64_t submit_ns = 0;  ///< obs: trace-epoch time of dispatch (0 = off)
   const std::function<void(int64_t, int64_t)>* body = nullptr;
   std::atomic<int64_t> next{0};
   std::atomic<int64_t> completed{0};
@@ -73,9 +94,22 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::RunChunks(Job& job) {
   const bool previous = tl_in_parallel_region;
   tl_in_parallel_region = true;
+  // Timing is read but never fed back into scheduling or the loop body, so
+  // enabling observability cannot perturb chunk order or numerics.
+  const bool obs_on = job.submit_ns != 0 && obs::Enabled();
+  bool first_chunk = true;
   for (;;) {
     const int64_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= job.num_chunks) break;
+    uint64_t chunk_start = 0;
+    if (obs_on) {
+      chunk_start = obs::internal_trace::NowNs();
+      if (first_chunk) {
+        first_chunk = false;
+        PoolMetrics::Get().queue_wait.Observe(
+            static_cast<double>(chunk_start - job.submit_ns) * 1e-9);
+      }
+    }
     if (!job.has_error.load(std::memory_order_relaxed)) {
       try {
         const int64_t begin = chunk * job.grain;
@@ -86,6 +120,11 @@ void ThreadPool::RunChunks(Job& job) {
         if (job.error == nullptr) job.error = std::current_exception();
         job.has_error.store(true, std::memory_order_relaxed);
       }
+    }
+    if (obs_on) {
+      PoolMetrics& metrics = PoolMetrics::Get();
+      metrics.chunks.Increment();
+      metrics.busy_ns.Increment(obs::internal_trace::NowNs() - chunk_start);
     }
     if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.num_chunks) {
@@ -112,6 +151,10 @@ void ThreadPool::ParallelForRange(
   job->grain = grain;
   job->num_chunks = (n + grain - 1) / grain;
   job->body = &body;
+  if (obs::Enabled()) {
+    job->submit_ns = obs::internal_trace::NowNs();
+    PoolMetrics::Get().jobs.Increment();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = job;

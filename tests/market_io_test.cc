@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -15,7 +17,9 @@ namespace {
 class MarketIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = "/tmp/gaia_market_io_test";
+    // Unique per process: ctest runs each discovered test concurrently, so a
+    // shared fixed path races between test processes.
+    dir_ = "/tmp/gaia_market_io_test_" + std::to_string(::getpid());
     std::system(("rm -rf " + dir_ + " && mkdir -p " + dir_).c_str());
     MarketConfig cfg;
     cfg.num_shops = 40;
@@ -25,6 +29,8 @@ class MarketIoTest : public ::testing::Test {
     ASSERT_TRUE(market.ok());
     market_ = std::make_unique<MarketData>(std::move(market).value());
   }
+
+  void TearDown() override { std::system(("rm -rf " + dir_).c_str()); }
 
   void Overwrite(const std::string& file, const std::string& contents) {
     std::ofstream out(dir_ + "/" + file);

@@ -1,0 +1,324 @@
+// Observability layer tests: lock-free metric correctness under ParallelFor,
+// exporter golden output, TraceSpan nesting/parenting, level gating (the
+// disabled path must be a no-op), and the guarantee that turning
+// observability on does not change model numerics.
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gaia_model.h"
+#include "data/dataset.h"
+#include "data/market_simulator.h"
+#include "obs/obs.h"
+#include "util/thread_pool.h"
+
+namespace gaia {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::Level;
+using obs::MetricsRegistry;
+using obs::SpanRecord;
+using obs::TraceBuffer;
+using obs::TraceSpan;
+
+/// Saves and restores the process observability level and pool size so
+/// tests compose with the suite running under GAIA_OBS=1 or any pool size.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = obs::CurrentLevel();
+    saved_threads_ = util::ThreadPool::GlobalThreads();
+  }
+  void TearDown() override {
+    obs::SetLevel(saved_level_);
+    util::ThreadPool::SetGlobalThreads(saved_threads_);
+  }
+  Level saved_level_ = Level::kOff;
+  int saved_threads_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Metric primitives under concurrency
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, CounterIsExactUnderParallelFor) {
+  util::ThreadPool::SetGlobalThreads(8);
+  Counter counter;
+  constexpr int64_t kN = 100000;
+  util::ParallelFor(kN, [&](int64_t) { counter.Increment(); });
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kN));
+  counter.Increment(42);
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kN) + 42);
+}
+
+TEST_F(ObsTest, GaugeAddNeverLosesUpdates) {
+  util::ThreadPool::SetGlobalThreads(8);
+  Gauge gauge;
+  constexpr int64_t kN = 50000;
+  util::ParallelFor(kN, [&](int64_t) { gauge.Add(1.0); });
+  // Integer-valued doubles accumulate exactly regardless of order.
+  EXPECT_EQ(gauge.value(), static_cast<double>(kN));
+  gauge.Set(-3.5);
+  EXPECT_EQ(gauge.value(), -3.5);
+}
+
+TEST_F(ObsTest, HistogramCountsAndSumAreExactUnderParallelFor) {
+  util::ThreadPool::SetGlobalThreads(8);
+  Histogram hist({1.0, 10.0, 100.0});
+  constexpr int64_t kN = 30000;
+  // One third in each finite bucket; values are integers so the CAS-summed
+  // total is exact in double arithmetic.
+  util::ParallelFor(kN, [&](int64_t i) {
+    hist.Observe(static_cast<double>(i % 3 == 0 ? 1 : (i % 3 == 1 ? 5 : 50)));
+  });
+  EXPECT_EQ(hist.count(), static_cast<uint64_t>(kN));
+  EXPECT_EQ(hist.bucket_count(0), static_cast<uint64_t>(kN / 3));  // <= 1
+  EXPECT_EQ(hist.bucket_count(1), static_cast<uint64_t>(kN / 3));  // <= 10
+  EXPECT_EQ(hist.bucket_count(2), static_cast<uint64_t>(kN / 3));  // <= 100
+  EXPECT_EQ(hist.bucket_count(3), 0u);                             // +Inf
+  EXPECT_EQ(hist.sum(), static_cast<double>(kN / 3) * (1.0 + 5.0 + 50.0));
+  hist.Observe(1e9);
+  EXPECT_EQ(hist.bucket_count(3), 1u);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableReferencesAndResets) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("gaia_test_total", "help");
+  Counter& b = registry.GetCounter("gaia_test_total");
+  EXPECT_EQ(&a, &b);
+  a.Increment(7);
+  registry.ResetAll();
+  EXPECT_EQ(b.value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters (golden output)
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, PrometheusExportMatchesGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("gaia_requests_total", "Requests served").Increment(3);
+  registry.GetGauge("gaia_loss").Set(0.5);
+  Histogram& hist = registry.GetHistogram("gaia_latency_seconds", {0.1, 1.0});
+  hist.Observe(0.05);
+  hist.Observe(0.05);
+  hist.Observe(0.5);
+  hist.Observe(5.0);
+  const std::string expected =
+      "# TYPE gaia_latency_seconds histogram\n"
+      "gaia_latency_seconds_bucket{le=\"0.1\"} 2\n"
+      "gaia_latency_seconds_bucket{le=\"1\"} 3\n"
+      "gaia_latency_seconds_bucket{le=\"+Inf\"} 4\n"
+      "gaia_latency_seconds_sum 5.6\n"
+      "gaia_latency_seconds_count 4\n"
+      "# TYPE gaia_loss gauge\n"
+      "gaia_loss 0.5\n"
+      "# HELP gaia_requests_total Requests served\n"
+      "# TYPE gaia_requests_total counter\n"
+      "gaia_requests_total 3\n";
+  EXPECT_EQ(registry.ExportPrometheus(), expected);
+}
+
+TEST_F(ObsTest, JsonExportMatchesGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("gaia_requests_total").Increment(3);
+  registry.GetGauge("gaia_loss").Set(0.5);
+  Histogram& hist = registry.GetHistogram("gaia_latency_seconds", {0.1, 1.0});
+  hist.Observe(0.05);
+  hist.Observe(5.0);
+  const std::string expected =
+      "{\"counters\":{\"gaia_requests_total\":3},"
+      "\"gauges\":{\"gaia_loss\":0.5},"
+      "\"histograms\":{\"gaia_latency_seconds\":"
+      "{\"bounds\":[0.1,1],\"counts\":[1,0,1],\"count\":2,\"sum\":5.05}}}";
+  EXPECT_EQ(registry.ExportJson(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, NestedSpansRecordParentChildRelationship) {
+  obs::SetLevel(Level::kOn);
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  {
+    TraceSpan outer("test.outer");
+    ASSERT_TRUE(outer.active());
+    {
+      TraceSpan inner("test.inner");
+      ASSERT_TRUE(inner.active());
+      EXPECT_NE(TraceSpan::CurrentSpanId(), 0u);
+    }
+  }
+  EXPECT_EQ(TraceSpan::CurrentSpanId(), 0u);
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner closes (and records) first.
+  const SpanRecord& inner = spans[0];
+  const SpanRecord& outer = spans[1];
+  EXPECT_STREQ(inner.name, "test.inner");
+  EXPECT_STREQ(outer.name, "test.outer");
+  EXPECT_EQ(inner.parent_id, outer.id);
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.dur_ns, outer.dur_ns);
+}
+
+TEST_F(ObsTest, SpansInParallelForParentPerThread) {
+  obs::SetLevel(Level::kOn);
+  util::ThreadPool::SetGlobalThreads(4);
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  {
+    TraceSpan outer("test.batch");
+    util::ParallelFor(64, [&](int64_t) { TraceSpan span("test.item"); });
+  }
+  uint64_t outer_id = 0;
+  int items = 0;
+  for (const SpanRecord& span : buffer.Snapshot()) {
+    if (std::string(span.name) == "test.batch") outer_id = span.id;
+  }
+  ASSERT_NE(outer_id, 0u);
+  for (const SpanRecord& span : buffer.Snapshot()) {
+    if (std::string(span.name) != "test.item") continue;
+    ++items;
+    // Items on the calling thread nest under the batch span; items on
+    // worker threads are top-level in their lane (parent 0). Either way
+    // they never chain to each other.
+    EXPECT_TRUE(span.parent_id == outer_id || span.parent_id == 0u)
+        << "item parented to " << span.parent_id;
+  }
+  EXPECT_EQ(items, 64);
+  const auto stats = buffer.AggregateByName();
+  EXPECT_EQ(stats.at("test.item").count, 64u);
+  EXPECT_EQ(stats.at("test.batch").count, 1u);
+}
+
+TEST_F(ObsTest, RingWrapsKeepingNewestAndExactAggregates) {
+  obs::SetLevel(Level::kOn);
+  TraceBuffer buffer(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    SpanRecord record;
+    record.name = "test.wrap";
+    record.start_ns = static_cast<uint64_t>(i);
+    record.dur_ns = 1000000;  // 1ms
+    record.id = static_cast<uint64_t>(i + 1);
+    buffer.Record(record);
+  }
+  EXPECT_EQ(buffer.dropped(), 6u);
+  EXPECT_EQ(buffer.total_recorded(), 10u);
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-to-newest: records 6..9 survive.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].start_ns, 6 + i);
+  }
+  // The aggregate saw all ten spans, wrap or not.
+  EXPECT_EQ(buffer.AggregateByName().at("test.wrap").count, 10u);
+  EXPECT_NEAR(buffer.AggregateByName().at("test.wrap").total_ms, 10.0, 1e-9);
+}
+
+TEST_F(ObsTest, ChromeTraceDumpIsWellFormed) {
+  obs::SetLevel(Level::kOn);
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  {
+    TraceSpan outer("test.dump");
+    TraceSpan inner("test.dump_inner");
+  }
+  std::ostringstream os;
+  buffer.DumpChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.dump\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// ---------------------------------------------------------------------------
+// Level gating / disabled mode
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledModeRecordsNothing) {
+  obs::SetLevel(Level::kOff);
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  {
+    TraceSpan span("test.disabled");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(TraceSpan::CurrentSpanId(), 0u);
+    GAIA_OBS_SPAN("test.disabled_macro");
+    GAIA_OBS_SPAN_DETAIL("test.disabled_detail");
+  }
+  EXPECT_EQ(buffer.Snapshot().size(), 0u);
+  EXPECT_EQ(buffer.total_recorded(), 0u);
+  EXPECT_FALSE(obs::Enabled());
+  EXPECT_FALSE(obs::DetailEnabled());
+}
+
+TEST_F(ObsTest, DetailSpansOnlyRecordAtDetailLevel) {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  obs::SetLevel(Level::kOn);
+  buffer.Clear();
+  { TraceSpan span("test.detail", Level::kDetail); }
+  EXPECT_EQ(buffer.Snapshot().size(), 0u);
+  obs::SetLevel(Level::kDetail);
+  { TraceSpan span("test.detail", Level::kDetail); }
+  EXPECT_EQ(buffer.Snapshot().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability must not perturb model numerics
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ForwardIsBitwiseIdenticalWithObservabilityOnAndOff) {
+  data::MarketConfig market_cfg;
+  market_cfg.num_shops = 40;
+  market_cfg.seed = 17;
+  auto market = data::MarketSimulator(market_cfg).Generate();
+  auto dataset = std::move(data::ForecastDataset::Create(
+                               market.value(), data::DatasetOptions{}))
+                     .value();
+  std::vector<int32_t> nodes(dataset.num_nodes());
+  std::iota(nodes.begin(), nodes.end(), 0);
+
+  auto run = [&]() {
+    core::GaiaConfig cfg;
+    cfg.channels = 8;
+    cfg.tel_groups = 2;
+    cfg.seed = 3;
+    auto model = std::move(core::GaiaModel::Create(
+                               cfg, dataset.history_len(), dataset.horizon(),
+                               dataset.temporal_dim(), dataset.static_dim()))
+                     .value();
+    std::vector<float> flat;
+    for (const autograd::Var& p :
+         model->PredictNodes(dataset, nodes, /*training=*/false, nullptr)) {
+      const float* data = p->value.data();
+      flat.insert(flat.end(), data, data + p->value.size());
+    }
+    return flat;
+  };
+
+  obs::SetLevel(Level::kOff);
+  const std::vector<float> off = run();
+  obs::SetLevel(Level::kDetail);  // maximum instrumentation
+  const std::vector<float> detail = run();
+  ASSERT_EQ(off.size(), detail.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    ASSERT_EQ(off[i], detail[i]) << "element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gaia

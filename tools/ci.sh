@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/ci.yml for offline use: a Release build
-# running the full suite, then an ASan+UBSan build running the labelled
-# concurrency/golden subset.
+# running the full suite, an observability pass (same build, GAIA_OBS=1 +
+# metrics_snapshot JSON validation), then an ASan+UBSan build running the
+# labelled concurrency/golden/obs subset.
 #
-#   tools/ci.sh            # both jobs
+#   tools/ci.sh            # all jobs
 #   tools/ci.sh release    # release job only
+#   tools/ci.sh obs        # observability job only (reuses build/)
 #   tools/ci.sh sanitize   # sanitizer job only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,10 +21,33 @@ if [[ "$job" == "release" || "$job" == "all" ]]; then
   ctest --test-dir build --output-on-failure -j"$jobs"
 fi
 
+if [[ "$job" == "obs" || "$job" == "all" ]]; then
+  echo "=== Observability enabled: full suite under GAIA_OBS=1 + snapshot check ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$jobs"
+  # Determinism and goldens must hold with instrumentation recording.
+  GAIA_OBS=1 ctest --test-dir build --output-on-failure -j"$jobs"
+  # metrics_snapshot must emit valid JSON with the documented per-phase keys.
+  ./build/tools/metrics_snapshot --epochs 2 --shops 50 --threads 2 \
+    > build/metrics_snapshot.json
+  python3 - build/metrics_snapshot.json <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["schema"] == "gaia.metrics_snapshot/1", snap.get("schema")
+for phase in ("ffl.forward", "tel.forward", "ita_gcn.forward",
+              "autograd.backward", "server.predict_batch"):
+    assert phase in snap["phases"], f"missing phase: {phase}"
+    assert snap["phases"][phase]["count"] > 0, f"empty phase: {phase}"
+assert "utilization" in snap["thread_pool"]
+assert "counters" in snap["metrics"] and "histograms" in snap["metrics"]
+print("metrics_snapshot.json OK:", len(snap["phases"]), "phases")
+EOF
+fi
+
 if [[ "$job" == "sanitize" || "$job" == "all" ]]; then
-  echo "=== ASan+UBSan build + concurrency/golden tests ==="
+  echo "=== ASan+UBSan build + concurrency/golden/obs tests ==="
   cmake -B build-asan -S . -DGAIA_SANITIZE=ON
   cmake --build build-asan -j"$jobs"
-  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 \
-    ctest --test-dir build-asan --output-on-failure -L "concurrency|golden"
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 GAIA_OBS=1 \
+    ctest --test-dir build-asan --output-on-failure -L "concurrency|golden|obs"
 fi

@@ -1,0 +1,184 @@
+// Machine-readable per-phase timing snapshot: runs a fixed-seed train +
+// serve workload with observability on and emits one JSON document with
+// span aggregates (FFL / TEL / ITA-GCN / backward / PredictBatch), thread-
+// pool utilization and the raw metrics registry. This is the seed of the
+// perf trajectory: every later optimisation PR reports against the same
+// schema (see docs/OBSERVABILITY.md).
+//
+//   ./build/tools/metrics_snapshot                 # JSON to stdout
+//   ./build/tools/metrics_snapshot --out snap.json --threads 4
+//
+// Flags: --out <path>  --threads <n>  --epochs <n>  --shops <n>  --seed <n>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/gaia_model.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "data/market_simulator.h"
+#include "obs/obs.h"
+#include "serving/model_server.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace gaia {
+namespace {
+
+struct Options {
+  std::string out;  // empty = stdout
+  int threads = 0;  // 0 = leave the global pool alone
+  int epochs = 3;
+  int64_t shops = 80;
+  uint64_t seed = 7;
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      GAIA_CHECK_LT(i + 1, argc) << "missing value for " << arg;
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      options.out = next();
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(next());
+    } else if (arg == "--epochs") {
+      options.epochs = std::atoi(next());
+    } else if (arg == "--shops") {
+      options.shops = std::atoll(next());
+    } else if (arg == "--seed") {
+      options.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+void RunWorkload(const Options& options) {
+  data::MarketConfig market_cfg;
+  market_cfg.num_shops = options.shops;
+  market_cfg.seed = options.seed;
+  auto market = data::MarketSimulator(market_cfg).Generate();
+  GAIA_CHECK(market.ok()) << market.status().ToString();
+  auto dataset = std::make_shared<data::ForecastDataset>(
+      std::move(data::ForecastDataset::Create(market.value(),
+                                              data::DatasetOptions{}))
+          .value());
+
+  core::GaiaConfig model_cfg;
+  model_cfg.channels = 8;
+  model_cfg.tel_groups = 2;
+  model_cfg.seed = options.seed;
+  auto model_result = core::GaiaModel::Create(
+      model_cfg, dataset->history_len(), dataset->horizon(),
+      dataset->temporal_dim(), dataset->static_dim());
+  GAIA_CHECK(model_result.ok()) << model_result.status().ToString();
+  std::shared_ptr<core::GaiaModel> model = std::move(model_result).value();
+
+  core::TrainConfig train_cfg;
+  train_cfg.max_epochs = options.epochs;
+  train_cfg.eval_every = 1;
+  train_cfg.seed = options.seed;
+  core::Trainer(train_cfg).Fit(model.get(), *dataset);
+
+  serving::ServerConfig server_cfg;
+  server_cfg.seed = options.seed;
+  serving::ModelServer server(model, dataset, server_cfg);
+  server.PredictBatch(dataset->test_nodes());
+}
+
+std::string FormatMs(double ms) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << ms;
+  return os.str();
+}
+
+}  // namespace
+}  // namespace gaia
+
+int main(int argc, char** argv) {
+  using namespace gaia;
+  const Options options = ParseArgs(argc, argv);
+
+  // The snapshot controls its own observability state: phase-level capture
+  // on, previous process state wiped, so the aggregates describe exactly
+  // this workload.
+  obs::SetLevel(obs::Level::kOn);
+  obs::MetricsRegistry::Global().ResetAll();
+  obs::TraceBuffer::Global().Clear();
+  if (options.threads > 0) {
+    util::ThreadPool::SetGlobalThreads(options.threads);
+  }
+  const int threads = util::ThreadPool::GlobalThreads();
+
+  Stopwatch wall;
+  RunWorkload(options);
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const double busy_seconds =
+      static_cast<double>(
+          registry.GetCounter("gaia_pool_busy_ns_total").value()) *
+      1e-9;
+  const uint64_t jobs = registry.GetCounter("gaia_pool_jobs_total").value();
+  const uint64_t chunks = registry.GetCounter("gaia_pool_chunks_total").value();
+  // Busy time only counts chunks run through worker dispatch; with a
+  // one-thread pool everything inlines and utilization reads 0 by design.
+  const double utilization =
+      wall_seconds > 0.0
+          ? busy_seconds / (wall_seconds * static_cast<double>(threads))
+          : 0.0;
+
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << "{\n";
+  os << "  \"schema\": \"gaia.metrics_snapshot/1\",\n";
+  os << "  \"config\": {\"threads\": " << threads
+     << ", \"shops\": " << options.shops << ", \"epochs\": " << options.epochs
+     << ", \"seed\": " << options.seed << "},\n";
+  os << "  \"wall_seconds\": " << wall_seconds << ",\n";
+  os << "  \"phases\": {\n";
+  const auto stats = obs::TraceBuffer::Global().AggregateByName();
+  bool first = true;
+  for (const auto& [name, stat] : stats) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "    \"" << name << "\": {\"count\": " << stat.count
+       << ", \"total_ms\": " << FormatMs(stat.total_ms)
+       << ", \"mean_ms\": "
+       << FormatMs(stat.count > 0 ? stat.total_ms /
+                                        static_cast<double>(stat.count)
+                                  : 0.0)
+       << ", \"max_ms\": " << FormatMs(stat.max_ms) << "}";
+  }
+  os << "\n  },\n";
+  os << "  \"thread_pool\": {\"threads\": " << threads
+     << ", \"jobs\": " << jobs << ", \"chunks\": " << chunks
+     << ", \"busy_seconds\": " << busy_seconds
+     << ", \"utilization\": " << utilization << "},\n";
+  os << "  \"metrics\": " << registry.ExportJson() << "\n";
+  os << "}\n";
+
+  if (options.out.empty()) {
+    std::cout << os.str();
+  } else {
+    std::ofstream file(options.out);
+    GAIA_CHECK(file.good()) << "cannot open " << options.out;
+    file << os.str();
+    std::cerr << "wrote " << options.out << "\n";
+  }
+  return 0;
+}
