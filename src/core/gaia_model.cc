@@ -196,6 +196,9 @@ std::vector<Var> GaiaModel::PredictNodesViaEgo(
   for (size_t i = 0; i < nodes.size(); ++i) {
     graph::EgoSubgraph ego = graph::ExtractEgoSubgraph(
         dataset.graph(), nodes[i], num_hops, max_fanout, rng);
+    // A failed extraction (fault injection) yields an empty subgraph; degrade
+    // to the isolated centre node so the batch forward stays well-formed.
+    if (ego.nodes.empty()) ego.nodes.push_back(nodes[i]);
     Result<graph::EsellerGraph> local =
         graph::EsellerGraph::Create(ego.num_nodes(), ego.edges);
     GAIA_CHECK(local.ok()) << local.status().ToString();

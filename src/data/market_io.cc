@@ -1,12 +1,15 @@
 #include "data/market_io.h"
 
+#include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "graph/eseller_graph.h"
 #include "util/check.h"
+#include "util/fault_injector.h"
 
 namespace gaia::data {
 
@@ -22,8 +25,22 @@ Status WriteFile(const std::string& path, const std::string& contents) {
 
 Result<std::vector<std::vector<std::string>>> ReadCsv(
     const std::string& path, size_t expected_fields) {
+  // Fault site "market.read": models a flaky ingestion mount / object store;
+  // transient kinds pair with LoadMarketCsvRetry's backoff.
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  if (faults.enabled()) {
+    if (auto fault = faults.Sample("market.read")) {
+      return util::FaultStatus(*fault, "market.read");
+    }
+  }
   std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for read: " + path);
+  if (!in) {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+      return Status::NotFound("missing market file: " + path);
+    }
+    return Status::IoError("cannot open for read: " + path);
+  }
   std::vector<std::vector<std::string>> rows;
   std::string line;
   bool first = true;
@@ -63,6 +80,11 @@ Result<double> ParseDouble(const std::string& s, const std::string& what) {
     size_t pos = 0;
     double v = std::stod(s, &pos);
     if (pos != s.size()) throw std::invalid_argument(s);
+    // "nan"/"inf" parse fine through stod but poison every downstream
+    // normalization; reject them at the ingestion boundary.
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite value for " + what + ": " + s);
+    }
     return v;
   } catch (...) {
     return Status::InvalidArgument("bad number for " + what + ": " + s);
@@ -72,6 +94,12 @@ Result<double> ParseDouble(const std::string& s, const std::string& what) {
 }  // namespace
 
 Status SaveMarketCsv(const MarketData& market, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create market directory " + dir + ": " +
+                           ec.message());
+  }
   const MarketConfig& cfg = market.config;
   {
     std::ostringstream os;
@@ -200,9 +228,11 @@ Result<MarketData> LoadMarketCsv(const std::string& dir) {
 
   // --- series ----------------------------------------------------------------
   {
-    auto rows = ReadCsv(dir + "/series.csv", 5);
-    if (!rows.ok()) return rows.status();
-    for (const auto& r : rows.value()) {
+    GAIA_ASSIGN_OR_RETURN(auto rows, ReadCsv(dir + "/series.csv", 5));
+    std::vector<bool> seen_cell(
+        static_cast<size_t>(cfg.num_shops) * static_cast<size_t>(total),
+        false);
+    for (const auto& r : rows) {
       auto shop_id = ParseInt(r[0], "series shop id");
       auto month = ParseInt(r[1], "series month");
       auto gmv = ParseDouble(r[2], "gmv");
@@ -219,6 +249,14 @@ Result<MarketData> LoadMarketCsv(const std::string& dir) {
       if (month.value() < 0 || month.value() >= total) {
         return Status::OutOfRange("series month out of range: " + r[1]);
       }
+      const size_t cell = static_cast<size_t>(shop_id.value()) *
+                              static_cast<size_t>(total) +
+                          static_cast<size_t>(month.value());
+      if (seen_cell[cell]) {
+        return Status::AlreadyExists("duplicate series row for shop " + r[0] +
+                                     " month " + r[1]);
+      }
+      seen_cell[cell] = true;
       Shop& shop = market.shops[static_cast<size_t>(shop_id.value())];
       shop.gmv[static_cast<size_t>(month.value())] = gmv.value();
       shop.customers[static_cast<size_t>(month.value())] = customers.value();
@@ -228,11 +266,10 @@ Result<MarketData> LoadMarketCsv(const std::string& dir) {
 
   // --- edges -----------------------------------------------------------------
   {
-    auto rows = ReadCsv(dir + "/edges.csv", 3);
-    if (!rows.ok()) return rows.status();
+    GAIA_ASSIGN_OR_RETURN(auto rows, ReadCsv(dir + "/edges.csv", 3));
     std::vector<graph::Edge> edges;
-    edges.reserve(rows.value().size());
-    for (const auto& r : rows.value()) {
+    edges.reserve(rows.size());
+    for (const auto& r : rows) {
       auto src = ParseInt(r[0], "edge src");
       auto dst = ParseInt(r[1], "edge dst");
       auto type = ParseInt(r[2], "edge type");
@@ -246,11 +283,16 @@ Result<MarketData> LoadMarketCsv(const std::string& dir) {
           static_cast<int32_t>(src.value()), static_cast<int32_t>(dst.value()),
           static_cast<graph::EdgeType>(type.value())});
     }
-    auto graph = graph::EsellerGraph::Create(cfg.num_shops, edges);
-    if (!graph.ok()) return graph.status();
-    market.graph = std::move(graph).value();
+    GAIA_ASSIGN_OR_RETURN(market.graph,
+                          graph::EsellerGraph::Create(cfg.num_shops, edges));
   }
   return market;
+}
+
+Result<MarketData> LoadMarketCsvRetry(const std::string& dir,
+                                      const util::RetryPolicy& policy) {
+  return util::RetryResult<MarketData>(policy,
+                                       [&] { return LoadMarketCsv(dir); });
 }
 
 }  // namespace gaia::data

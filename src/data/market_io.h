@@ -4,6 +4,7 @@
 #include <string>
 
 #include "data/market_simulator.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace gaia::data {
@@ -24,8 +25,18 @@ namespace gaia::data {
 Status SaveMarketCsv(const MarketData& market, const std::string& dir);
 
 /// Loads a market saved by SaveMarketCsv (or hand-authored to the same
-/// schema). Validates shapes, ranges and graph consistency.
+/// schema). Validates shapes, ranges, value finiteness, duplicate rows and
+/// graph consistency: malformed input comes back as a precise Status
+/// (kNotFound for missing files, kInvalidArgument / kOutOfRange /
+/// kAlreadyExists for bad rows) rather than a silent mis-parse.
+/// Fault site: "market.read".
 Result<MarketData> LoadMarketCsv(const std::string& dir);
+
+/// LoadMarketCsv wrapped in the retry policy: transient failures (kIoError,
+/// kUnavailable, kDeadlineExceeded) are retried with exponential backoff;
+/// malformed data is not.
+Result<MarketData> LoadMarketCsvRetry(const std::string& dir,
+                                      const util::RetryPolicy& policy);
 
 }  // namespace gaia::data
 

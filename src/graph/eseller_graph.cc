@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "util/check.h"
+#include "util/fault_injector.h"
 
 namespace gaia::graph {
 
@@ -192,6 +193,13 @@ EgoSubgraph ExtractEgoSubgraph(const EsellerGraph& graph, int32_t center,
                                int64_t num_hops, int64_t max_fanout,
                                Rng* rng) {
   GAIA_CHECK_GE(num_hops, 0);
+  // Fault site "graph.ego_extract": an empty subgraph signals extraction
+  // failure (e.g. the graph store shard being unreachable in production);
+  // the model server degrades such requests to its fallback forecaster.
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  if (faults.enabled() && faults.Sample("graph.ego_extract").has_value()) {
+    return EgoSubgraph{};
+  }
   EgoSubgraph ego;
   std::unordered_map<int32_t, int32_t> local_id;
   auto intern = [&](int32_t node) -> int32_t {

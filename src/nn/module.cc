@@ -1,9 +1,14 @@
 #include "nn/module.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "util/check.h"
+#include "util/crc32.h"
+#include "util/fault_injector.h"
 
 namespace gaia::nn {
 
@@ -48,87 +53,275 @@ Var Module::AddParameter(std::string name, Tensor init) {
 
 namespace {
 
-// Checkpoint format: magic, count, then per parameter: name length, name,
-// ndim, dims..., raw float data. Little-endian host order (single-machine
-// checkpoints; the serving simulation round-trips on the same host).
-constexpr uint64_t kMagic = 0x4741494143503031ULL;  // "GAIACP01"
+// Checkpoint format v2, little-endian host order (single-machine
+// checkpoints; the serving simulation round-trips on the same host):
+//   u64 magic "GAIACP02" | u32 version | u64 param count | u32 flags
+//   per parameter: u64 name_len, name bytes, u64 ndim, i64 dims...,
+//                  raw float data, u32 CRC32 of the float bytes
+//   trailer: u32 CRC32 of everything before the trailer
+// flags bit 0: every parameter value was finite at save time.
+constexpr uint64_t kMagicV1 = 0x4741494143503031ULL;  // "GAIACP01"
+constexpr uint64_t kMagicV2 = 0x4741494143503032ULL;  // "GAIACP02"
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kFlagAllFinite = 1u << 0;
 
-bool WriteBytes(std::FILE* f, const void* data, size_t n) {
-  return std::fwrite(data, 1, n, f) == n;
+void Append(std::string* buf, const void* data, size_t n) {
+  buf->append(static_cast<const char*>(data), n);
 }
 
-bool ReadBytes(std::FILE* f, void* data, size_t n) {
-  return std::fread(data, 1, n, f) == n;
+template <typename T>
+void AppendScalar(std::string* buf, T value) {
+  Append(buf, &value, sizeof(value));
+}
+
+/// Bounds-checked sequential reader over the in-memory checkpoint image.
+class BufferReader {
+ public:
+  BufferReader(const std::string& buf, std::string path)
+      : buf_(buf), path_(std::move(path)) {}
+
+  Status Read(void* out, size_t n) {
+    if (pos_ + n > buf_.size()) {
+      return Status::DataLoss("truncated checkpoint: " + path_);
+    }
+    std::memcpy(out, buf_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadScalar(T* out) {
+    return Read(out, sizeof(T));
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::string& buf_;
+  std::string path_;
+  size_t pos_ = 0;
+};
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat: " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  const size_t read = std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (read != out->size()) return Status::IoError("short read: " + path);
+  return Status::OK();
+}
+
+/// Deterministic single-byte corruption used by the "corrupt" fault kind:
+/// flipping a mid-payload byte models bit rot / a torn write that both the
+/// whole-file and the per-tensor CRC must catch.
+void FlipMiddleByte(std::string* buf) {
+  if (buf->empty()) return;
+  (*buf)[buf->size() / 2] = static_cast<char>((*buf)[buf->size() / 2] ^ 0x5A);
 }
 
 }  // namespace
 
 Status Module::Save(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
-  auto named = NamedParameters();
-  uint64_t count = named.size();
-  bool ok = WriteBytes(f, &kMagic, sizeof(kMagic)) &&
-            WriteBytes(f, &count, sizeof(count));
-  for (const auto& [name, var] : named) {
-    if (!ok) break;
-    uint64_t name_len = name.size();
-    uint64_t ndim = var->value.shape().size();
-    ok = WriteBytes(f, &name_len, sizeof(name_len)) &&
-         WriteBytes(f, name.data(), name.size()) &&
-         WriteBytes(f, &ndim, sizeof(ndim));
-    for (int64_t d : var->value.shape()) {
-      ok = ok && WriteBytes(f, &d, sizeof(d));
-    }
-    ok = ok && WriteBytes(f, var->value.data(),
-                          sizeof(float) * static_cast<size_t>(var->value.size()));
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  std::optional<util::FaultKind> fault;
+  if (faults.enabled()) fault = faults.Sample("checkpoint.write");
+  if (fault && *fault != util::FaultKind::kCorrupt &&
+      *fault != util::FaultKind::kNan) {
+    return util::FaultStatus(*fault, "checkpoint.write");
   }
+
+  const auto named = NamedParameters();
+  std::string buf;
+  uint32_t flags = kFlagAllFinite;
+  for (const auto& [name, var] : named) {
+    const float* data = var->value.data();
+    for (int64_t i = 0; i < var->value.size(); ++i) {
+      if (!std::isfinite(data[i])) {
+        flags &= ~kFlagAllFinite;
+        break;
+      }
+    }
+  }
+  AppendScalar(&buf, kMagicV2);
+  AppendScalar(&buf, kFormatVersion);
+  AppendScalar(&buf, static_cast<uint64_t>(named.size()));
+  AppendScalar(&buf, flags);
+  for (const auto& [name, var] : named) {
+    AppendScalar(&buf, static_cast<uint64_t>(name.size()));
+    Append(&buf, name.data(), name.size());
+    AppendScalar(&buf, static_cast<uint64_t>(var->value.shape().size()));
+    for (int64_t d : var->value.shape()) AppendScalar(&buf, d);
+    const size_t bytes = sizeof(float) * static_cast<size_t>(var->value.size());
+    Append(&buf, var->value.data(), bytes);
+    AppendScalar(&buf, util::Crc32(var->value.data(), bytes));
+  }
+  AppendScalar(&buf, util::Crc32(buf.data(), buf.size()));
+
+  if (fault && *fault == util::FaultKind::kCorrupt) FlipMiddleByte(&buf);
+
+  // Atomic publish: write the full image to a temp file, then rename over
+  // the target. Readers either see the old checkpoint or the complete new
+  // one, never a partial write.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + tmp);
+  const bool wrote = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  const bool flushed = std::fflush(f) == 0;
   std::fclose(f);
-  if (!ok) return Status::IoError("short write: " + path);
+  if (!wrote || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::IoError("short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot publish checkpoint: " + path);
+  }
   return Status::OK();
 }
 
 Status Module::Load(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
-  uint64_t magic = 0, count = 0;
-  if (!ReadBytes(f, &magic, sizeof(magic)) || magic != kMagic) {
-    std::fclose(f);
-    return Status::IoError("bad checkpoint magic: " + path);
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  std::optional<util::FaultKind> fault;
+  if (faults.enabled()) fault = faults.Sample("checkpoint.read");
+  if (fault && *fault != util::FaultKind::kCorrupt) {
+    return util::FaultStatus(*fault, "checkpoint.read");
+  }
+
+  std::string buf;
+  GAIA_RETURN_NOT_OK(ReadFile(path, &buf));
+  if (fault && *fault == util::FaultKind::kCorrupt) FlipMiddleByte(&buf);
+
+  // Whole-file integrity first: everything after this parses trusted bytes.
+  if (buf.size() < sizeof(uint64_t) + 2 * sizeof(uint32_t)) {
+    return Status::DataLoss("truncated checkpoint: " + path);
+  }
+  uint32_t stored_file_crc = 0;
+  std::memcpy(&stored_file_crc, buf.data() + buf.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (util::Crc32(buf.data(), buf.size() - sizeof(uint32_t)) !=
+      stored_file_crc) {
+    return Status::DataLoss("checkpoint CRC mismatch (torn write?): " + path);
+  }
+
+  BufferReader reader(buf, path);
+  uint64_t magic = 0;
+  uint32_t version = 0, flags = 0;
+  uint64_t count = 0;
+  GAIA_RETURN_NOT_OK(reader.ReadScalar(&magic));
+  if (magic == kMagicV1) {
+    return Status::DataLoss("unsupported checkpoint format v1 (resave): " +
+                            path);
+  }
+  if (magic != kMagicV2) {
+    return Status::DataLoss("bad checkpoint magic: " + path);
+  }
+  GAIA_RETURN_NOT_OK(reader.ReadScalar(&version));
+  if (version != kFormatVersion) {
+    return Status::DataLoss("unsupported checkpoint format version " +
+                            std::to_string(version) + ": " + path);
   }
   auto named = NamedParameters();
-  if (!ReadBytes(f, &count, sizeof(count)) || count != named.size()) {
-    std::fclose(f);
+  GAIA_RETURN_NOT_OK(reader.ReadScalar(&count));
+  if (count != named.size()) {
     return Status::InvalidArgument("checkpoint parameter count mismatch");
   }
-  for (auto& [expected_name, var] : named) {
+  GAIA_RETURN_NOT_OK(reader.ReadScalar(&flags));
+  if ((flags & kFlagAllFinite) == 0) {
+    return Status::DataLoss("checkpoint carries non-finite parameters: " +
+                            path);
+  }
+
+  // Two-phase apply: parse and verify every tensor into staging first, so a
+  // mid-file error can never leave the module half-loaded.
+  std::vector<std::vector<float>> staged(named.size());
+  for (size_t p = 0; p < named.size(); ++p) {
+    const auto& [expected_name, var] = named[p];
     uint64_t name_len = 0;
-    if (!ReadBytes(f, &name_len, sizeof(name_len))) break;
+    GAIA_RETURN_NOT_OK(reader.ReadScalar(&name_len));
+    if (name_len > buf.size()) {
+      return Status::DataLoss("truncated checkpoint: " + path);
+    }
     std::string name(name_len, '\0');
-    if (!ReadBytes(f, name.data(), name_len)) break;
+    GAIA_RETURN_NOT_OK(reader.Read(name.data(), name_len));
     if (name != expected_name) {
-      std::fclose(f);
       return Status::InvalidArgument("checkpoint name mismatch: expected " +
                                      expected_name + " got " + name);
     }
     uint64_t ndim = 0;
-    if (!ReadBytes(f, &ndim, sizeof(ndim))) break;
+    GAIA_RETURN_NOT_OK(reader.ReadScalar(&ndim));
+    if (ndim > 16) return Status::DataLoss("absurd tensor rank: " + path);
     std::vector<int64_t> shape(ndim);
-    bool ok = true;
     for (uint64_t i = 0; i < ndim; ++i) {
-      ok = ok && ReadBytes(f, &shape[i], sizeof(int64_t));
+      GAIA_RETURN_NOT_OK(reader.ReadScalar(&shape[i]));
     }
-    if (!ok || shape != var->value.shape()) {
-      std::fclose(f);
+    if (shape != var->value.shape()) {
       return Status::InvalidArgument("checkpoint shape mismatch for " + name);
     }
-    if (!ReadBytes(f, var->value.data(),
-                   sizeof(float) * static_cast<size_t>(var->value.size()))) {
-      std::fclose(f);
-      return Status::IoError("short read for " + name);
+    const size_t bytes = sizeof(float) * static_cast<size_t>(var->value.size());
+    staged[p].resize(static_cast<size_t>(var->value.size()));
+    GAIA_RETURN_NOT_OK(reader.Read(staged[p].data(), bytes));
+    uint32_t stored_tensor_crc = 0;
+    GAIA_RETURN_NOT_OK(reader.ReadScalar(&stored_tensor_crc));
+    if (util::Crc32(staged[p].data(), bytes) != stored_tensor_crc) {
+      return Status::DataLoss("tensor CRC mismatch for " + name + ": " + path);
+    }
+    for (float v : staged[p]) {
+      if (!std::isfinite(v)) {
+        return Status::DataLoss("non-finite value in " + name + ": " + path);
+      }
     }
   }
-  std::fclose(f);
+  if (reader.pos() != buf.size() - sizeof(uint32_t)) {
+    return Status::DataLoss("trailing garbage in checkpoint: " + path);
+  }
+
+  for (size_t p = 0; p < named.size(); ++p) {
+    std::memcpy(named[p].second->value.data(), staged[p].data(),
+                sizeof(float) * staged[p].size());
+  }
+  return Status::OK();
+}
+
+Status Module::VerifyCheckpoint(const std::string& path) {
+  std::string buf;
+  GAIA_RETURN_NOT_OK(ReadFile(path, &buf));
+  if (buf.size() < sizeof(uint64_t) + 3 * sizeof(uint32_t) +
+                       sizeof(uint64_t)) {
+    return Status::DataLoss("truncated checkpoint: " + path);
+  }
+  uint32_t stored_file_crc = 0;
+  std::memcpy(&stored_file_crc, buf.data() + buf.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (util::Crc32(buf.data(), buf.size() - sizeof(uint32_t)) !=
+      stored_file_crc) {
+    return Status::DataLoss("checkpoint CRC mismatch (torn write?): " + path);
+  }
+  BufferReader reader(buf, path);
+  uint64_t magic = 0, count = 0;
+  uint32_t version = 0, flags = 0;
+  GAIA_RETURN_NOT_OK(reader.ReadScalar(&magic));
+  if (magic != kMagicV2) {
+    return Status::DataLoss("bad checkpoint magic: " + path);
+  }
+  GAIA_RETURN_NOT_OK(reader.ReadScalar(&version));
+  if (version != kFormatVersion) {
+    return Status::DataLoss("unsupported checkpoint format version " +
+                            std::to_string(version) + ": " + path);
+  }
+  GAIA_RETURN_NOT_OK(reader.ReadScalar(&count));
+  GAIA_RETURN_NOT_OK(reader.ReadScalar(&flags));
+  if ((flags & kFlagAllFinite) == 0) {
+    return Status::DataLoss("checkpoint carries non-finite parameters: " +
+                            path);
+  }
   return Status::OK();
 }
 

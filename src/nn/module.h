@@ -37,12 +37,27 @@ class Module {
   /// Zeroes all parameter gradients.
   void ZeroGrad();
 
-  /// Serializes all parameters to a flat binary checkpoint.
+  /// Serializes all parameters to a binary checkpoint (format v2): a
+  /// versioned header (magic, format version, parameter count, finiteness
+  /// flag), per-tensor CRC32s and a whole-file CRC32. The file is published
+  /// atomically — written to a temp file and renamed — so readers never see
+  /// a torn write. Fault site: "checkpoint.write".
   Status Save(const std::string& path) const;
 
   /// Restores parameters from a checkpoint written by Save. Names and shapes
-  /// must match exactly.
+  /// must match exactly. Verifies magic, version, CRCs and parameter
+  /// finiteness *before* touching any parameter: on any error
+  /// (StatusCode::kDataLoss for corruption/truncation/non-finite data) the
+  /// module is left exactly as it was — a failed Load never half-applies.
+  /// Fault site: "checkpoint.read".
   Status Load(const std::string& path);
+
+  /// File-level integrity check (magic, format version, whole-file CRC32,
+  /// finiteness flag) without needing a module instance and without
+  /// consulting fault-injection sites — used by serving::CheckpointStore to
+  /// vet a freshly published file. Does not validate names/shapes against
+  /// any particular module; Load does that.
+  static Status VerifyCheckpoint(const std::string& path);
 
  protected:
   /// Registers a trainable parameter initialized with `init`.

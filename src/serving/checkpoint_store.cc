@@ -1,0 +1,127 @@
+#include "serving/checkpoint_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace gaia::serving {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kPrefix[] = "ckpt-";
+constexpr char kSuffix[] = ".bin";
+
+struct StoreMetrics {
+  obs::Counter& published = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_checkpoints_published_total",
+      "Checkpoints published and verified into the store");
+  obs::Counter& publish_failures = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_checkpoint_publish_failures_total",
+      "Publishes rejected (write fault or failed verification)");
+  obs::Counter& rollbacks = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_checkpoint_rollbacks_total",
+      "Bad checkpoints skipped while rolling back to the last good one");
+  static StoreMetrics& Get() {
+    static StoreMetrics* metrics = new StoreMetrics();
+    return *metrics;
+  }
+};
+
+/// Parses the sequence number out of "ckpt-000042.bin"; -1 when not ours.
+int64_t SeqFromFilename(const std::string& filename) {
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  const size_t suffix_len = sizeof(kSuffix) - 1;
+  if (filename.size() <= prefix_len + suffix_len) return -1;
+  if (filename.rfind(kPrefix, 0) != 0) return -1;
+  if (filename.compare(filename.size() - suffix_len, suffix_len, kSuffix) !=
+      0) {
+    return -1;
+  }
+  const std::string digits =
+      filename.substr(prefix_len, filename.size() - prefix_len - suffix_len);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return std::stoll(digits);
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(const CheckpointStoreConfig& config)
+    : config_(config) {
+  GAIA_CHECK(!config_.dir.empty());
+  GAIA_CHECK(config_.keep_last >= 1);
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  // Adopt surviving checkpoints from a previous run, in sequence order.
+  std::vector<std::pair<int64_t, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    const int64_t seq = SeqFromFilename(entry.path().filename().string());
+    if (seq >= 0) found.emplace_back(seq, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  for (const auto& [seq, path] : found) {
+    history_.push_back(path);
+    next_seq_ = std::max(next_seq_, seq + 1);
+  }
+}
+
+std::string CheckpointStore::PathForSeq(int64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%06lld%s", kPrefix,
+                static_cast<long long>(seq), kSuffix);
+  return config_.dir + "/" + name;
+}
+
+Result<std::string> CheckpointStore::Publish(const nn::Module& module) {
+  const std::string path = PathForSeq(next_seq_);
+  Status saved = module.Save(path);
+  if (saved.ok()) saved = nn::Module::VerifyCheckpoint(path);
+  if (!saved.ok()) {
+    StoreMetrics::Get().publish_failures.Increment();
+    std::remove(path.c_str());
+    return saved;
+  }
+  ++next_seq_;
+  history_.push_back(path);
+  StoreMetrics::Get().published.Increment();
+  while (static_cast<int>(history_.size()) > config_.keep_last) {
+    std::remove(history_.front().c_str());
+    history_.erase(history_.begin());
+  }
+  return path;
+}
+
+Result<CheckpointStore::LoadReport> CheckpointStore::LoadLatestGood(
+    nn::Module* module) const {
+  GAIA_CHECK(module != nullptr);
+  if (history_.empty()) {
+    return Status::NotFound("checkpoint store is empty: " + config_.dir);
+  }
+  LoadReport report;
+  Status last = Status::OK();
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    last = util::RetryCall(config_.retry, [&] { return module->Load(*it); });
+    if (last.ok()) {
+      report.path = *it;
+      return report;
+    }
+    ++report.rollbacks;
+    StoreMetrics::Get().rollbacks.Increment();
+  }
+  return last;
+}
+
+Status CheckpointStore::Adopt(const std::string& path) {
+  GAIA_RETURN_NOT_OK(nn::Module::VerifyCheckpoint(path));
+  history_.push_back(path);
+  return Status::OK();
+}
+
+}  // namespace gaia::serving

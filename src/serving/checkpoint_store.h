@@ -1,0 +1,73 @@
+#ifndef GAIA_SERVING_CHECKPOINT_STORE_H_
+#define GAIA_SERVING_CHECKPOINT_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace gaia::serving {
+
+/// \brief Configuration of the versioned checkpoint directory.
+struct CheckpointStoreConfig {
+  std::string dir;    ///< directory holding ckpt-<seq>.bin files
+  int keep_last = 3;  ///< good checkpoints retained (older ones pruned)
+  /// Per-candidate load retry (transient I/O); corruption is not retried —
+  /// the store rolls back to the previous checkpoint instead.
+  util::RetryPolicy retry;
+};
+
+/// \brief Keeps the last-N good checkpoints so serving can roll back.
+///
+/// The offline pipeline publishes into the store (atomic write + file-level
+/// verification: a corrupt publish never enters the history); the online
+/// server loads "the newest good checkpoint": candidates are tried newest to
+/// oldest, transient errors retried with backoff, corrupt files skipped with
+/// a gaia_robust_checkpoint_rollbacks_total tick. Because nn::Module::Load
+/// is all-or-nothing, a failed candidate never perturbs the live weights.
+///
+/// Not thread-safe: the monthly scheduler publishes and swaps from one
+/// thread, matching the paper's single offline pipeline.
+class CheckpointStore {
+ public:
+  /// Creates `config.dir` if needed and adopts any ckpt-<seq>.bin files
+  /// already present (restart recovery), ordered by sequence number.
+  explicit CheckpointStore(const CheckpointStoreConfig& config);
+
+  /// Saves `module` as the next ckpt-<seq>.bin, verifies the written file,
+  /// and prunes beyond keep_last. On verification failure the bad file is
+  /// deleted, the history is unchanged and the error is returned — the
+  /// previous checkpoint stays the newest good one.
+  Result<std::string> Publish(const nn::Module& module);
+
+  /// Outcome of a LoadLatestGood call.
+  struct LoadReport {
+    std::string path;   ///< checkpoint actually applied
+    int rollbacks = 0;  ///< newer checkpoints skipped as bad
+  };
+
+  /// Loads the newest checkpoint that both survives its retry policy and
+  /// passes Module::Load verification, rolling back through history until
+  /// one applies. Fails with the last error when none does.
+  Result<LoadReport> LoadLatestGood(nn::Module* module) const;
+
+  /// Registers an externally produced checkpoint file as the newest entry.
+  Status Adopt(const std::string& path);
+
+  /// Known checkpoint paths, oldest first.
+  const std::vector<std::string>& history() const { return history_; }
+  const std::string& dir() const { return config_.dir; }
+
+ private:
+  std::string PathForSeq(int64_t seq) const;
+
+  CheckpointStoreConfig config_;
+  std::vector<std::string> history_;  ///< oldest .. newest
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace gaia::serving
+
+#endif  // GAIA_SERVING_CHECKPOINT_STORE_H_

@@ -1,8 +1,14 @@
 #include "serving/model_server.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "graph/eseller_graph.h"
 #include "obs/obs.h"
+#include "serving/checkpoint_store.h"
+#include "ts/holt_winters.h"
 #include "util/check.h"
+#include "util/fault_injector.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -25,6 +31,28 @@ struct ServeMetrics {
       "Ego-subgraph size per request, in nodes");
   static ServeMetrics& Get() {
     static ServeMetrics* metrics = new ServeMetrics();
+    return *metrics;
+  }
+};
+
+/// Failure-path metrics. Unlike the hot-path ServeMetrics these count
+/// unconditionally — degradation events are rare and operators need them
+/// even with GAIA_OBS off.
+struct RobustMetrics {
+  obs::Counter& fallbacks = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_fallback_served_total",
+      "Requests answered by the Holt-Winters fallback instead of the model");
+  obs::Counter& nonfinite = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_nonfinite_forwards_total",
+      "Model forwards rejected because the output carried NaN/Inf");
+  obs::Counter& deadline = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_deadline_exceeded_total",
+      "Requests whose model forward overran the per-request deadline");
+  obs::Counter& ego_failures = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_ego_extract_failures_total",
+      "Requests whose ego-subgraph extraction failed");
+  static RobustMetrics& Get() {
+    static RobustMetrics* metrics = new RobustMetrics();
     return *metrics;
   }
 };
@@ -53,24 +81,112 @@ ModelServer::ModelServer(std::shared_ptr<core::GaiaModel> model,
   }
 }
 
+std::vector<double> ModelServer::FallbackForecast(int32_t shop) const {
+  GAIA_OBS_SPAN("server.fallback");
+  const int64_t horizon = dataset_->horizon();
+  std::vector<double> gmv(static_cast<size_t>(horizon), 0.0);
+  if (!config_.fallback_enabled) return gmv;
+  // The shop's own active history in normalized units (zeros before birth
+  // carry no signal, so only the observed tail is fit).
+  const Tensor& z = dataset_->z(shop);
+  const int64_t t_len = dataset_->history_len();
+  const int64_t active =
+      std::min<int64_t>(dataset_->series_length(shop), t_len);
+  std::vector<double> series;
+  series.reserve(static_cast<size_t>(active));
+  for (int64_t t = t_len - active; t < t_len; ++t) {
+    series.push_back(static_cast<double>(z.at(t)));
+  }
+  if (series.empty()) return gmv;  // pure newcomer: zero forecast
+  auto fit = ts::HoltWinters::Fit(series, ts::HoltWintersConfig{});
+  if (!fit.ok()) return gmv;
+  const std::vector<double> forecast =
+      fit.value().Forecast(static_cast<int>(horizon));
+  for (int64_t h = 0; h < horizon; ++h) {
+    const double value = forecast[static_cast<size_t>(h)];
+    if (!std::isfinite(value)) continue;
+    // GMV is non-negative; an extrapolated downtrend is floored at zero.
+    gmv[static_cast<size_t>(h)] =
+        std::max(0.0, dataset_->Denormalize(shop, value));
+  }
+  return gmv;
+}
+
+ModelServer::Prediction ModelServer::PredictOne(
+    int32_t shop, const graph::EgoSubgraph& ego) const {
+  Stopwatch watch;
+  Prediction prediction;
+  prediction.shop = shop;
+  prediction.ego_nodes = ego.num_nodes();
+
+  std::string reason;
+  bool model_ok = false;
+  Tensor normalized;
+  if (ego.nodes.empty()) {
+    reason = "ego-subgraph extraction failed";
+    RobustMetrics::Get().ego_failures.Increment();
+  } else {
+    util::FaultInjector& faults = util::FaultInjector::Global();
+    std::optional<util::FaultKind> fault;
+    if (faults.enabled()) fault = faults.Sample("serving.forward");
+    if (fault && *fault != util::FaultKind::kNan) {
+      reason = util::FaultStatus(*fault, "serving.forward").ToString();
+      if (*fault == util::FaultKind::kDeadline) {
+        RobustMetrics::Get().deadline.Increment();
+      }
+    } else {
+      normalized = model_->PredictEgo(*dataset_, ego);
+      if (fault && *fault == util::FaultKind::kNan) {
+        // Poison the forward output: models the paper's anomalous-model
+        // scenario where a bad checkpoint or input produces NaN scores.
+        for (int64_t h = 0; h < normalized.size(); ++h) {
+          normalized.data()[h] = std::nanf("");
+        }
+      }
+      model_ok = true;
+      for (int64_t h = 0; h < normalized.size(); ++h) {
+        if (!std::isfinite(normalized.data()[h])) {
+          reason = "non-finite model output";
+          RobustMetrics::Get().nonfinite.Increment();
+          model_ok = false;
+          break;
+        }
+      }
+      if (model_ok && config_.deadline_ms > 0.0 &&
+          watch.ElapsedMillis() > config_.deadline_ms) {
+        reason = "deadline exceeded (" + std::to_string(config_.deadline_ms) +
+                 " ms)";
+        RobustMetrics::Get().deadline.Increment();
+        model_ok = false;
+      }
+    }
+  }
+
+  if (model_ok) {
+    prediction.gmv.reserve(static_cast<size_t>(normalized.size()));
+    for (int64_t h = 0; h < normalized.size(); ++h) {
+      prediction.gmv.push_back(
+          dataset_->Denormalize(shop, normalized.data()[h]));
+    }
+  } else {
+    prediction.served_by = ServePath::kFallback;
+    prediction.degraded_reason = reason;
+    prediction.gmv = FallbackForecast(shop);
+    RobustMetrics::Get().fallbacks.Increment();
+  }
+  prediction.latency_ms = watch.ElapsedMillis();
+  return prediction;
+}
+
 ModelServer::Prediction ModelServer::Predict(int32_t shop) {
   GAIA_OBS_SPAN("server.predict");
-  Stopwatch watch;
   graph::EgoSubgraph ego =
       graph::ExtractEgoSubgraph(dataset_->graph(), shop, config_.ego_hops,
                                 config_.max_fanout, &rng_);
-  Tensor normalized = model_->PredictEgo(*dataset_, ego);
-  Prediction prediction;
-  prediction.shop = shop;
-  prediction.gmv.reserve(static_cast<size_t>(normalized.size()));
-  for (int64_t h = 0; h < normalized.size(); ++h) {
-    prediction.gmv.push_back(
-        dataset_->Denormalize(shop, normalized.data()[h]));
-  }
-  prediction.latency_ms = watch.ElapsedMillis();
-  prediction.ego_nodes = ego.num_nodes();
+  Prediction prediction = PredictOne(shop, ego);
   ObservePrediction(prediction);
   ++total_requests_;
+  if (prediction.served_by == ServePath::kFallback) ++fallback_requests_;
   total_latency_ms_ += prediction.latency_ms;
   return prediction;
 }
@@ -92,28 +208,31 @@ std::vector<ModelServer::Prediction> ModelServer::PredictBatch(
   std::vector<Prediction> out(shops.size());
   util::ParallelFor(static_cast<int64_t>(shops.size()), [&](int64_t i) {
     const auto idx = static_cast<size_t>(i);
-    Stopwatch watch;
-    Tensor normalized = model_->PredictEgo(*dataset_, egos[idx]);
-    Prediction& prediction = out[idx];
-    prediction.shop = shops[idx];
-    prediction.gmv.reserve(static_cast<size_t>(normalized.size()));
-    for (int64_t h = 0; h < normalized.size(); ++h) {
-      prediction.gmv.push_back(
-          dataset_->Denormalize(shops[idx], normalized.data()[h]));
-    }
-    prediction.latency_ms = watch.ElapsedMillis();
-    prediction.ego_nodes = egos[idx].num_nodes();
+    out[idx] = PredictOne(shops[idx], egos[idx]);
   });
   for (const Prediction& prediction : out) {
     ObservePrediction(prediction);
     ++total_requests_;
+    if (prediction.served_by == ServePath::kFallback) ++fallback_requests_;
     total_latency_ms_ += prediction.latency_ms;
   }
   return out;
 }
 
 Status ModelServer::LoadCheckpoint(const std::string& path) {
-  return model_->Load(path);
+  GAIA_OBS_SPAN("server.load_checkpoint");
+  // Module::Load is verify-then-swap, so a failed attempt (or exhausted
+  // retry) leaves the serving weights untouched.
+  return util::RetryCall(config_.checkpoint_retry,
+                         [&] { return model_->Load(path); });
+}
+
+Status ModelServer::LoadCheckpoint(const CheckpointStore& store) {
+  GAIA_OBS_SPAN("server.load_checkpoint");
+  auto report = store.LoadLatestGood(model_.get());
+  if (!report.ok()) return report.status();
+  last_load_rollbacks_ = report.value().rollbacks;
+  return Status::OK();
 }
 
 Result<std::shared_ptr<core::GaiaModel>> OfflineTrainingPipeline::Run(

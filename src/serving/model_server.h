@@ -8,12 +8,15 @@
 #include "core/gaia_model.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace gaia::serving {
 
+class CheckpointStore;
+
 /// \brief Online-serving configuration (§VI): how much of the e-seller graph
-/// is pulled into a request's ego-subgraph.
+/// is pulled into a request's ego-subgraph, plus the request fault policy.
 struct ServerConfig {
   int64_t ego_hops = 2;     ///< matches the stacked ITA-GCN depth
   int64_t max_fanout = 10;  ///< per-hop neighbour cap for latency control
@@ -23,6 +26,17 @@ struct ServerConfig {
   /// hardware concurrency); > 0 pins the global pool to that size at server
   /// construction. Forecast values are bitwise identical at any setting.
   int num_threads = 0;
+  /// Per-request latency budget in milliseconds; a forward that overruns it
+  /// is answered by the fallback forecaster instead. 0 disables the check
+  /// (the default keeps no-fault runs bitwise identical to older builds).
+  double deadline_ms = 0.0;
+  /// When the model path fails (ego extraction fault, non-finite output,
+  /// deadline), serve a per-shop Holt-Winters forecast fit on that shop's
+  /// own history instead of failing. False degrades to a zero forecast.
+  bool fallback_enabled = true;
+  /// Retry policy for LoadCheckpoint (transient I/O only; corrupt
+  /// checkpoints are not retried).
+  util::RetryPolicy checkpoint_retry;
 };
 
 /// \brief Real-time prediction service over a trained Gaia model.
@@ -32,39 +46,70 @@ struct ServerConfig {
 /// the model on that subgraph only, and returns the denormalized GMV
 /// forecast. Request latency and subgraph size are reported per call so the
 /// deployment bench can verify linear scaling with client count.
+///
+/// Degradation ladder (docs/ROBUSTNESS.md): model forward -> per-shop
+/// Holt-Winters fallback -> zero forecast. Predict never fails; the serve
+/// path taken is tagged on the Prediction.
 class ModelServer {
  public:
+  /// Which rung of the degradation ladder answered the request.
+  enum class ServePath { kModel = 0, kFallback = 1 };
+
   struct Prediction {
     int32_t shop = 0;
     std::vector<double> gmv;  ///< T' monthly forecasts, GMV units
     double latency_ms = 0.0;
     int64_t ego_nodes = 0;
+    ServePath served_by = ServePath::kModel;
+    /// Why the model path was abandoned (empty when served_by == kModel).
+    std::string degraded_reason;
   };
 
   ModelServer(std::shared_ptr<core::GaiaModel> model,
               std::shared_ptr<const data::ForecastDataset> dataset,
               const ServerConfig& config);
 
-  /// Serves one request.
+  /// Serves one request. Never fails: faults on the model path degrade to
+  /// the fallback forecaster. Fault site: "serving.forward".
   Prediction Predict(int32_t shop);
 
-  /// Serves a batch of requests sequentially (the deployed system predicts
-  /// millions of e-sellers in a monthly sweep).
+  /// Serves a batch of requests (the deployed system predicts millions of
+  /// e-sellers in a monthly sweep); forwards fan out across the pool.
   std::vector<Prediction> PredictBatch(const std::vector<int32_t>& shops);
 
-  /// Hot-swaps model weights from an offline-produced checkpoint.
+  /// Hot-swaps model weights from an offline-produced checkpoint, retrying
+  /// transient I/O per config. Verify-then-swap: on any failure the serving
+  /// weights are untouched and the server keeps answering with them.
   Status LoadCheckpoint(const std::string& path);
+
+  /// Hot-swaps from a checkpoint store, rolling back through its history to
+  /// the newest checkpoint that verifies (see CheckpointStore).
+  Status LoadCheckpoint(const CheckpointStore& store);
 
   int64_t total_requests() const { return total_requests_; }
   double total_latency_ms() const { return total_latency_ms_; }
+  /// Requests answered by the fallback forecaster since construction.
+  int64_t fallback_requests() const { return fallback_requests_; }
+  /// Checkpoints skipped as bad during the most recent store load.
+  int last_load_rollbacks() const { return last_load_rollbacks_; }
 
  private:
+  /// The per-request pipeline behind both Predict and PredictBatch: forward
+  /// with NaN/deadline guards, degrading to FallbackForecast. Thread-safe.
+  Prediction PredictOne(int32_t shop, const graph::EgoSubgraph& ego) const;
+
+  /// The degradation rung below the model: additive Holt-Winters fit on the
+  /// shop's own normalized history, denormalized and clamped to >= 0.
+  std::vector<double> FallbackForecast(int32_t shop) const;
+
   std::shared_ptr<core::GaiaModel> model_;
   std::shared_ptr<const data::ForecastDataset> dataset_;
   ServerConfig config_;
   Rng rng_;
   int64_t total_requests_ = 0;
   double total_latency_ms_ = 0.0;
+  int64_t fallback_requests_ = 0;
+  int last_load_rollbacks_ = 0;
 };
 
 /// \brief Offline side of the hybrid architecture (§VI, Fig. 5): the

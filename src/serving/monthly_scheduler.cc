@@ -1,14 +1,45 @@
 #include "serving/monthly_scheduler.h"
 
+#include <optional>
+#include <utility>
+
 #include "data/dataset.h"
 #include "obs/obs.h"
 
 namespace gaia::serving {
 
+namespace {
+
+struct SchedulerMetrics {
+  obs::Counter& cycle_failures = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_cycle_failures_total",
+      "Monthly cycles that hit at least one failure (still served if possible)");
+  obs::Counter& cycles_skipped = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_cycles_skipped_total",
+      "Monthly cycles that could not serve at all and were skipped");
+  static SchedulerMetrics& Get() {
+    static SchedulerMetrics* metrics = new SchedulerMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
 Result<std::vector<MonthlyScheduler::CycleReport>> MonthlyScheduler::Run()
     const {
   std::vector<CycleReport> reports;
   reports.reserve(static_cast<size_t>(config_.num_cycles));
+  // Rollback substrate: in checkpoint_dir mode every good publish lands
+  // here, and a broken cycle serves the newest surviving checkpoint.
+  std::optional<CheckpointStore> store;
+  if (!config_.checkpoint_dir.empty()) {
+    CheckpointStoreConfig store_cfg;
+    store_cfg.dir = config_.checkpoint_dir;
+    store_cfg.keep_last = config_.checkpoint_keep;
+    store_cfg.retry = config_.server.checkpoint_retry;
+    store.emplace(store_cfg);
+  }
+
   for (int cycle = 0; cycle < config_.num_cycles; ++cycle) {
     GAIA_OBS_SPAN("scheduler.cycle");
     if (obs::Enabled()) {
@@ -17,50 +48,141 @@ Result<std::vector<MonthlyScheduler::CycleReport>> MonthlyScheduler::Run()
                       "Monthly retrain+serve cycles completed")
           .Increment();
     }
+    CycleReport report;
+    report.cycle = cycle;
+    auto fail_step = [&report](Status status) {
+      if (report.healthy) report.error = std::move(status);
+      report.healthy = false;
+    };
+
     // The month advances: calendar shifts and the population is redrawn.
     data::MarketConfig market_cfg = config_.market;
     market_cfg.start_calendar_month =
         (config_.market.start_calendar_month + cycle) % 12;
     market_cfg.seed = config_.market.seed + static_cast<uint64_t>(cycle);
-    auto market = data::MarketSimulator(market_cfg).Generate();
-    if (!market.ok()) return market.status();
-    auto dataset_result =
-        data::ForecastDataset::Create(market.value(), data::DatasetOptions{});
-    if (!dataset_result.ok()) return dataset_result.status();
-    auto dataset = std::make_shared<data::ForecastDataset>(
-        std::move(dataset_result).value());
-
-    // Offline retrain + publish.
-    OfflineTrainingPipeline pipeline(config_.offline);
-    OfflineTrainingPipeline::RunReport offline_report;
-    auto model = pipeline.Run(*dataset, &offline_report);
-    if (!model.ok()) return model.status();
-
-    // Online serving of this month's newcomer requests.
-    ModelServer server(model.value(), dataset, config_.server);
-    if (!config_.offline.checkpoint_path.empty()) {
-      GAIA_RETURN_NOT_OK(
-          server.LoadCheckpoint(config_.offline.checkpoint_path));
-    }
-    std::vector<std::vector<double>> forecasts;
-    const std::vector<int32_t>& clients = dataset->test_nodes();
-    forecasts.reserve(clients.size());
-    for (int32_t shop : clients) {
-      forecasts.push_back(server.Predict(shop).gmv);
-    }
-
-    CycleReport report;
-    report.cycle = cycle;
     report.calendar_start_month = market_cfg.start_calendar_month;
-    report.train = offline_report.train;
-    report.online = core::Evaluator::FromPredictions(
-        "Gaia (cycle " + std::to_string(cycle) + ")", *dataset, clients,
-        forecasts);
-    report.mean_latency_ms =
-        server.total_latency_ms() /
-        static_cast<double>(std::max<int64_t>(server.total_requests(), 1));
+
+    std::shared_ptr<data::ForecastDataset> dataset;
+    auto market = data::MarketSimulator(market_cfg).Generate();
+    if (!market.ok()) {
+      fail_step(market.status());
+    } else {
+      auto dataset_result = data::ForecastDataset::Create(
+          market.value(), data::DatasetOptions{});
+      if (!dataset_result.ok()) {
+        fail_step(dataset_result.status());
+      } else {
+        dataset = std::make_shared<data::ForecastDataset>(
+            std::move(dataset_result).value());
+      }
+    }
+    if (dataset == nullptr) {
+      // Without this month's snapshot there is nothing to serve against:
+      // skip the cycle but keep the schedule (and the store) alive.
+      SchedulerMetrics::Get().cycle_failures.Increment();
+      SchedulerMetrics::Get().cycles_skipped.Increment();
+      reports.push_back(std::move(report));
+      continue;
+    }
     report.graph_edges = dataset->graph().num_edges();
+
+    // Offline retrain + publish. In store mode the pipeline trains in
+    // memory and the store handles the (atomic, verified) publish.
+    OfflineTrainingPipeline::Config offline_cfg = config_.offline;
+    if (store.has_value()) offline_cfg.checkpoint_path.clear();
+    OfflineTrainingPipeline pipeline(offline_cfg);
+    OfflineTrainingPipeline::RunReport offline_report;
+    std::shared_ptr<core::GaiaModel> model;
+    auto trained = pipeline.Run(*dataset, &offline_report);
+    if (trained.ok()) {
+      model = trained.value();
+      report.trained = true;
+      report.train = offline_report.train;
+      if (store.has_value()) {
+        auto published = store->Publish(*model);
+        if (published.ok()) {
+          report.checkpoint_path = published.value();
+        } else {
+          // Corrupt/failed publish: the previous checkpoint stays newest in
+          // the store and serving below rolls back to it.
+          fail_step(published.status());
+        }
+      }
+    } else {
+      fail_step(trained.status());
+      // Retrain failed: serve this month's requests with the last good
+      // checkpoint instead (hot-swapped below). A fresh model shell is
+      // enough because store checkpoints share the config's architecture.
+      auto shell = core::GaiaModel::Create(
+          config_.offline.model, dataset->history_len(), dataset->horizon(),
+          dataset->temporal_dim(), dataset->static_dim());
+      if (shell.ok()) {
+        model = std::move(shell).value();
+      }
+    }
+
+    bool can_serve = model != nullptr;
+    if (can_serve) {
+      ModelServer server(model, dataset, config_.server);
+      if (store.has_value()) {
+        Status swapped = server.LoadCheckpoint(*store);
+        if (!swapped.ok()) {
+          fail_step(swapped);
+          // An untrained shell with no loadable checkpoint has nothing
+          // sensible to serve; a trained in-memory model still does.
+          can_serve = report.trained;
+        } else {
+          if (server.last_load_rollbacks() > 0 || !report.trained) {
+            report.rolled_back = true;
+            if (report.trained) {
+              fail_step(Status::DataLoss(
+                  "cycle " + std::to_string(cycle) +
+                  " rolled back to a previous checkpoint"));
+            }
+          }
+          if (store->history().size() > 0 && report.checkpoint_path.empty()) {
+            report.checkpoint_path = store->history().back();
+          }
+        }
+      } else if (!offline_cfg.checkpoint_path.empty() && report.trained) {
+        // Legacy single-file mode: hot-swap the published file; on failure
+        // the server keeps the trained in-memory weights (verify-then-swap).
+        Status swapped = server.LoadCheckpoint(offline_cfg.checkpoint_path);
+        if (!swapped.ok()) fail_step(swapped);
+        report.checkpoint_path = offline_cfg.checkpoint_path;
+      }
+
+      if (can_serve) {
+        std::vector<std::vector<double>> forecasts;
+        const std::vector<int32_t>& clients = dataset->test_nodes();
+        forecasts.reserve(clients.size());
+        for (int32_t shop : clients) {
+          forecasts.push_back(server.Predict(shop).gmv);
+        }
+        report.served = true;
+        report.fallback_requests = server.fallback_requests();
+        report.online = core::Evaluator::FromPredictions(
+            "Gaia (cycle " + std::to_string(cycle) + ")", *dataset, clients,
+            forecasts);
+        report.mean_latency_ms =
+            server.total_latency_ms() /
+            static_cast<double>(std::max<int64_t>(server.total_requests(), 1));
+      }
+    }
+    if (!can_serve) SchedulerMetrics::Get().cycles_skipped.Increment();
+    if (!report.healthy) SchedulerMetrics::Get().cycle_failures.Increment();
     reports.push_back(std::move(report));
+  }
+
+  // Only a schedule in which every single cycle failed to serve is a hard
+  // error — that means the pipeline never produced a usable model.
+  bool any_served = reports.empty();
+  for (const CycleReport& report : reports) any_served |= report.served;
+  if (!any_served) {
+    for (const CycleReport& report : reports) {
+      if (!report.error.ok()) return report.error;
+    }
+    return Status::Internal("monthly schedule served no cycle");
   }
   return reports;
 }

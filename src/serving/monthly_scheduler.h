@@ -2,10 +2,12 @@
 #define GAIA_SERVING_MONTHLY_SCHEDULER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/evaluator.h"
 #include "data/market_simulator.h"
+#include "serving/checkpoint_store.h"
 #include "serving/model_server.h"
 
 namespace gaia::serving {
@@ -19,6 +21,12 @@ namespace gaia::serving {
 /// and the shop/graph population is redrawn (shops open and close, relations
 /// change), which is exactly the "ever-changing graph structure" the paper
 /// reschedules for.
+///
+/// Fault tolerance: a broken cycle (market failure, failed retrain, corrupt
+/// checkpoint publish) no longer aborts the run. The cycle is reported
+/// unhealthy, serving falls back to the newest good checkpoint in the store
+/// (rollback), and the schedule moves on — Run only fails when *no* cycle
+/// manages to serve.
 class MonthlyScheduler {
  public:
   struct Config {
@@ -26,6 +34,12 @@ class MonthlyScheduler {
     OfflineTrainingPipeline::Config offline;
     ServerConfig server;
     int num_cycles = 3;
+    /// When non-empty, checkpoints are published through a CheckpointStore
+    /// rooted here (atomic publish, verification, last-N history, rollback).
+    /// Empty keeps the legacy single-file publish via
+    /// offline.checkpoint_path.
+    std::string checkpoint_dir;
+    int checkpoint_keep = 3;  ///< store history depth (checkpoint_dir mode)
   };
 
   struct CycleReport {
@@ -35,11 +49,20 @@ class MonthlyScheduler {
     core::EvaluationReport online;          ///< served forecasts vs truth
     double mean_latency_ms = 0.0;
     int64_t graph_edges = 0;
+    // --- per-cycle health ---------------------------------------------------
+    bool healthy = true;      ///< every step of the cycle succeeded
+    bool trained = false;     ///< offline retrain completed
+    bool served = false;      ///< online requests were answered
+    bool rolled_back = false; ///< served an older checkpoint than this cycle's
+    int64_t fallback_requests = 0;  ///< requests degraded to the fallback
+    std::string checkpoint_path;    ///< checkpoint that served this cycle
+    Status error;             ///< first failure observed (OK when healthy)
   };
 
   explicit MonthlyScheduler(const Config& config) : config_(config) {}
 
-  /// Runs all cycles; fails fast on the first broken cycle.
+  /// Runs all cycles, skipping broken ones. Returns one report per cycle
+  /// (including unhealthy ones); fails only when no cycle served at all.
   Result<std::vector<CycleReport>> Run() const;
 
  private:

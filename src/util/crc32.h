@@ -1,0 +1,19 @@
+#ifndef GAIA_UTIL_CRC32_H_
+#define GAIA_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gaia::util {
+
+/// \brief CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+///
+/// Used by the checkpoint format to detect torn writes and bit rot. To
+/// checksum a stream incrementally, feed the previous return value back in
+/// as `seed` (the function handles the pre/post inversion internally, so
+/// Crc32(a+b) == Crc32(b, Crc32(a))).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace gaia::util
+
+#endif  // GAIA_UTIL_CRC32_H_

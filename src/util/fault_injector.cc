@@ -1,0 +1,197 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace gaia::util {
+
+namespace {
+
+/// FNV-1a — stable across runs, so per-site streams are reproducible.
+uint64_t HashSite(const std::string& site) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : site) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+obs::Counter& InjectedMetric() {
+  static obs::Counter* counter = &obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_faults_injected_total",
+      "Faults fired by util::FaultInjector across all sites");
+  return *counter;
+}
+
+}  // namespace
+
+Result<FaultKind> ParseFaultKind(const std::string& text) {
+  if (text == "io") return FaultKind::kIoError;
+  if (text == "unavailable") return FaultKind::kUnavailable;
+  if (text == "deadline") return FaultKind::kDeadline;
+  if (text == "corrupt") return FaultKind::kCorrupt;
+  if (text == "nan") return FaultKind::kNan;
+  return Status::InvalidArgument("unknown fault kind: " + text);
+}
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kIoError:
+      return "io";
+    case FaultKind::kUnavailable:
+      return "unavailable";
+    case FaultKind::kDeadline:
+      return "deadline";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kNan:
+      return "nan";
+  }
+  return "unknown";
+}
+
+Status FaultStatus(FaultKind kind, const std::string& site) {
+  const std::string what = "injected fault at " + site;
+  switch (kind) {
+    case FaultKind::kIoError:
+      return Status::IoError(what);
+    case FaultKind::kUnavailable:
+      return Status::Unavailable(what);
+    case FaultKind::kDeadline:
+      return Status::DeadlineExceeded(what);
+    case FaultKind::kCorrupt:
+    case FaultKind::kNan:
+      return Status::DataLoss(what);
+  }
+  return Status::Internal(what);
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    if (const char* seed_env = std::getenv("GAIA_FAULTS_SEED")) {
+      inj->Reseed(std::strtoull(seed_env, nullptr, 10));
+    }
+    if (const char* faults = std::getenv("GAIA_FAULTS")) {
+      Status armed = inj->ArmFromString(faults);
+      // A malformed env spec is a configuration error worth failing loudly
+      // on: silently running a chaos suite with no faults armed would pass
+      // vacuously.
+      GAIA_CHECK(armed.ok()) << "bad GAIA_FAULTS: " << armed.ToString();
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Arm(const FaultSpec& spec) {
+  GAIA_CHECK(!spec.site.empty());
+  GAIA_CHECK(spec.probability >= 0.0 && spec.probability <= 1.0)
+      << "fault probability out of [0,1]: " << spec.probability;
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[spec.site];
+  if (state.specs.empty()) {
+    state.rng.Seed(seed_ ^ HashSite(spec.site));
+  }
+  state.specs.push_back(spec);
+  state.fires_per_spec.push_back(0);
+  armed_.store(1, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromString(const std::string& text) {
+  std::stringstream rules(text);
+  std::string rule;
+  int parsed = 0;
+  while (std::getline(rules, rule, ';')) {
+    if (rule.empty()) continue;
+    std::stringstream fields(rule);
+    std::string site, kind_text, prob_text, count_text;
+    std::getline(fields, site, ':');
+    std::getline(fields, kind_text, ':');
+    std::getline(fields, prob_text, ':');
+    std::getline(fields, count_text, ':');
+    if (site.empty() || kind_text.empty()) {
+      return Status::InvalidArgument("fault rule needs site:kind[:prob[:count]]: " +
+                                     rule);
+    }
+    FaultSpec spec;
+    spec.site = site;
+    GAIA_ASSIGN_OR_RETURN(spec.kind, ParseFaultKind(kind_text));
+    if (!prob_text.empty()) {
+      char* end = nullptr;
+      spec.probability = std::strtod(prob_text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || spec.probability < 0.0 ||
+          spec.probability > 1.0) {
+        return Status::InvalidArgument("bad fault probability: " + prob_text);
+      }
+    }
+    if (!count_text.empty()) {
+      char* end = nullptr;
+      spec.max_fires = std::strtoll(count_text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || spec.max_fires < 0) {
+        return Status::InvalidArgument("bad fault count: " + count_text);
+      }
+    }
+    Arm(spec);
+    ++parsed;
+  }
+  if (parsed == 0) {
+    return Status::InvalidArgument("empty GAIA_FAULTS spec: " + text);
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  for (auto& [site, state] : sites_) {
+    state.rng.Seed(seed_ ^ HashSite(site));
+  }
+}
+
+std::optional<FaultKind> FaultInjector::Sample(const std::string& site) {
+  if (!enabled()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return std::nullopt;
+  SiteState& state = it->second;
+  for (size_t i = 0; i < state.specs.size(); ++i) {
+    const FaultSpec& spec = state.specs[i];
+    if (spec.max_fires >= 0 && state.fires_per_spec[i] >= spec.max_fires) {
+      continue;
+    }
+    // Draw even for probability 1.0 so adding/removing a rule's budget does
+    // not shift the decision stream of later rules on the same site.
+    const bool hit = state.rng.Uniform() < spec.probability;
+    if (!hit) continue;
+    ++state.fires_per_spec[i];
+    ++state.fired;
+    InjectedMetric().Increment();
+    return spec.kind;
+  }
+  return std::nullopt;
+}
+
+int64_t FaultInjector::fired_count(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+int64_t FaultInjector::total_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [site, state] : sites_) total += state.fired;
+  return total;
+}
+
+}  // namespace gaia::util

@@ -1,0 +1,114 @@
+#ifndef GAIA_UTIL_FAULT_INJECTOR_H_
+#define GAIA_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gaia::util {
+
+/// What an armed fault does when it fires. Status-shaped kinds (kIoError,
+/// kUnavailable, kDeadline) are converted by FaultStatus(); data-shaped kinds
+/// (kCorrupt, kNan) are interpreted by the site itself (flip bytes, poison an
+/// output tensor).
+enum class FaultKind {
+  kIoError = 0,  ///< site fails with StatusCode::kIoError
+  kUnavailable,  ///< transient failure, StatusCode::kUnavailable (retryable)
+  kDeadline,     ///< site reports StatusCode::kDeadlineExceeded
+  kCorrupt,      ///< site corrupts its payload (e.g. checkpoint byte flip)
+  kNan,          ///< site poisons its numeric output with NaN
+};
+
+/// Parses "io" / "unavailable" / "deadline" / "corrupt" / "nan".
+Result<FaultKind> ParseFaultKind(const std::string& text);
+const char* FaultKindToString(FaultKind kind);
+
+/// One armed fault rule.
+struct FaultSpec {
+  std::string site;         ///< e.g. "checkpoint.read" (see docs/ROBUSTNESS.md)
+  FaultKind kind = FaultKind::kIoError;
+  double probability = 1.0; ///< chance of firing per Sample() call, in [0, 1]
+  int64_t max_fires = -1;   ///< stop firing after this many hits (-1 = never)
+};
+
+/// \brief Deterministic, process-wide fault injection registry.
+///
+/// Robustness tests (and chaos CI runs) arm faults at named sites; production
+/// code consults Sample(site) at each site and fails accordingly. With
+/// nothing armed the fast path is a single relaxed atomic load, and no
+/// behavior changes — PR 1's bitwise determinism is preserved.
+///
+/// Arming is either programmatic (Arm / ArmFromString) or via the
+/// environment:
+///   GAIA_FAULTS="site:kind:prob[:count][;site:kind:prob[:count]]..."
+///   GAIA_FAULTS_SEED=<uint64>   (default 0)
+/// e.g. GAIA_FAULTS="checkpoint.read:corrupt:1.0:2;serving.forward:nan:0.25"
+///
+/// Firing decisions draw from one seeded PCG32 stream per site (under a
+/// mutex), so a given site sees a reproducible decision sequence for a given
+/// seed and call order. Exact-count chaos tests should use probability 1.0
+/// with max_fires, which is order-independent.
+class FaultInjector {
+ public:
+  /// Process singleton; armed once from GAIA_FAULTS on first access.
+  static FaultInjector& Global();
+
+  FaultInjector() = default;
+
+  /// Arms one fault rule. Multiple rules on a site fire independently; the
+  /// first that fires wins.
+  void Arm(const FaultSpec& spec);
+
+  /// Arms rules from the GAIA_FAULTS mini-language above.
+  Status ArmFromString(const std::string& text);
+
+  /// Disarms everything and zeroes fire counters (tests isolate with this).
+  void Reset();
+
+  /// Re-seeds all per-site decision streams.
+  void Reseed(uint64_t seed);
+
+  /// True when at least one rule is armed (the cheap hot-path gate).
+  bool enabled() const {
+    return armed_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Consults the rules for `site`; returns the fault to apply, or nullopt.
+  /// Increments fire counters and the gaia_robust_faults_injected_total
+  /// metric on a hit. Thread-safe.
+  std::optional<FaultKind> Sample(const std::string& site);
+
+  /// Times `site` has fired since construction / Reset.
+  int64_t fired_count(const std::string& site) const;
+  /// Total fires across all sites.
+  int64_t total_fired() const;
+
+ private:
+  struct SiteState {
+    std::vector<FaultSpec> specs;
+    std::vector<int64_t> fires_per_spec;
+    Rng rng{0};
+    int64_t fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+  std::atomic<int> armed_{0};
+  uint64_t seed_ = 0;
+};
+
+/// Maps a status-shaped fault kind to the Status a site should return.
+/// kCorrupt/kNan map to kDataLoss (the site should prefer to interpret them
+/// itself).
+Status FaultStatus(FaultKind kind, const std::string& site);
+
+}  // namespace gaia::util
+
+#endif  // GAIA_UTIL_FAULT_INJECTOR_H_

@@ -1,0 +1,74 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace gaia::util {
+
+namespace internal_retry {
+
+void CountRetry() {
+  static obs::Counter* counter = &obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_retry_attempts_total",
+      "Re-attempts made by util::RetryCall (first tries not counted)");
+  counter->Increment();
+}
+
+void CountExhausted() {
+  static obs::Counter* counter = &obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_retry_exhausted_total",
+      "RetryCall invocations that used every attempt and still failed");
+  counter->Increment();
+}
+
+void SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace internal_retry
+
+bool IsRetryableStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double BackoffMs(const RetryPolicy& policy, int attempt, Rng* rng) {
+  double base = policy.initial_backoff_ms;
+  for (int i = 0; i < attempt; ++i) base *= policy.backoff_multiplier;
+  base = std::min(base, policy.max_backoff_ms);
+  const double jitter =
+      rng->Uniform(-policy.jitter_fraction, policy.jitter_fraction);
+  return std::max(0.0, base * (1.0 + jitter));
+}
+
+Status RetryCall(const RetryPolicy& policy, const std::function<Status()>& fn,
+                 RetryStats* stats,
+                 const std::function<bool(const Status&)>& retryable) {
+  Rng rng(policy.jitter_seed);
+  Status last = Status::Internal("retry: no attempts made");
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const double backoff = BackoffMs(policy, attempt - 1, &rng);
+      if (stats != nullptr) stats->total_backoff_ms += backoff;
+      if (policy.sleep) internal_retry::SleepMs(backoff);
+      internal_retry::CountRetry();
+    }
+    last = fn();
+    if (stats != nullptr) stats->attempts = attempt + 1;
+    if (last.ok() || !retryable(last)) return last;
+  }
+  internal_retry::CountExhausted();
+  return last;
+}
+
+}  // namespace gaia::util

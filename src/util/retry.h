@@ -1,0 +1,89 @@
+#ifndef GAIA_UTIL_RETRY_H_
+#define GAIA_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gaia::util {
+
+/// \brief Bounded-attempt retry with exponential backoff and deterministic
+/// jitter.
+///
+/// Used by checkpoint loading and market CSV ingestion; any Status-returning
+/// operation can be wrapped. Backoff for attempt k (0-based re-attempt
+/// index) is
+///   min(initial_backoff_ms * multiplier^k, max_backoff_ms) * (1 + jitter)
+/// where jitter is drawn uniformly from [-jitter_fraction, +jitter_fraction]
+/// by a PCG32 stream seeded with `jitter_seed` — the same policy always
+/// produces the same backoff schedule, keeping chaos tests reproducible.
+struct RetryPolicy {
+  int max_attempts = 3;            ///< total tries, including the first
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 100.0;
+  double jitter_fraction = 0.1;    ///< in [0, 1)
+  uint64_t jitter_seed = 0;
+  /// False skips the actual sleep (tests verify schedules without waiting).
+  bool sleep = true;
+};
+
+/// Default retryable predicate: transient codes only. Corruption (kDataLoss)
+/// and caller bugs (kInvalidArgument, ...) are not retryable — retrying a
+/// torn checkpoint re-reads the same bad bytes.
+bool IsRetryableStatus(const Status& status);
+
+/// Backoff before re-attempt `attempt` (0-based), in milliseconds, including
+/// the deterministic jitter drawn from `rng`. Exposed for tests.
+double BackoffMs(const RetryPolicy& policy, int attempt, Rng* rng);
+
+/// Outcome bookkeeping for logs/metrics.
+struct RetryStats {
+  int attempts = 0;          ///< tries actually made
+  double total_backoff_ms = 0.0;
+};
+
+/// Runs `fn` until it succeeds, a non-retryable status comes back, or
+/// attempts are exhausted (the last status is returned). Emits
+/// gaia_robust_retry_attempts_total per re-attempt and
+/// gaia_robust_retry_exhausted_total when the budget runs out.
+Status RetryCall(const RetryPolicy& policy, const std::function<Status()>& fn,
+                 RetryStats* stats = nullptr,
+                 const std::function<bool(const Status&)>& retryable =
+                     IsRetryableStatus);
+
+namespace internal_retry {
+void CountRetry();
+void CountExhausted();
+void SleepMs(double ms);
+}  // namespace internal_retry
+
+/// Result<T> flavour of RetryCall, same semantics.
+template <typename T>
+Result<T> RetryResult(const RetryPolicy& policy,
+                      const std::function<Result<T>()>& fn,
+                      RetryStats* stats = nullptr,
+                      const std::function<bool(const Status&)>& retryable =
+                          IsRetryableStatus) {
+  Rng rng(policy.jitter_seed);
+  Result<T> last = Status::Internal("retry: no attempts made");
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const double backoff = BackoffMs(policy, attempt - 1, &rng);
+      if (stats != nullptr) stats->total_backoff_ms += backoff;
+      if (policy.sleep) internal_retry::SleepMs(backoff);
+      internal_retry::CountRetry();
+    }
+    last = fn();
+    if (stats != nullptr) stats->attempts = attempt + 1;
+    if (last.ok() || !retryable(last.status())) return last;
+  }
+  internal_retry::CountExhausted();
+  return last;
+}
+
+}  // namespace gaia::util
+
+#endif  // GAIA_UTIL_RETRY_H_

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "util/check.h"
+
 namespace gaia {
 
 /// \brief Error codes for fallible gaia operations.
@@ -22,6 +24,9 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  kDataLoss,          ///< stored data is corrupt (bad CRC, torn write, NaN)
+  kUnavailable,       ///< transient failure; safe to retry with backoff
+  kDeadlineExceeded,  ///< operation exceeded its latency budget
 };
 
 /// \brief Returns a human readable name for a status code ("OK",
@@ -63,6 +68,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -87,17 +101,27 @@ class Result {
  public:
   /// Implicit conversions from both T and Status keep call sites terse, the
   /// same convention as arrow::Result.
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  Result(Status status)                           // NOLINT(runtime/explicit)
+  Result(T value)  // NOLINT(runtime/explicit)
+      : value_(std::move(value)), status_(Status::OK()) {}
+  Result(Status status)  // NOLINT(runtime/explicit)
       : status_(std::move(status)) {}
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
-  /// Pre: ok(). Aborts otherwise (checked by the caller via ok()).
-  const T& value() const& { return *value_; }
-  T& value() & { return *value_; }
-  T&& value() && { return std::move(*value_); }
+  /// Pre: ok(). Aborts with the carried status message otherwise.
+  const T& value() const& {
+    GAIA_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    GAIA_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    GAIA_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
 
   /// Returns the contained value or `fallback` when in error state.
   T value_or(T fallback) const {
@@ -115,6 +139,21 @@ class Result {
     ::gaia::Status _st = (expr);           \
     if (!_st.ok()) return _st;             \
   } while (false)
+
+/// Evaluates a Result<T> expression; on success assigns the value to `lhs`
+/// (which may declare a new variable), on error propagates the status:
+///   GAIA_ASSIGN_OR_RETURN(auto market, LoadMarketCsv(dir));
+#define GAIA_ASSIGN_OR_RETURN(lhs, expr) \
+  GAIA_ASSIGN_OR_RETURN_IMPL_(           \
+      GAIA_STATUS_CONCAT_(gaia_result_, __LINE__), lhs, expr)
+
+#define GAIA_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#define GAIA_STATUS_CONCAT_INNER_(a, b) a##b
+#define GAIA_STATUS_CONCAT_(a, b) GAIA_STATUS_CONCAT_INNER_(a, b)
 
 }  // namespace gaia
 

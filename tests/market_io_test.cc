@@ -10,6 +10,8 @@
 #include <string>
 
 #include "data/dataset.h"
+#include "util/fault_injector.h"
+#include "util/retry.h"
 
 namespace gaia::data {
 namespace {
@@ -84,7 +86,71 @@ TEST_F(MarketIoTest, LoadedMarketFeedsDatasetPipeline) {
 TEST_F(MarketIoTest, MissingDirectoryFails) {
   auto loaded = LoadMarketCsv("/tmp/definitely_missing_market_dir");
   EXPECT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MarketIoTest, MissingSingleFileIsNotFound) {
+  ASSERT_TRUE(SaveMarketCsv(*market_, dir_).ok());
+  std::remove((dir_ + "/series.csv").c_str());
+  auto loaded = LoadMarketCsv(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MarketIoTest, RejectsNonFiniteValues) {
+  ASSERT_TRUE(SaveMarketCsv(*market_, dir_).ok());
+  Overwrite("series.csv", "shop,month,gmv,customers,orders\n0,0,nan,0,0\n");
+  auto loaded = LoadMarketCsv(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  Overwrite("series.csv", "shop,month,gmv,customers,orders\n0,0,1.0,inf,0\n");
+  loaded = LoadMarketCsv(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MarketIoTest, RejectsDuplicateSeriesRows) {
+  ASSERT_TRUE(SaveMarketCsv(*market_, dir_).ok());
+  Overwrite("series.csv",
+            "shop,month,gmv,customers,orders\n"
+            "0,0,1.0,2.0,3.0\n"
+            "0,0,4.0,5.0,6.0\n");
+  auto loaded = LoadMarketCsv(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(MarketIoTest, RetryWrapperPassesThroughPermanentErrors) {
+  // Malformed data is not retryable: exactly one attempt must be made.
+  ASSERT_TRUE(SaveMarketCsv(*market_, dir_).ok());
+  Overwrite("series.csv", "shop,month,gmv,customers,orders\n0,0,abc,0,0\n");
+  util::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.sleep = false;
+  auto loaded = LoadMarketCsvRetry(dir_, policy);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MarketIoTest, RetryWrapperRecoversFromTransientFaults) {
+  ASSERT_TRUE(SaveMarketCsv(*market_, dir_).ok());
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  faults.Reset();
+  // Two guaranteed transient failures, then clean reads.
+  util::FaultSpec spec;
+  spec.site = "market.read";
+  spec.kind = util::FaultKind::kIoError;
+  spec.probability = 1.0;
+  spec.max_fires = 2;
+  faults.Arm(spec);
+  util::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.sleep = false;
+  auto loaded = LoadMarketCsvRetry(dir_, policy);
+  faults.Reset();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(static_cast<int64_t>(loaded.value().shops.size()),
+            market_->config.num_shops);
 }
 
 TEST_F(MarketIoTest, RejectsBadShopId) {

@@ -6,6 +6,9 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/crc32.h"
+#include "util/fault_injector.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -231,6 +234,232 @@ TEST(TablePrinterTest, FormatCountInsertsSeparators) {
 TEST(TablePrinterTest, FormatDoublePrecision) {
   EXPECT_EQ(TablePrinter::FormatDouble(0.12345, 3), "0.123");
   EXPECT_EQ(TablePrinter::FormatDouble(2.0, 1), "2.0");
+}
+
+// ---------------------------------------------------------------------------
+// Robustness primitives: status codes, CRC32, fault injection, retry
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, RobustnessCodesRoundTrip) {
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_NE(Status::DataLoss("bits").ToString().find("DataLoss"),
+            std::string::npos);
+  EXPECT_NE(Status::Unavailable("down").ToString().find("Unavailable"),
+            std::string::npos);
+  EXPECT_NE(
+      Status::DeadlineExceeded("slow").ToString().find("DeadlineExceeded"),
+      std::string::npos);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r = Status::IoError("disk gone");
+  EXPECT_DEATH(r.value(), "Result::value\\(\\) on error");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status SumPositives(int a, int b, int* out) {
+  GAIA_ASSIGN_OR_RETURN(int av, ParsePositive(a));
+  GAIA_ASSIGN_OR_RETURN(int bv, ParsePositive(b));
+  *out = av + bv;
+  return Status::OK();
+}
+
+TEST(StatusTest, AssignOrReturnUnwrapsAndPropagates) {
+  int out = 0;
+  EXPECT_TRUE(SumPositives(2, 3, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status bad = SumPositives(2, -1, &out);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 5);  // untouched after the early return
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // IEEE CRC-32 check value for "123456789".
+  EXPECT_EQ(util::Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(util::Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, IncrementalEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t one_shot = util::Crc32(data.data(), data.size());
+  const uint32_t first = util::Crc32(data.data(), 10);
+  const uint32_t incremental =
+      util::Crc32(data.data() + 10, data.size() - 10, first);
+  EXPECT_EQ(incremental, one_shot);
+  EXPECT_NE(one_shot, util::Crc32("different", 9));
+}
+
+TEST(FaultInjectorTest, DisabledByDefaultAndAfterReset) {
+  util::FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.Sample("anything").has_value());
+  util::FaultSpec spec;
+  spec.site = "s";
+  injector.Arm(spec);
+  EXPECT_TRUE(injector.enabled());
+  injector.Reset();
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_EQ(injector.total_fired(), 0);
+}
+
+TEST(FaultInjectorTest, MaxFiresBoundsDeterministically) {
+  util::FaultInjector injector;
+  util::FaultSpec spec;
+  spec.site = "ckpt";
+  spec.kind = util::FaultKind::kCorrupt;
+  spec.probability = 1.0;
+  spec.max_fires = 3;
+  injector.Arm(spec);
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.Sample("ckpt").has_value()) ++fires;
+  }
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(injector.fired_count("ckpt"), 3);
+  EXPECT_EQ(injector.fired_count("elsewhere"), 0);
+  EXPECT_EQ(injector.total_fired(), 3);
+}
+
+TEST(FaultInjectorTest, ProbabilityStreamIsSeedReproducible) {
+  auto run = [](uint64_t seed) {
+    util::FaultInjector injector;
+    injector.Reseed(seed);
+    util::FaultSpec spec;
+    spec.site = "fwd";
+    spec.probability = 0.5;
+    injector.Arm(spec);
+    std::vector<bool> hits;
+    for (int i = 0; i < 64; ++i) hits.push_back(injector.Sample("fwd").has_value());
+    return hits;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(FaultInjectorTest, ArmFromStringParsesRules) {
+  util::FaultInjector injector;
+  ASSERT_TRUE(injector
+                  .ArmFromString(
+                      "checkpoint.read:corrupt:1.0:2;serving.forward:nan:1.0")
+                  .ok());
+  EXPECT_EQ(injector.Sample("checkpoint.read"), util::FaultKind::kCorrupt);
+  EXPECT_EQ(injector.Sample("serving.forward"), util::FaultKind::kNan);
+  EXPECT_FALSE(injector.Sample("market.read").has_value());
+  EXPECT_FALSE(injector.ArmFromString("no-colon").ok());
+  EXPECT_FALSE(injector.ArmFromString("site:badkind:1.0").ok());
+  EXPECT_FALSE(injector.ArmFromString("site:io:2.5").ok());
+}
+
+TEST(FaultInjectorTest, FaultStatusMapsKinds) {
+  EXPECT_EQ(util::FaultStatus(util::FaultKind::kIoError, "s").code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(util::FaultStatus(util::FaultKind::kUnavailable, "s").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(util::FaultStatus(util::FaultKind::kDeadline, "s").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(util::FaultStatus(util::FaultKind::kCorrupt, "s").code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(RetryTest, RetryablePredicateSplitsTransientFromPermanent) {
+  EXPECT_TRUE(util::IsRetryableStatus(Status::IoError("x")));
+  EXPECT_TRUE(util::IsRetryableStatus(Status::Unavailable("x")));
+  EXPECT_TRUE(util::IsRetryableStatus(Status::DeadlineExceeded("x")));
+  EXPECT_FALSE(util::IsRetryableStatus(Status::DataLoss("x")));
+  EXPECT_FALSE(util::IsRetryableStatus(Status::InvalidArgument("x")));
+  EXPECT_FALSE(util::IsRetryableStatus(Status::OK()));
+}
+
+TEST(RetryTest, BackoffGrowsAndCaps) {
+  util::RetryPolicy policy;
+  policy.initial_backoff_ms = 10.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 35.0;
+  policy.jitter_fraction = 0.0;
+  Rng rng(0);
+  EXPECT_DOUBLE_EQ(util::BackoffMs(policy, 0, &rng), 10.0);
+  EXPECT_DOUBLE_EQ(util::BackoffMs(policy, 1, &rng), 20.0);
+  EXPECT_DOUBLE_EQ(util::BackoffMs(policy, 2, &rng), 35.0);  // capped
+  EXPECT_DOUBLE_EQ(util::BackoffMs(policy, 3, &rng), 35.0);
+}
+
+TEST(RetryTest, JitterIsDeterministicPerSeed) {
+  util::RetryPolicy policy;
+  policy.jitter_fraction = 0.5;
+  Rng a(42), b(42), c(43);
+  const double with_a = util::BackoffMs(policy, 1, &a);
+  EXPECT_DOUBLE_EQ(with_a, util::BackoffMs(policy, 1, &b));
+  EXPECT_GE(with_a, 1.0);  // 2ms nominal, ±50%
+  EXPECT_LE(with_a, 3.0);
+  EXPECT_NE(with_a, util::BackoffMs(policy, 1, &c));
+}
+
+TEST(RetryTest, RecoversFromTransientFailures) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.sleep = false;
+  int calls = 0;
+  util::RetryStats stats;
+  Status status = util::RetryCall(
+      policy,
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("warming up") : Status::OK();
+      },
+      &stats);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_GT(stats.total_backoff_ms, 0.0);
+}
+
+TEST(RetryTest, DoesNotRetryPermanentFailures) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.sleep = false;
+  int calls = 0;
+  Status status = util::RetryCall(policy, [&] {
+    ++calls;
+    return Status::DataLoss("corrupt");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ExhaustsBudgetAndReturnsLastStatus) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.sleep = false;
+  int calls = 0;
+  Status status = util::RetryCall(policy, [&] {
+    ++calls;
+    return Status::IoError("flaky #" + std::to_string(calls));
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("#3"), std::string::npos);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, ResultFlavourReturnsValue) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.sleep = false;
+  int calls = 0;
+  auto result = util::RetryResult<int>(policy, [&]() -> Result<int> {
+    ++calls;
+    if (calls < 2) return Status::Unavailable("not yet");
+    return 41 + 1;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(calls, 2);
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/ci.yml for offline use: a Release build
 # running the full suite, an observability pass (same build, GAIA_OBS=1 +
-# metrics_snapshot JSON validation), then an ASan+UBSan build running the
-# labelled concurrency/golden/obs subset.
+# metrics_snapshot JSON validation), a robustness pass (fault-injection suite
+# + randomized-seed chaos serve under GAIA_FAULTS), then an ASan+UBSan build
+# running the labelled robust/concurrency/golden/obs subset.
 #
 #   tools/ci.sh            # all jobs
 #   tools/ci.sh release    # release job only
 #   tools/ci.sh obs        # observability job only (reuses build/)
+#   tools/ci.sh robust     # robustness job only (reuses build/)
 #   tools/ci.sh sanitize   # sanitizer job only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,10 +46,36 @@ print("metrics_snapshot.json OK:", len(snap["phases"]), "phases")
 EOF
 fi
 
+if [[ "$job" == "robust" || "$job" == "all" ]]; then
+  echo "=== Robustness: fault-injection suite + randomized chaos serve ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$jobs"
+  # Deterministic fault matrix: checkpoint corruption, rollback, degradation.
+  ctest --test-dir build --output-on-failure -L robust -j"$jobs"
+  # Randomized chaos replay of the serve pipeline. The seed is echoed so any
+  # failure reproduces exactly (GAIA_FAULTS_SEED=<seed> tools/ci.sh robust).
+  # Bounded-count rules (prob 1.0, max fires) stay within the retry budgets;
+  # probabilistic rules land on the degradation ladder, which never fails a
+  # request — so the run must exit 0 at any seed.
+  chaos_dir=$(mktemp -d)
+  ./build/tools/gaia_cli simulate --out "$chaos_dir/market" --shops 80 \
+    --history 18 --seed 7
+  ./build/tools/gaia_cli train --market "$chaos_dir/market" \
+    --checkpoint "$chaos_dir/ckpt.bin" --epochs 3 --channels 8 --layers 1
+  seed="${GAIA_FAULTS_SEED:-$RANDOM}"
+  echo "chaos serve with GAIA_FAULTS_SEED=$seed"
+  GAIA_FAULTS_SEED="$seed" \
+  GAIA_FAULTS="market.read:io:1.0:1;checkpoint.read:unavailable:1.0:2;serving.forward:nan:0.2;serving.forward:unavailable:0.1;graph.ego_extract:corrupt:0.1" \
+    ./build/tools/gaia_cli serve --market "$chaos_dir/market" \
+    --checkpoint "$chaos_dir/ckpt.bin" --requests 200 --channels 8 --layers 1
+  rm -rf "$chaos_dir"
+fi
+
 if [[ "$job" == "sanitize" || "$job" == "all" ]]; then
-  echo "=== ASan+UBSan build + concurrency/golden/obs tests ==="
+  echo "=== ASan+UBSan build + robust/concurrency/golden/obs tests ==="
   cmake -B build-asan -S . -DGAIA_SANITIZE=ON
   cmake --build build-asan -j"$jobs"
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 GAIA_OBS=1 \
-    ctest --test-dir build-asan --output-on-failure -L "concurrency|golden|obs"
+    ctest --test-dir build-asan --output-on-failure \
+    -L "robust|concurrency|golden|obs"
 fi

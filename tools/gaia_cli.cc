@@ -65,7 +65,9 @@ int Fail(const std::string& message) {
 }
 
 Result<data::ForecastDataset> LoadDataset(const std::string& dir) {
-  auto market = data::LoadMarketCsv(dir);
+  // Transient I/O (including injected market.read faults) is retried with
+  // backoff; malformed data fails on the first attempt.
+  auto market = data::LoadMarketCsvRetry(dir, util::RetryPolicy{});
   if (!market.ok()) return market.status();
   return data::ForecastDataset::Create(market.value(),
                                        data::DatasetOptions{});
@@ -168,11 +170,13 @@ int Serve(const Args& args) {
       std::move(dataset_result).value());
   auto model = BuildModel(*dataset, args);
   if (!model.ok()) return Fail(model.status().ToString());
-  Status loaded = model.value()->Load(args.Get("checkpoint", ""));
-  if (!loaded.ok()) return Fail(loaded.ToString());
   serving::ModelServer server(
       std::shared_ptr<core::GaiaModel>(std::move(model).value()), dataset,
       serving::ServerConfig{});
+  // The server's hot-swap path retries transient checkpoint I/O and is
+  // verify-then-swap, so a flaky read never serves half-loaded weights.
+  Status loaded = server.LoadCheckpoint(args.Get("checkpoint", ""));
+  if (!loaded.ok()) return Fail(loaded.ToString());
   const int64_t requests = args.GetInt("requests", 50);
   const auto& shops = dataset->test_nodes();
   for (int64_t i = 0; i < requests; ++i) {
@@ -181,7 +185,8 @@ int Serve(const Args& args) {
   std::cout << "served " << server.total_requests() << " requests, mean "
             << TablePrinter::FormatDouble(
                    server.total_latency_ms() / server.total_requests(), 2)
-            << " ms each\n";
+            << " ms each, " << server.fallback_requests()
+            << " degraded to fallback\n";
   return 0;
 }
 
