@@ -6,14 +6,23 @@
 //  3. Reports the online MAPE improvement over the deployed LogTrans
 //     baseline (paper: 0.117 -> 0.083, +29.1%) and inference time vs the
 //     number of clients (paper: scales linearly).
+//
+// After the narrative tables, the serving hot path is re-measured on the
+// bench/harness runner (warmup + repetitions, median/p95/MAD, per-case
+// span/allocation attribution); `--json PATH` writes the gaia.bench/1
+// artifact for tools/bench_compare. All harness flags are accepted (see
+// docs/BENCHMARKING.md); `--skip-narrative` runs only the harness section.
 
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/logtrans.h"
 #include "baselines/zoo.h"
 #include "bench/bench_common.h"
+#include "bench/harness/suites.h"
 #include "core/evaluator.h"
 #include "serving/model_server.h"
 #include "util/stopwatch.h"
@@ -120,4 +129,29 @@ int Run() {
 }  // namespace
 }  // namespace gaia::bench
 
-int main() { return gaia::bench::Run(); }
+int main(int argc, char** argv) {
+  using namespace gaia::bench::harness;
+  DriverOptions options;
+  bool skip_narrative = false;
+  // Peel off --skip-narrative before the shared harness flags.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--skip-narrative") {
+      skip_narrative = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!ParseDriverFlags(static_cast<int>(args.size()), args.data(),
+                        &options)) {
+    return 2;
+  }
+  if (!skip_narrative && !options.list) {
+    const int code = gaia::bench::Run();
+    if (code != 0) return code;
+  }
+  std::cout << "\n=== Serving hot path (bench/harness) ===\n";
+  Harness harness(options.run);
+  RegisterDeploymentCases(harness);
+  return RunDriver(harness, options);
+}

@@ -1,0 +1,305 @@
+#include "bench/harness/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <locale>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "obs/metrics.h"
+#include "util/table_printer.h"
+
+namespace gaia::bench::harness {
+
+namespace {
+
+/// Counters copied into CaseResult::counters after the attribution run.
+/// Missing/never-registered names read 0, so the JSON schema is stable
+/// across cases that exercise different subsystems.
+constexpr const char* kAttributedCounters[] = {
+    "gaia_pool_jobs_total",          "gaia_pool_chunks_total",
+    "gaia_pool_inline_chunks_total", "gaia_pool_busy_ns_total",
+    "gaia_alloc_tensors_total",      "gaia_alloc_bytes_total",
+};
+
+int64_t PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<int64_t>(usage.ru_maxrss);  // KiB on Linux
+  }
+#endif
+  return 0;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << v;
+  return os.str();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Harness::AddCase(std::string name, std::function<void()> body,
+                      CaseOptions options) {
+  cases_.push_back(
+      Case{std::move(name), std::move(body), std::move(options)});
+}
+
+std::vector<std::string> Harness::CaseNames() const {
+  std::vector<std::string> names;
+  for (const Case& c : cases_) {
+    if (options_.filter.empty() ||
+        c.name.find(options_.filter) != std::string::npos) {
+      names.push_back(c.name);
+    }
+  }
+  return names;
+}
+
+CaseResult Harness::RunCase(const Case& benchmark_case) {
+  CaseResult result;
+  result.name = benchmark_case.name;
+  result.tags = benchmark_case.options.tags;
+  result.items_per_rep = benchmark_case.options.items_per_rep;
+
+  const int warmup = benchmark_case.options.warmup >= 0
+                         ? benchmark_case.options.warmup
+                         : options_.warmup;
+  const int reps = std::max(
+      1, benchmark_case.options.reps >= 0 ? benchmark_case.options.reps
+                                          : options_.reps);
+
+  // Timed repetitions run at the ambient observability level (normally
+  // off), so the statistics below never include instrumentation cost.
+  for (int i = 0; i < warmup; ++i) benchmark_case.body();
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const uint64_t start = NowNs();
+    benchmark_case.body();
+    samples.push_back(static_cast<double>(NowNs() - start));
+  }
+  result.wall_ns = ComputeStats(std::move(samples));
+
+  if (options_.attribution) {
+    // One extra untimed run with phase-level observability forced on. The
+    // registry and trace ring are wiped before and after, so the aggregates
+    // attribute to exactly this case — and the next case starts clean.
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    const obs::Level ambient = obs::CurrentLevel();
+    obs::SetLevel(obs::Level::kOn);
+    registry.ResetAll();
+    obs::TraceBuffer::Global().Clear();
+    benchmark_case.body();
+    result.spans = obs::TraceBuffer::Global().AggregateByName();
+    for (const char* name : kAttributedCounters) {
+      result.counters[name] = registry.CounterValue(name);
+    }
+    obs::SetLevel(ambient);
+    registry.ResetAll();
+    obs::TraceBuffer::Global().Clear();
+  }
+
+  result.peak_rss_kb = PeakRssKb();
+  return result;
+}
+
+const std::vector<CaseResult>& Harness::Run(std::ostream& os) {
+  results_.clear();
+  TablePrinter table(
+      {"Case", "Reps", "Median", "p95", "MAD", "Min", "Items/s"});
+  for (const Case& benchmark_case : cases_) {
+    if (!options_.filter.empty() &&
+        benchmark_case.name.find(options_.filter) == std::string::npos) {
+      continue;
+    }
+    std::cerr << "[bench] " << benchmark_case.name << "...\n";
+    CaseResult result = RunCase(benchmark_case);
+    const RobustStats& wall = result.wall_ns;
+    std::string items_per_s = "-";
+    if (result.items_per_rep > 0 && wall.median > 0.0) {
+      items_per_s = TablePrinter::FormatCount(
+          static_cast<double>(result.items_per_rep) / (wall.median * 1e-9));
+    }
+    table.AddRow({result.name, std::to_string(wall.count),
+                  FormatNs(wall.median), FormatNs(wall.p95),
+                  FormatNs(wall.mad), FormatNs(wall.min), items_per_s});
+    results_.push_back(std::move(result));
+  }
+  table.Print(os);
+  return results_;
+}
+
+std::string Harness::FormatNs(double ns) {
+  char buf[32];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns * 1e-3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns * 1e-9);
+  }
+  return buf;
+}
+
+std::string Harness::ResultsToJson(const std::vector<CaseResult>& results,
+                                   const RunOptions& options) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << "{\n";
+  os << "  \"schema\": \"gaia.bench/1\",\n";
+  os << "  \"config\": {\"warmup\": " << options.warmup
+     << ", \"reps\": " << options.reps << ", \"attribution\": "
+     << (options.attribution ? "true" : "false") << "},\n";
+  os << "  \"cases\": [";
+  bool first_case = true;
+  for (const CaseResult& result : results) {
+    if (!first_case) os << ",";
+    first_case = false;
+    os << "\n    {\n";
+    os << "      \"name\": \"" << JsonEscape(result.name) << "\",\n";
+    os << "      \"tags\": [";
+    for (size_t i = 0; i < result.tags.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "\"" << JsonEscape(result.tags[i]) << "\"";
+    }
+    os << "],\n";
+    os << "      \"items_per_rep\": " << result.items_per_rep << ",\n";
+    const RobustStats& w = result.wall_ns;
+    os << "      \"wall_ns\": {\"count\": " << w.count
+       << ", \"min\": " << FormatDouble(w.min)
+       << ", \"median\": " << FormatDouble(w.median)
+       << ", \"p95\": " << FormatDouble(w.p95)
+       << ", \"max\": " << FormatDouble(w.max)
+       << ", \"mean\": " << FormatDouble(w.mean)
+       << ", \"mad\": " << FormatDouble(w.mad) << "},\n";
+    os << "      \"spans\": {";
+    bool first = true;
+    for (const auto& [name, stat] : result.spans) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << JsonEscape(name) << "\": {\"count\": " << stat.count
+         << ", \"total_ms\": " << FormatDouble(stat.total_ms)
+         << ", \"max_ms\": " << FormatDouble(stat.max_ms) << "}";
+    }
+    os << "},\n";
+    os << "      \"counters\": {";
+    first = true;
+    for (const auto& [name, value] : result.counters) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << JsonEscape(name) << "\": " << value;
+    }
+    os << "},\n";
+    os << "      \"peak_rss_kb\": " << result.peak_rss_kb << "\n";
+    os << "    }";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+bool Harness::WriteJson(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.good()) {
+    std::cerr << "bench harness: cannot open " << path << "\n";
+    return false;
+  }
+  file << ToJson();
+  file.close();
+  if (!file.good()) {
+    std::cerr << "bench harness: write to " << path << " failed\n";
+    return false;
+  }
+  std::cerr << "wrote " << path << "\n";
+  return true;
+}
+
+bool ParseDriverFlags(int argc, char** argv, DriverOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char** value) {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        return false;
+      }
+      *value = argv[++i];
+      return true;
+    };
+    const char* value = nullptr;
+    if (arg == "--json") {
+      if (!next(&value)) return false;
+      options->json_path = value;
+    } else if (arg == "--reps") {
+      if (!next(&value)) return false;
+      options->run.reps = std::atoi(value);
+    } else if (arg == "--warmup") {
+      if (!next(&value)) return false;
+      options->run.warmup = std::atoi(value);
+    } else if (arg == "--filter") {
+      if (!next(&value)) return false;
+      options->run.filter = value;
+    } else if (arg == "--no-attribution") {
+      options->run.attribution = false;
+    } else if (arg == "--list") {
+      options->list = true;
+    } else {
+      std::cerr << "unknown flag: " << arg
+                << "\nusage: [--json PATH] [--reps N] [--warmup N] "
+                   "[--filter SUBSTR] [--no-attribution] [--list]\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunDriver(Harness& harness, const DriverOptions& options) {
+  if (options.list) {
+    for (const std::string& name : harness.CaseNames()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  harness.Run(std::cout);
+  if (!options.json_path.empty() && !harness.WriteJson(options.json_path)) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace gaia::bench::harness

@@ -1,0 +1,132 @@
+#ifndef GAIA_BENCH_HARNESS_HARNESS_H_
+#define GAIA_BENCH_HARNESS_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness/stats.h"
+#include "obs/trace.h"
+
+namespace gaia::bench::harness {
+
+/// \brief Per-case registration options.
+struct CaseOptions {
+  /// Free-form grouping labels ("tensor", "scaling", "deployment") carried
+  /// into the JSON so downstream tooling can slice by layer.
+  std::vector<std::string> tags;
+  /// Work items one repetition processes (matrix FLOP count, shops served);
+  /// 0 = no throughput column. Purely descriptive.
+  int64_t items_per_rep = 0;
+  /// Per-case overrides of the harness-wide warmup/reps (-1 = inherit).
+  int warmup = -1;
+  int reps = -1;
+};
+
+/// \brief One measured case: robust wall-time statistics plus the
+/// observability attribution captured in a separate obs-enabled pass.
+struct CaseResult {
+  std::string name;
+  std::vector<std::string> tags;
+  int64_t items_per_rep = 0;
+  /// Wall time per repetition, nanoseconds. Median/MAD are the headline
+  /// numbers; tools/bench_compare gates on them.
+  RobustStats wall_ns;
+  /// Exact by-name span aggregates from TraceBuffer for ONE obs-enabled
+  /// run of the body (not summed over the timed repetitions).
+  std::map<std::string, obs::SpanStats> spans;
+  /// Counter values (pool dispatch, tensor allocations) from the same
+  /// attribution run. Keys are the metric names from docs/OBSERVABILITY.md.
+  std::map<std::string, uint64_t> counters;
+  /// Process peak RSS in KiB sampled after the case ran. The kernel
+  /// high-water mark is monotone across the process, so this only
+  /// attributes growth to the first case that caused it.
+  int64_t peak_rss_kb = 0;
+};
+
+/// \brief Harness-wide run configuration (shared driver flags map onto it).
+struct RunOptions {
+  int warmup = 2;  ///< untimed repetitions before measurement
+  int reps = 9;    ///< timed repetitions (odd keeps the median a sample)
+  std::string filter;       ///< substring filter on case names; empty = all
+  bool attribution = true;  ///< run the obs-enabled attribution pass
+};
+
+/// \brief Case registry + runner behind every bench driver.
+///
+/// Each case is measured as `warmup` untimed runs, then `reps` timed runs
+/// summarized with robust statistics, then (unless disabled) one more run
+/// with observability forced to kOn that yields exact span aggregates and
+/// allocation/pool counters for attribution. Between cases the metrics
+/// registry is ResetAll()-ed and the trace ring cleared, so every case's
+/// attribution describes that case alone. Timed repetitions run at the
+/// process's ambient observability level (default off), so enabling
+/// attribution never perturbs the reported wall times.
+class Harness {
+ public:
+  explicit Harness(RunOptions options = RunOptions{})
+      : options_(std::move(options)) {}
+
+  /// Registers a case. `body` must be re-runnable; expensive fixtures
+  /// belong in function-local statics or suite-level setup, not the body.
+  void AddCase(std::string name, std::function<void()> body,
+               CaseOptions options = CaseOptions{});
+
+  /// Runs every case matching the filter, printing a human-readable table
+  /// to `os` as results land. Returns the collected results.
+  const std::vector<CaseResult>& Run(std::ostream& os);
+
+  const std::vector<CaseResult>& results() const { return results_; }
+  const RunOptions& options() const { return options_; }
+  /// Registered case names after filtering (for --list).
+  std::vector<std::string> CaseNames() const;
+
+  /// Serializes results as a `gaia.bench/1` JSON document. Static so tests
+  /// can golden-check the exact bytes for hand-built results.
+  static std::string ResultsToJson(const std::vector<CaseResult>& results,
+                                   const RunOptions& options);
+  std::string ToJson() const { return ResultsToJson(results_, options_); }
+  /// Writes ToJson() to `path` (stderr diagnostic + false on I/O failure).
+  bool WriteJson(const std::string& path) const;
+
+  /// "123.4us"-style rendering used by the table (exposed for drivers).
+  static std::string FormatNs(double ns);
+
+ private:
+  struct Case {
+    std::string name;
+    std::function<void()> body;
+    CaseOptions options;
+  };
+
+  CaseResult RunCase(const Case& benchmark_case);
+
+  RunOptions options_;
+  std::vector<Case> cases_;
+  std::vector<CaseResult> results_;
+};
+
+/// \brief Flags shared by every harness driver:
+///   --json PATH   write gaia.bench/1 JSON (in addition to the table)
+///   --reps N --warmup N --filter SUBSTR --no-attribution --list
+struct DriverOptions {
+  RunOptions run;
+  std::string json_path;
+  bool list = false;
+};
+
+/// Parses the shared flags (unknown flags fail with a usage message on
+/// stderr). Returns false when the driver should exit with status 2.
+bool ParseDriverFlags(int argc, char** argv, DriverOptions* options);
+
+/// Runs a populated harness per the driver options: --list prints case
+/// names, otherwise runs all cases, prints the table to stdout, and writes
+/// the JSON artifact when requested. Returns the process exit code.
+int RunDriver(Harness& harness, const DriverOptions& options);
+
+}  // namespace gaia::bench::harness
+
+#endif  // GAIA_BENCH_HARNESS_HARNESS_H_

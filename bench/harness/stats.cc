@@ -1,0 +1,39 @@
+#include "bench/harness/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gaia::bench::harness {
+
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::min(1.0, std::max(0.0, q));
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(position);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = position - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+RobustStats ComputeStats(std::vector<double> samples) {
+  RobustStats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.count = static_cast<int>(samples.size());
+  stats.min = samples.front();
+  stats.max = samples.back();
+  stats.median = SortedQuantile(samples, 0.5);
+  stats.p95 = SortedQuantile(samples, 0.95);
+  stats.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+               static_cast<double>(samples.size());
+  std::vector<double> deviations;
+  deviations.reserve(samples.size());
+  for (double v : samples) deviations.push_back(std::fabs(v - stats.median));
+  std::sort(deviations.begin(), deviations.end());
+  stats.mad = SortedQuantile(deviations, 0.5);
+  return stats;
+}
+
+}  // namespace gaia::bench::harness

@@ -1,0 +1,36 @@
+#ifndef GAIA_BENCH_HARNESS_STATS_H_
+#define GAIA_BENCH_HARNESS_STATS_H_
+
+#include <vector>
+
+namespace gaia::bench::harness {
+
+/// \brief Robust summary of one case's per-repetition wall times.
+///
+/// Benchmark samples are contaminated by one-sided noise (scheduler
+/// preemption, page faults), so the headline statistics are the median and
+/// the MAD (median absolute deviation from the median) rather than mean and
+/// stddev: a single slow repetition moves neither. p95 is kept to expose
+/// the tail that the median deliberately hides.
+struct RobustStats {
+  int count = 0;
+  double min = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double mad = 0.0;  ///< median(|x_i - median|), same unit as the samples
+};
+
+/// Computes the summary over `samples` (any unit; the harness feeds
+/// nanoseconds). Empty input returns all-zero stats; the input vector is
+/// copied so callers keep their sample order.
+RobustStats ComputeStats(std::vector<double> samples);
+
+/// Linear-interpolated quantile of a *sorted* sample vector, q in [0, 1].
+/// Exposed for tests; ComputeStats uses it for the median and p95.
+double SortedQuantile(const std::vector<double>& sorted, double q);
+
+}  // namespace gaia::bench::harness
+
+#endif  // GAIA_BENCH_HARNESS_STATS_H_

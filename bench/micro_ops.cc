@@ -1,121 +1,20 @@
-// Google-benchmark microbenchmarks (E8): the hot kernels under Gaia —
-// tensor contractions, temporal convolution, the CAU attention, ego-subgraph
-// extraction and end-to-end single-shop inference.
+// Microbenchmarks for the hot kernels under Gaia — tensor contractions,
+// temporal convolution, the CAU attention, ego-subgraph extraction and
+// end-to-end single-shop inference — on the bench/harness runner
+// (warmup + repetitions, median/p95/MAD, per-case span and allocation
+// attribution; see docs/BENCHMARKING.md).
+//
+//   ./build/bench/micro_ops                         # human table
+//   ./build/bench/micro_ops --json BENCH_micro.json # + gaia.bench/1 JSON
+//   ./build/bench/micro_ops --filter matmul --reps 15
 
-#include <benchmark/benchmark.h>
+#include "bench/harness/suites.h"
 
-#include <memory>
-
-#include "core/cau.h"
-#include "core/gaia_model.h"
-#include "data/dataset.h"
-#include "data/market_simulator.h"
-#include "graph/eseller_graph.h"
-#include "tensor/tensor_ops.h"
-#include "util/rng.h"
-
-namespace gaia {
-namespace {
-
-void BM_MatMul(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  Rng rng(1);
-  Tensor a = Tensor::Randn({n, n}, &rng);
-  Tensor b = Tensor::Randn({n, n}, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MatMul(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+int main(int argc, char** argv) {
+  using namespace gaia::bench::harness;
+  DriverOptions options;
+  if (!ParseDriverFlags(argc, argv, &options)) return 2;
+  Harness harness(options.run);
+  RegisterTensorCases(harness);
+  return RunDriver(harness, options);
 }
-BENCHMARK(BM_MatMul)->Arg(24)->Arg(64)->Arg(128);
-
-void BM_Conv1d(benchmark::State& state) {
-  const int64_t t_len = 24, c = state.range(0);
-  Rng rng(2);
-  Tensor input = Tensor::Randn({t_len, c}, &rng);
-  Tensor weight = Tensor::Randn({c, 3, c}, &rng);
-  Tensor bias = Tensor::Randn({c}, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        Conv1d(input, weight, bias, PadMode::kCausal, 1));
-  }
-}
-BENCHMARK(BM_Conv1d)->Arg(16)->Arg(32);
-
-void BM_SoftmaxRows(benchmark::State& state) {
-  const int64_t t_len = state.range(0);
-  Rng rng(3);
-  Tensor logits = Tensor::Randn({t_len, t_len}, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SoftmaxRows(logits));
-  }
-}
-BENCHMARK(BM_SoftmaxRows)->Arg(24)->Arg(96);
-
-void BM_CauForward(benchmark::State& state) {
-  const int64_t t_len = 24, c = state.range(0);
-  Rng rng(4);
-  core::ConvAttentionUnit cau(c, &rng);
-  autograd::Var h_u = autograd::Constant(Tensor::Randn({t_len, c}, &rng));
-  autograd::Var h_v = autograd::Constant(Tensor::Randn({t_len, c}, &rng));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cau.Forward(h_u, h_v));
-  }
-}
-BENCHMARK(BM_CauForward)->Arg(16)->Arg(32);
-
-struct InferenceFixture {
-  InferenceFixture() {
-    data::MarketConfig cfg;
-    cfg.num_shops = 200;
-    cfg.seed = 9;
-    auto market = data::MarketSimulator(cfg).Generate();
-    dataset = std::make_unique<data::ForecastDataset>(
-        std::move(data::ForecastDataset::Create(market.value(),
-                                                data::DatasetOptions{}))
-            .value());
-    core::GaiaConfig gaia_cfg;
-    gaia_cfg.channels = 16;
-    model = std::move(core::GaiaModel::Create(
-                          gaia_cfg, dataset->history_len(), dataset->horizon(),
-                          dataset->temporal_dim(), dataset->static_dim()))
-                .value();
-  }
-  std::unique_ptr<data::ForecastDataset> dataset;
-  std::unique_ptr<core::GaiaModel> model;
-};
-
-InferenceFixture& Fixture() {
-  static InferenceFixture* fixture = new InferenceFixture();
-  return *fixture;
-}
-
-void BM_EgoExtraction(benchmark::State& state) {
-  auto& fx = Fixture();
-  Rng rng(5);
-  int32_t shop = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(graph::ExtractEgoSubgraph(
-        fx.dataset->graph(), shop, 2, 10, &rng));
-    shop = (shop + 1) % static_cast<int32_t>(fx.dataset->num_nodes());
-  }
-}
-BENCHMARK(BM_EgoExtraction);
-
-void BM_SingleShopInference(benchmark::State& state) {
-  auto& fx = Fixture();
-  Rng rng(6);
-  int32_t shop = 0;
-  for (auto _ : state) {
-    auto ego = graph::ExtractEgoSubgraph(fx.dataset->graph(), shop, 2, 10,
-                                         &rng);
-    benchmark::DoNotOptimize(fx.model->PredictEgo(*fx.dataset, ego));
-    shop = (shop + 1) % static_cast<int32_t>(fx.dataset->num_nodes());
-  }
-}
-BENCHMARK(BM_SingleShopInference);
-
-}  // namespace
-}  // namespace gaia
-
-BENCHMARK_MAIN();

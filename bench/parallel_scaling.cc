@@ -1,141 +1,32 @@
 // Thread-scaling benchmarks for the parallel forward/training paths: the
 // same fixed workload is timed with the global pool pinned to 1/2/4/8
-// workers. Forecast values are bitwise identical across the sweep (see
-// tests/parallel_determinism_test.cc); only wall time may change.
+// workers, on the bench/harness runner. Forecast values are bitwise
+// identical across the sweep (tests/parallel_determinism_test.cc); only
+// wall time may change.
 //
-//   ./build/bench/parallel_scaling --benchmark_min_time=1x
-
-#include <benchmark/benchmark.h>
+//   ./build/bench/parallel_scaling
+//   ./build/bench/parallel_scaling --json scaling.json --filter forward
+//
+// With GAIA_OBS=1 the by-name span aggregate and the Prometheus export are
+// printed after the table, pooling every thread count — a quick view of
+// where wall-time goes as the sweep widens. In that mode the per-case
+// attribution pass is skipped (it resets the registry and trace ring
+// between cases, which would wipe the run-wide aggregate this dump reads).
 
 #include <cstdio>
-#include <memory>
-#include <numeric>
-#include <vector>
 
-#include "autograd/variable.h"
-#include "core/gaia_model.h"
-#include "core/trainer.h"
-#include "data/dataset.h"
-#include "data/market_simulator.h"
+#include "bench/harness/suites.h"
 #include "obs/obs.h"
-#include "tensor/tensor_ops.h"
-#include "util/rng.h"
-#include "util/thread_pool.h"
 
-namespace gaia {
-namespace {
-
-namespace ag = autograd;
-
-// Same market as bench/micro_ops.cc so numbers are comparable across files.
-struct ScalingFixture {
-  ScalingFixture() {
-    data::MarketConfig cfg;
-    cfg.num_shops = 200;
-    cfg.seed = 9;
-    auto market = data::MarketSimulator(cfg).Generate();
-    dataset = std::make_unique<data::ForecastDataset>(
-        std::move(data::ForecastDataset::Create(market.value(),
-                                                data::DatasetOptions{}))
-            .value());
-    core::GaiaConfig gaia_cfg;
-    gaia_cfg.channels = 16;
-    model = std::move(core::GaiaModel::Create(
-                          gaia_cfg, dataset->history_len(), dataset->horizon(),
-                          dataset->temporal_dim(), dataset->static_dim()))
-                .value();
-    all_nodes.resize(dataset->num_nodes());
-    std::iota(all_nodes.begin(), all_nodes.end(), 0);
-  }
-  std::unique_ptr<data::ForecastDataset> dataset;
-  std::unique_ptr<core::GaiaModel> model;
-  std::vector<int32_t> all_nodes;
-};
-
-ScalingFixture& Fixture() {
-  static ScalingFixture* fixture = new ScalingFixture();
-  return *fixture;
-}
-
-// Full-graph Gaia forward over every shop: the headline number for the
-// >= 2x-at-4-threads acceptance check.
-void BM_GaiaForwardGraph(benchmark::State& state) {
-  auto& fx = Fixture();
-  util::ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        fx.model->PredictNodes(*fx.dataset, fx.all_nodes, /*training=*/false,
-                               nullptr));
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(fx.all_nodes.size()));
-}
-BENCHMARK(BM_GaiaForwardGraph)
-    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
-
-// One full training step: forward + loss + backward over the whole graph.
-// Backward stays serial, so this shows the Amdahl ceiling on training.
-void BM_GaiaTrainStep(benchmark::State& state) {
-  auto& fx = Fixture();
-  util::ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
-  Rng rng(11);
-  for (auto _ : state) {
-    ag::Var loss = fx.model->TrainingLoss(*fx.dataset, fx.all_nodes,
-                                          /*training=*/true, &rng);
-    fx.model->ZeroGrad();
-    ag::Backward(loss);
-    benchmark::DoNotOptimize(loss->value.data());
-  }
-}
-BENCHMARK(BM_GaiaTrainStep)
-    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
-
-// Ego-batch inference (the serving sweep shape): extraction is serial by
-// design (rng order), the per-shop forwards fan out.
-void BM_EgoBatchForward(benchmark::State& state) {
-  auto& fx = Fixture();
-  util::ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    Rng rng(13);  // re-seeded so every iteration samples identical egos
-    benchmark::DoNotOptimize(fx.model->PredictNodesViaEgo(
-        *fx.dataset, fx.all_nodes, /*num_hops=*/2, /*max_fanout=*/10, &rng));
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(fx.all_nodes.size()));
-}
-BENCHMARK(BM_EgoBatchForward)
-    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
-
-// Raw tensor kernel above the parallel grain threshold.
-void BM_MatMulThreads(benchmark::State& state) {
-  util::ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
-  Rng rng(1);
-  const int64_t n = 256;
-  Tensor a = Tensor::Randn({n, n}, &rng);
-  Tensor b = Tensor::Randn({n, n}, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MatMul(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
-
-}  // namespace
-}  // namespace gaia
-
-// Custom main so a GAIA_OBS=1 run can correlate the thread sweep with the
-// internal phase spans: after the benchmarks, the by-name span aggregate and
-// pool counters are printed (see docs/OBSERVABILITY.md). With GAIA_OBS unset
-// the instrumentation stays off and timings are unperturbed.
 int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  if (gaia::obs::Enabled()) {
+  using namespace gaia::bench::harness;
+  DriverOptions options;
+  if (!ParseDriverFlags(argc, argv, &options)) return 2;
+  if (gaia::obs::Enabled()) options.run.attribution = false;
+  Harness harness(options.run);
+  RegisterScalingCases(harness);
+  const int code = RunDriver(harness, options);
+  if (code == 0 && gaia::obs::Enabled()) {
     std::printf("\n-- span aggregate (all thread counts pooled) --\n");
     std::printf("%-24s %10s %14s %12s\n", "phase", "count", "total_ms",
                 "mean_ms");
@@ -148,5 +39,5 @@ int main(int argc, char** argv) {
     std::printf("\n%s\n",
                 gaia::obs::MetricsRegistry::Global().ExportPrometheus().c_str());
   }
-  return 0;
+  return code;
 }

@@ -1,0 +1,26 @@
+// The continuous-perf entry point: registers all three measured layers —
+// tensor kernels, thread-pool scaling, end-to-end serving — on the
+// bench/harness runner and (with --json) writes the gaia.bench/1 artifact
+// that tools/bench_compare gates CI against (see docs/BENCHMARKING.md).
+//
+//   ./build/bench/perf_suite --json BENCH_perf.json      # the CI invocation
+//   ./build/bench/perf_suite --filter deployment         # one layer only
+//   ./build/bench/perf_suite --list
+//
+// The scaling sweep is trimmed to 1/2/4 threads here: CI runners rarely
+// have 8 cores, and the full sweep stays available in
+// bench/parallel_scaling. Deployment cases pin the pool back to the
+// process default, so suite order does not leak thread counts.
+
+#include "bench/harness/suites.h"
+
+int main(int argc, char** argv) {
+  using namespace gaia::bench::harness;
+  DriverOptions options;
+  if (!ParseDriverFlags(argc, argv, &options)) return 2;
+  Harness harness(options.run);
+  RegisterTensorCases(harness);
+  RegisterScalingCases(harness, {1, 2, 4});
+  RegisterDeploymentCases(harness);
+  return RunDriver(harness, options);
+}

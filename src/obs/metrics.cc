@@ -264,6 +264,13 @@ std::string MetricsRegistry::ExportJson() const {
   return os.str();
 }
 
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.counter == nullptr) return 0;
+  return it->second.counter->value();
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, entry] : metrics_) {

@@ -122,6 +122,12 @@ class MetricsRegistry {
   /// {name: {"bounds": [...], "counts": [...], "count": n, "sum": s}}}.
   std::string ExportJson() const;
 
+  /// Read-only snapshot of a counter's current value without creating it:
+  /// returns 0 when `name` is unregistered. The bench harness uses this to
+  /// attribute pool/allocation counters to a case without registering
+  /// instruments the workload itself never touched.
+  uint64_t CounterValue(const std::string& name) const;
+
   /// Zeroes every registered metric (tools and tests isolate runs with
   /// this); registrations themselves are kept.
   void ResetAll();

@@ -5,6 +5,7 @@
 
 #include "data/dataset.h"
 #include "obs/obs.h"
+#include "util/stopwatch.h"
 
 namespace gaia::serving {
 
@@ -17,6 +18,15 @@ struct SchedulerMetrics {
   obs::Counter& cycles_skipped = obs::MetricsRegistry::Global().GetCounter(
       "gaia_robust_cycles_skipped_total",
       "Monthly cycles that could not serve at all and were skipped");
+  obs::Histogram& cycle_seconds = obs::MetricsRegistry::Global().GetHistogram(
+      "gaia_scheduler_cycle_seconds", {},
+      "Wall time of one retrain+publish+serve cycle");
+  obs::Histogram& train_seconds = obs::MetricsRegistry::Global().GetHistogram(
+      "gaia_scheduler_train_seconds", {},
+      "Offline retrain wall time per cycle");
+  obs::Histogram& serve_seconds = obs::MetricsRegistry::Global().GetHistogram(
+      "gaia_scheduler_serve_seconds", {},
+      "Online serve sweep wall time per cycle");
   static SchedulerMetrics& Get() {
     static SchedulerMetrics* metrics = new SchedulerMetrics();
     return *metrics;
@@ -42,6 +52,7 @@ Result<std::vector<MonthlyScheduler::CycleReport>> MonthlyScheduler::Run()
 
   for (int cycle = 0; cycle < config_.num_cycles; ++cycle) {
     GAIA_OBS_SPAN("scheduler.cycle");
+    Stopwatch cycle_watch;
     if (obs::Enabled()) {
       obs::MetricsRegistry::Global()
           .GetCounter("gaia_scheduler_cycles_total",
@@ -81,6 +92,10 @@ Result<std::vector<MonthlyScheduler::CycleReport>> MonthlyScheduler::Run()
       // skip the cycle but keep the schedule (and the store) alive.
       SchedulerMetrics::Get().cycle_failures.Increment();
       SchedulerMetrics::Get().cycles_skipped.Increment();
+      if (obs::Enabled()) {
+        SchedulerMetrics::Get().cycle_seconds.Observe(
+            cycle_watch.ElapsedSeconds());
+      }
       reports.push_back(std::move(report));
       continue;
     }
@@ -94,6 +109,10 @@ Result<std::vector<MonthlyScheduler::CycleReport>> MonthlyScheduler::Run()
     OfflineTrainingPipeline::RunReport offline_report;
     std::shared_ptr<core::GaiaModel> model;
     auto trained = pipeline.Run(*dataset, &offline_report);
+    if (obs::Enabled() && offline_report.train.epochs_run > 0) {
+      SchedulerMetrics::Get().train_seconds.Observe(
+          offline_report.train.seconds);
+    }
     if (trained.ok()) {
       model = trained.value();
       report.trained = true;
@@ -153,11 +172,16 @@ Result<std::vector<MonthlyScheduler::CycleReport>> MonthlyScheduler::Run()
       }
 
       if (can_serve) {
+        Stopwatch serve_watch;
         std::vector<std::vector<double>> forecasts;
         const std::vector<int32_t>& clients = dataset->test_nodes();
         forecasts.reserve(clients.size());
         for (int32_t shop : clients) {
           forecasts.push_back(server.Predict(shop).gmv);
+        }
+        if (obs::Enabled()) {
+          SchedulerMetrics::Get().serve_seconds.Observe(
+              serve_watch.ElapsedSeconds());
         }
         report.served = true;
         report.fallback_requests = server.fallback_requests();
@@ -171,6 +195,10 @@ Result<std::vector<MonthlyScheduler::CycleReport>> MonthlyScheduler::Run()
     }
     if (!can_serve) SchedulerMetrics::Get().cycles_skipped.Increment();
     if (!report.healthy) SchedulerMetrics::Get().cycle_failures.Increment();
+    if (obs::Enabled()) {
+      SchedulerMetrics::Get().cycle_seconds.Observe(
+          cycle_watch.ElapsedSeconds());
+    }
     reports.push_back(std::move(report));
   }
 

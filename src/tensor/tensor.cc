@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace gaia {
@@ -20,16 +21,47 @@ int64_t Product(const std::vector<int64_t>& shape) {
   return n;
 }
 
+/// Allocation instruments fed by the tensor construction hook below. The
+/// bench harness reads these per case to expose allocation churn alongside
+/// wall time (see docs/BENCHMARKING.md). Resolved once; references are
+/// stable for the registry's lifetime.
+struct AllocMetrics {
+  obs::Counter& tensors = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_alloc_tensors_total",
+      "Tensor buffers constructed (Zeros/Randn/op results; copies excluded)");
+  obs::Counter& bytes = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_alloc_bytes_total",
+      "Bytes allocated for tensor buffers through the construction hook");
+  static AllocMetrics& Get() {
+    static AllocMetrics* metrics = new AllocMetrics();
+    return *metrics;
+  }
+};
+
+/// Tensor-allocation hook: every shape-constructing path (and therefore
+/// every factory and elementwise op result) lands here. Off-path cost is
+/// one relaxed load and a branch, same budget as every other instrument.
+inline void CountTensorAlloc(size_t elements) {
+  if (elements > 0 && obs::Enabled()) {
+    AllocMetrics& metrics = AllocMetrics::Get();
+    metrics.tensors.Increment();
+    metrics.bytes.Increment(elements * sizeof(float));
+  }
+}
+
 }  // namespace
 
 Tensor::Tensor(std::vector<int64_t> shape)
     : shape_(std::move(shape)),
-      data_(static_cast<size_t>(Product(shape_)), 0.0f) {}
+      data_(static_cast<size_t>(Product(shape_)), 0.0f) {
+  CountTensorAlloc(data_.size());
+}
 
 Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   GAIA_CHECK_EQ(Product(shape_), static_cast<int64_t>(data_.size()))
       << "shape does not match data size";
+  CountTensorAlloc(data_.size());
 }
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {

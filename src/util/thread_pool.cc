@@ -26,6 +26,9 @@ struct PoolMetrics {
   obs::Counter& busy_ns = obs::MetricsRegistry::Global().GetCounter(
       "gaia_pool_busy_ns_total",
       "Nanoseconds spent running loop bodies, summed over threads");
+  obs::Counter& inline_chunks = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_pool_inline_chunks_total",
+      "Loops run inline on the caller (1-thread pool, nested, or sub-grain)");
   obs::Histogram& queue_wait = obs::MetricsRegistry::Global().GetHistogram(
       "gaia_pool_queue_wait_seconds", {},
       "Delay between job submit and a thread claiming its first chunk");
@@ -141,6 +144,10 @@ void ThreadPool::ParallelForRange(
   if (n <= 0) return;
   grain = std::max<int64_t>(1, grain);
   if (workers_.empty() || tl_in_parallel_region || n <= grain) {
+    // The inline path bypasses worker dispatch entirely, so without its own
+    // counter a 1-thread run reports all-zero pool metrics (the documented
+    // metrics_snapshot footgun). Count it so the work is still visible.
+    if (obs::Enabled()) PoolMetrics::Get().inline_chunks.Increment();
     body(0, n);
     return;
   }
@@ -222,6 +229,7 @@ void ParallelFor(int64_t n, const std::function<void(int64_t)>& body,
                  int64_t grain) {
   if (n <= 0) return;
   if (ThreadPool::InParallelRegion() || n <= std::max<int64_t>(1, grain)) {
+    if (obs::Enabled()) PoolMetrics::Get().inline_chunks.Increment();
     for (int64_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -232,6 +240,7 @@ void ParallelForRange(int64_t n, int64_t grain,
                       const std::function<void(int64_t, int64_t)>& body) {
   if (n <= 0) return;
   if (ThreadPool::InParallelRegion() || n <= std::max<int64_t>(1, grain)) {
+    if (obs::Enabled()) PoolMetrics::Get().inline_chunks.Increment();
     body(0, n);
     return;
   }

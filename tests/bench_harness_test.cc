@@ -1,0 +1,246 @@
+// bench/harness tests: robust-statistics correctness (median/p95/MAD on odd
+// and even sample counts), runner semantics (warmup + reps, filtering, the
+// obs-enabled attribution pass and its level restoration), and a golden
+// byte-level check of the gaia.bench/1 JSON emitter that tools/bench_compare
+// and the CI perf gate parse.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness/harness.h"
+#include "bench/harness/stats.h"
+#include "obs/obs.h"
+
+namespace gaia::bench::harness {
+namespace {
+
+/// Restores the process observability level; the attribution pass flips it.
+class BenchHarnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = obs::CurrentLevel(); }
+  void TearDown() override { obs::SetLevel(saved_level_); }
+  obs::Level saved_level_ = obs::Level::kOff;
+};
+
+// ---------------------------------------------------------------------------
+// Robust statistics
+// ---------------------------------------------------------------------------
+
+TEST_F(BenchHarnessTest, StatsOddSampleCount) {
+  const RobustStats s = ComputeStats({3.0, 1.0, 5.0, 2.0, 4.0});
+  EXPECT_EQ(s.count, 5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.mean, 3.0);
+  // p95 over sorted {1..5}: position 0.95 * 4 = 3.8 -> 4 + 0.8 * (5 - 4).
+  EXPECT_DOUBLE_EQ(s.p95, 4.8);
+  // |x - 3| = {2,1,0,1,2}; median of {0,1,1,2,2} = 1.
+  EXPECT_EQ(s.mad, 1.0);
+}
+
+TEST_F(BenchHarnessTest, StatsEvenSampleCountInterpolates) {
+  const RobustStats s = ComputeStats({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.count, 4);
+  EXPECT_EQ(s.median, 2.5);
+  EXPECT_EQ(s.mean, 2.5);
+  // Deviations {1.5, 0.5, 0.5, 1.5}; median = 1.0.
+  EXPECT_EQ(s.mad, 1.0);
+}
+
+TEST_F(BenchHarnessTest, StatsDegenerateInputs) {
+  const RobustStats empty = ComputeStats({});
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_EQ(empty.median, 0.0);
+  const RobustStats one = ComputeStats({7.0});
+  EXPECT_EQ(one.count, 1);
+  EXPECT_EQ(one.min, 7.0);
+  EXPECT_EQ(one.median, 7.0);
+  EXPECT_EQ(one.p95, 7.0);
+  EXPECT_EQ(one.max, 7.0);
+  EXPECT_EQ(one.mad, 0.0);
+}
+
+TEST_F(BenchHarnessTest, SortedQuantileEndpoints) {
+  const std::vector<double> sorted = {10.0, 20.0, 30.0};
+  EXPECT_EQ(SortedQuantile(sorted, 0.0), 10.0);
+  EXPECT_EQ(SortedQuantile(sorted, 1.0), 30.0);
+  EXPECT_EQ(SortedQuantile(sorted, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.25), 15.0);
+}
+
+// ---------------------------------------------------------------------------
+// Runner semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(BenchHarnessTest, RunsWarmupPlusRepsAndReportsStats) {
+  RunOptions options;
+  options.warmup = 2;
+  options.reps = 5;
+  options.attribution = false;
+  Harness harness(options);
+  int calls = 0;
+  harness.AddCase("unit.count_calls", [&]() { ++calls; });
+  std::ostringstream table;
+  const std::vector<CaseResult>& results = harness.Run(table);
+  EXPECT_EQ(calls, 2 + 5);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].name, "unit.count_calls");
+  EXPECT_EQ(results[0].wall_ns.count, 5);
+  EXPECT_GE(results[0].wall_ns.median, 0.0);
+  EXPECT_GT(results[0].peak_rss_kb, 0);
+  EXPECT_NE(table.str().find("unit.count_calls"), std::string::npos);
+}
+
+TEST_F(BenchHarnessTest, FilterSelectsSubstringMatchesOnly) {
+  RunOptions options;
+  options.warmup = 0;
+  options.reps = 1;
+  options.attribution = false;
+  options.filter = "alpha";
+  Harness harness(options);
+  harness.AddCase("unit.alpha", []() {});
+  harness.AddCase("unit.beta", []() {});
+  EXPECT_EQ(harness.CaseNames(),
+            std::vector<std::string>{std::string("unit.alpha")});
+  std::ostringstream table;
+  const std::vector<CaseResult>& results = harness.Run(table);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].name, "unit.alpha");
+}
+
+TEST_F(BenchHarnessTest, AttributionCapturesSpansAndRestoresLevel) {
+  obs::SetLevel(obs::Level::kOff);
+  RunOptions options;
+  options.warmup = 1;
+  options.reps = 3;
+  options.attribution = true;
+  Harness harness(options);
+  harness.AddCase("unit.spanning", []() {
+    GAIA_OBS_SPAN("test.harness_phase");
+  });
+  std::ostringstream table;
+  const std::vector<CaseResult>& results = harness.Run(table);
+  ASSERT_EQ(results.size(), 1u);
+  // Exactly one obs-enabled run contributes to the aggregate, regardless of
+  // warmup/reps — those run at the ambient (off) level.
+  ASSERT_EQ(results[0].spans.count("test.harness_phase"), 1u);
+  EXPECT_EQ(results[0].spans.at("test.harness_phase").count, 1u);
+  // The schema-stable counter keys are present even for an idle body.
+  EXPECT_EQ(results[0].counters.count("gaia_pool_jobs_total"), 1u);
+  EXPECT_EQ(results[0].counters.count("gaia_alloc_bytes_total"), 1u);
+  // Ambient level restored and the shared registry left clean.
+  EXPECT_EQ(obs::CurrentLevel(), obs::Level::kOff);
+  EXPECT_EQ(obs::MetricsRegistry::Global().CounterValue(
+                "gaia_pool_jobs_total"),
+            0u);
+}
+
+TEST_F(BenchHarnessTest, PerCaseOptionsOverrideHarnessDefaults) {
+  RunOptions options;
+  options.warmup = 5;
+  options.reps = 7;
+  options.attribution = false;
+  Harness harness(options);
+  int calls = 0;
+  CaseOptions case_options;
+  case_options.warmup = 0;
+  case_options.reps = 2;
+  harness.AddCase("unit.override", [&]() { ++calls; }, case_options);
+  std::ostringstream table;
+  const std::vector<CaseResult>& results = harness.Run(table);
+  EXPECT_EQ(calls, 2);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].wall_ns.count, 2);
+}
+
+// ---------------------------------------------------------------------------
+// gaia.bench/1 JSON golden
+// ---------------------------------------------------------------------------
+
+TEST_F(BenchHarnessTest, JsonMatchesGoldenShape) {
+  CaseResult result;
+  result.name = "unit.case";
+  result.tags = {"unit", "golden"};
+  result.items_per_rep = 7;
+  result.wall_ns.count = 3;
+  result.wall_ns.min = 100.0;
+  result.wall_ns.median = 200.0;
+  result.wall_ns.p95 = 290.0;
+  result.wall_ns.max = 300.0;
+  result.wall_ns.mean = 200.0;
+  result.wall_ns.mad = 50.0;
+  obs::SpanStats phase;
+  phase.count = 2;
+  phase.total_ms = 1.5;
+  phase.max_ms = 1.0;
+  result.spans["phase.a"] = phase;
+  result.counters["gaia_alloc_bytes_total"] = 1024;
+  result.counters["gaia_pool_jobs_total"] = 3;
+  result.peak_rss_kb = 4096;
+
+  RunOptions options;  // defaults: warmup 2, reps 9, attribution on
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"gaia.bench/1\",\n"
+      "  \"config\": {\"warmup\": 2, \"reps\": 9, \"attribution\": true},\n"
+      "  \"cases\": [\n"
+      "    {\n"
+      "      \"name\": \"unit.case\",\n"
+      "      \"tags\": [\"unit\", \"golden\"],\n"
+      "      \"items_per_rep\": 7,\n"
+      "      \"wall_ns\": {\"count\": 3, \"min\": 100, \"median\": 200, "
+      "\"p95\": 290, \"max\": 300, \"mean\": 200, \"mad\": 50},\n"
+      "      \"spans\": {\"phase.a\": {\"count\": 2, \"total_ms\": 1.5, "
+      "\"max_ms\": 1}},\n"
+      "      \"counters\": {\"gaia_alloc_bytes_total\": 1024, "
+      "\"gaia_pool_jobs_total\": 3},\n"
+      "      \"peak_rss_kb\": 4096\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(Harness::ResultsToJson({result}, options), expected);
+}
+
+TEST_F(BenchHarnessTest, JsonEscapesNamesAndHandlesEmptyResults) {
+  RunOptions options;
+  const std::string empty = Harness::ResultsToJson({}, options);
+  EXPECT_NE(empty.find("\"cases\": [\n  ]"), std::string::npos);
+
+  CaseResult result;
+  result.name = "unit.\"quoted\"\\case";
+  const std::string json = Harness::ResultsToJson({result}, options);
+  EXPECT_NE(json.find("unit.\\\"quoted\\\"\\\\case"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Driver flags
+// ---------------------------------------------------------------------------
+
+TEST_F(BenchHarnessTest, ParseDriverFlagsRoundTrips) {
+  const char* argv[] = {"bench",   "--json",   "out.json", "--reps",
+                        "4",       "--warmup", "1",        "--filter",
+                        "matmul",  "--no-attribution",     "--list"};
+  DriverOptions options;
+  ASSERT_TRUE(ParseDriverFlags(11, const_cast<char**>(argv), &options));
+  EXPECT_EQ(options.json_path, "out.json");
+  EXPECT_EQ(options.run.reps, 4);
+  EXPECT_EQ(options.run.warmup, 1);
+  EXPECT_EQ(options.run.filter, "matmul");
+  EXPECT_FALSE(options.run.attribution);
+  EXPECT_TRUE(options.list);
+}
+
+TEST_F(BenchHarnessTest, ParseDriverFlagsRejectsUnknownAndDangling) {
+  DriverOptions options;
+  const char* unknown[] = {"bench", "--bogus"};
+  EXPECT_FALSE(ParseDriverFlags(2, const_cast<char**>(unknown), &options));
+  const char* dangling[] = {"bench", "--json"};
+  EXPECT_FALSE(ParseDriverFlags(2, const_cast<char**>(dangling), &options));
+}
+
+}  // namespace
+}  // namespace gaia::bench::harness

@@ -3,10 +3,12 @@
 // disabled path must be a no-op), and the guarantee that turning
 // observability on does not change model numerics.
 
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -97,6 +99,78 @@ TEST_F(ObsTest, RegistryReturnsStableReferencesAndResets) {
   a.Increment(7);
   registry.ResetAll();
   EXPECT_EQ(b.value(), 0u);
+}
+
+TEST_F(ObsTest, CounterValueReadsWithoutRegistering) {
+  MetricsRegistry registry;
+  // Unregistered names read 0 — and stay unregistered (no export entry).
+  EXPECT_EQ(registry.CounterValue("gaia_test_never_touched_total"), 0u);
+  EXPECT_EQ(registry.ExportPrometheus().find("gaia_test_never_touched"),
+            std::string::npos);
+  registry.GetCounter("gaia_test_value_total").Increment(11);
+  EXPECT_EQ(registry.CounterValue("gaia_test_value_total"), 11u);
+}
+
+// The bench harness brackets every attribution pass with ResetAll() while
+// instrumented workloads may still be observing from pool threads; a reset
+// racing a writer must neither crash nor corrupt later readings.
+TEST_F(ObsTest, ResetAllIsSafeUnderConcurrentWriters) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("gaia_test_reset_total");
+  Gauge& gauge = registry.GetGauge("gaia_test_reset_gauge");
+  Histogram& hist =
+      registry.GetHistogram("gaia_test_reset_seconds", {1.0, 10.0});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.Increment();
+        gauge.Add(1.0);
+        hist.Observe(5.0);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) registry.ResetAll();
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+  // Quiesced: one more reset must leave everything exactly zero.
+  registry.ResetAll();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0.0);
+  for (size_t i = 0; i <= hist.bounds().size(); ++i) {
+    EXPECT_EQ(hist.bucket_count(i), 0u) << "bucket " << i;
+  }
+}
+
+// Histogram::Reset racing Observe() must keep the histogram usable: after
+// the writers quiesce, a final reset-then-observe round is exact.
+TEST_F(ObsTest, HistogramResetUnderConcurrentWritersStaysConsistent) {
+  Histogram hist({1.0, 10.0, 100.0});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        hist.Observe(0.5);
+        hist.Observe(50.0);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) hist.Reset();
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+  hist.Reset();
+  constexpr int kFinal = 100;
+  for (int i = 0; i < kFinal; ++i) hist.Observe(5.0);
+  EXPECT_EQ(hist.count(), static_cast<uint64_t>(kFinal));
+  EXPECT_EQ(hist.bucket_count(0), 0u);
+  EXPECT_EQ(hist.bucket_count(1), static_cast<uint64_t>(kFinal));  // <= 10
+  EXPECT_EQ(hist.bucket_count(2), 0u);
+  EXPECT_EQ(hist.bucket_count(3), 0u);  // +Inf
+  EXPECT_EQ(hist.sum(), 5.0 * kFinal);
 }
 
 // ---------------------------------------------------------------------------

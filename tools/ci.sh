@@ -2,13 +2,16 @@
 # Local mirror of .github/workflows/ci.yml for offline use: a Release build
 # running the full suite, an observability pass (same build, GAIA_OBS=1 +
 # metrics_snapshot JSON validation), a robustness pass (fault-injection suite
-# + randomized-seed chaos serve under GAIA_FAULTS), then an ASan+UBSan build
-# running the labelled robust/concurrency/golden/obs subset.
+# + randomized-seed chaos serve under GAIA_FAULTS), a perf pass (bench/harness
+# small-scale run gated by tools/bench_compare; see docs/BENCHMARKING.md),
+# then an ASan+UBSan build running the labelled
+# robust/concurrency/golden/obs subset.
 #
 #   tools/ci.sh            # all jobs
 #   tools/ci.sh release    # release job only
 #   tools/ci.sh obs        # observability job only (reuses build/)
 #   tools/ci.sh robust     # robustness job only (reuses build/)
+#   tools/ci.sh perf       # perf job only (reuses build/)
 #   tools/ci.sh sanitize   # sanitizer job only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -69,6 +72,37 @@ if [[ "$job" == "robust" || "$job" == "all" ]]; then
     ./build/tools/gaia_cli serve --market "$chaos_dir/market" \
     --checkpoint "$chaos_dir/ckpt.bin" --requests 200 --channels 8 --layers 1
   rm -rf "$chaos_dir"
+fi
+
+if [[ "$job" == "perf" || "$job" == "all" ]]; then
+  echo "=== Perf: bench/harness small-scale run + bench_compare gate ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$jobs"
+  # The comparator gates itself first: verdict logic on synthetic documents.
+  tools/bench_compare --self-test
+  # Small-scale run of all three measured layers; the artifact stays at the
+  # repo root for upload/inspection.
+  ./build/bench/perf_suite --reps 5 --warmup 1 --json BENCH_perf.json
+  # An identical self-compare must pass at the strict default thresholds...
+  tools/bench_compare BENCH_perf.json BENCH_perf.json
+  # ...and a doctored copy with every median doubled must fail — proves the
+  # gate actually trips before we rely on it.
+  python3 - BENCH_perf.json build/BENCH_doctored.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for case in doc["cases"]:
+    case["wall_ns"]["median"] *= 2.0
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+  if tools/bench_compare BENCH_perf.json build/BENCH_doctored.json; then
+    echo "bench_compare failed to flag a 2x slowdown" >&2
+    exit 1
+  fi
+  # Cross-machine gate against the checked-in baseline. CI runners differ
+  # a lot from the machine that recorded bench/baselines/small.json, so the
+  # thresholds are deliberately generous: only a >2.5x median blowup fails.
+  tools/bench_compare bench/baselines/small.json BENCH_perf.json \
+    --rel-tol 1.5 --mad-mult 8 --min-ns 500000 --missing-ok
 fi
 
 if [[ "$job" == "sanitize" || "$job" == "all" ]]; then

@@ -3,18 +3,24 @@
 //   gaia_cli simulate --out DIR [--shops N] [--seed S] [--history T]
 //       Generate a synthetic market and write it as CSVs.
 //   gaia_cli train --market DIR --checkpoint FILE [--epochs N]
-//       [--channels C] [--layers L]
+//       [--channels C] [--layers L] [--metrics-out FILE]
 //       Train Gaia on a market directory and publish a checkpoint.
 //   gaia_cli evaluate --market DIR --checkpoint FILE [--channels C]
 //       [--layers L]
 //       Evaluate a published checkpoint on the market's test split.
 //   gaia_cli serve --market DIR --checkpoint FILE [--requests N]
+//       [--metrics-out FILE]
 //       Replay N online requests through the model server and report
 //       latency statistics.
+//
+// --metrics-out FILE writes the Prometheus metrics export to FILE at exit
+// (chaos/CI runs keep an inspectable artifact). It forces the observability
+// level to at least "on" so the dump is populated even without GAIA_OBS.
 //
 // Exit code 0 on success; a diagnostic on stderr otherwise.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -26,6 +32,7 @@
 #include "core/trainer.h"
 #include "data/market_io.h"
 #include "data/market_simulator.h"
+#include "obs/obs.h"
 #include "serving/model_server.h"
 #include "util/table_printer.h"
 
@@ -63,6 +70,35 @@ int Fail(const std::string& message) {
   std::cerr << "error: " << message << "\n";
   return 1;
 }
+
+/// Scoped --metrics-out support: forces the observability level on at
+/// construction (so instruments are populated without GAIA_OBS) and writes
+/// the Prometheus export on destruction — every return path, including
+/// failures, leaves the artifact for chaos/CI inspection. Write errors are
+/// diagnostics only; they never change the command's exit code.
+class MetricsDump {
+ public:
+  explicit MetricsDump(const Args& args)
+      : path_(args.Get("metrics-out", "")) {
+    if (!path_.empty() && !obs::Enabled()) obs::SetLevel(obs::Level::kOn);
+  }
+
+  ~MetricsDump() {
+    if (path_.empty()) return;
+    std::ofstream file(path_);
+    if (file.good()) {
+      file << obs::MetricsRegistry::Global().ExportPrometheus();
+    }
+    if (!file.good()) {
+      std::cerr << "warning: could not write metrics to " << path_ << "\n";
+    } else {
+      std::cerr << "metrics written to " << path_ << "\n";
+    }
+  }
+
+ private:
+  std::string path_;
+};
 
 Result<data::ForecastDataset> LoadDataset(const std::string& dir) {
   // Transient I/O (including injected market.read faults) is retried with
@@ -124,6 +160,7 @@ int Train(const Args& args) {
   if (!args.Has("market") || !args.Has("checkpoint")) {
     return Fail("train requires --market DIR and --checkpoint FILE");
   }
+  MetricsDump metrics_dump(args);
   auto dataset = LoadDataset(args.Get("market", ""));
   if (!dataset.ok()) return Fail(dataset.status().ToString());
   auto model = BuildModel(dataset.value(), args);
@@ -164,6 +201,7 @@ int Serve(const Args& args) {
   if (!args.Has("market") || !args.Has("checkpoint")) {
     return Fail("serve requires --market DIR and --checkpoint FILE");
   }
+  MetricsDump metrics_dump(args);
   auto dataset_result = LoadDataset(args.Get("market", ""));
   if (!dataset_result.ok()) return Fail(dataset_result.status().ToString());
   auto dataset = std::make_shared<data::ForecastDataset>(

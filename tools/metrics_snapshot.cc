@@ -135,8 +135,11 @@ int main(int argc, char** argv) {
       1e-9;
   const uint64_t jobs = registry.GetCounter("gaia_pool_jobs_total").value();
   const uint64_t chunks = registry.GetCounter("gaia_pool_chunks_total").value();
+  const uint64_t inline_chunks =
+      registry.GetCounter("gaia_pool_inline_chunks_total").value();
   // Busy time only counts chunks run through worker dispatch; with a
-  // one-thread pool everything inlines and utilization reads 0 by design.
+  // one-thread pool everything inlines (visible as inline_chunks) and
+  // utilization reads 0 by design.
   const double utilization =
       wall_seconds > 0.0
           ? busy_seconds / (wall_seconds * static_cast<double>(threads))
@@ -167,6 +170,7 @@ int main(int argc, char** argv) {
   os << "\n  },\n";
   os << "  \"thread_pool\": {\"threads\": " << threads
      << ", \"jobs\": " << jobs << ", \"chunks\": " << chunks
+     << ", \"inline_chunks\": " << inline_chunks
      << ", \"busy_seconds\": " << busy_seconds
      << ", \"utilization\": " << utilization << "},\n";
   os << "  \"metrics\": " << registry.ExportJson() << "\n";
