@@ -155,7 +155,7 @@ void RegisterTensorCases(Harness& harness) {
           for (int i = 0; i < inner; ++i) {
             auto ego = graph::ExtractEgoSubgraph(fx.dataset->graph(), shop, 2,
                                                  10, &rng);
-            KeepAlive(fx.model->PredictEgo(*fx.dataset, ego));
+            KeepAlive(fx.model->PredictEgo(*fx.dataset, ego).value());
             shop = (shop + 1) %
                    static_cast<int32_t>(fx.dataset->num_nodes());
           }

@@ -26,6 +26,11 @@ void RegisterScalingCases(Harness& harness,
 /// "deployment".
 void RegisterDeploymentCases(Harness& harness);
 
+/// Deadline-budgeted serving: cooperative mid-flight abort vs the legacy
+/// check-after-forward path at three deadline levels; the per-pair gap is
+/// the wall clock the cancellation tentpole saves. Tag: "cancel".
+void RegisterCancelCases(Harness& harness);
+
 /// Prevents the optimizer from discarding a benchmark result.
 template <typename T>
 inline void KeepAlive(const T& value) {

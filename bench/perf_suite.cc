@@ -1,7 +1,8 @@
-// The continuous-perf entry point: registers all three measured layers —
-// tensor kernels, thread-pool scaling, end-to-end serving — on the
-// bench/harness runner and (with --json) writes the gaia.bench/1 artifact
-// that tools/bench_compare gates CI against (see docs/BENCHMARKING.md).
+// The continuous-perf entry point: registers all four measured layers —
+// tensor kernels, thread-pool scaling, end-to-end serving, deadline-abort
+// serving — on the bench/harness runner and (with --json) writes the
+// gaia.bench/1 artifact that tools/bench_compare gates CI against (see
+// docs/BENCHMARKING.md).
 //
 //   ./build/bench/perf_suite --json BENCH_perf.json      # the CI invocation
 //   ./build/bench/perf_suite --filter deployment         # one layer only
@@ -22,5 +23,6 @@ int main(int argc, char** argv) {
   RegisterTensorCases(harness);
   RegisterScalingCases(harness, {1, 2, 4});
   RegisterDeploymentCases(harness);
+  RegisterCancelCases(harness);
   return RunDriver(harness, options);
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/obs.h"
+#include "util/cancel.h"
 #include "util/check.h"
 
 namespace gaia::core {
@@ -49,6 +50,11 @@ Var ConvAttentionUnit::Attend(const Var& q_u, const Var& k_v, const Var& v_v,
     attends.Increment();
   }
   const int64_t t_len = q_u->value.dim(0);
+  // Per-edge cancellation checkpoint: a fired token skips the T x T
+  // attention; the zero result is discarded upstream.
+  if (util::CurrentCancelled()) {
+    return ag::Constant(Tensor({t_len, channels_}));
+  }
   const Tensor mask = causal_ ? CausalMask(t_len) : Tensor();
   if (num_heads_ == 1) {
     const float scale = 1.0f / std::sqrt(static_cast<float>(channels_));

@@ -2,6 +2,7 @@
 
 #include "nn/init.h"
 #include "obs/obs.h"
+#include "util/cancel.h"
 #include "util/check.h"
 
 namespace gaia::core {
@@ -34,6 +35,13 @@ Var FeatureFusionLayer::Forward(const Var& z, const Var& f_temporal,
   GAIA_CHECK_EQ(f_temporal->value.dim(0), t_len_);
   GAIA_CHECK_EQ(f_temporal->value.dim(1), d_temporal_);
   GAIA_CHECK_EQ(f_static->value.dim(0), d_static_);
+  // Cooperative cancellation: once the ambient token fires, the whole
+  // forward is going to be discarded at the next checked boundary, so skip
+  // the kernels and return a correctly shaped zero to keep downstream
+  // shape checks happy.
+  if (util::CurrentCancelled()) {
+    return ag::Constant(Tensor({t_len_, channels_}));
+  }
 
   // Eq. 1: per-timestep scalar projection z_t * w^I + b^I.
   Var z_col = ag::Reshape(z, {t_len_, 1});

@@ -1,6 +1,7 @@
 #include "core/forecast_model.h"
 
 #include "autograd/ops.h"
+#include "util/cancel.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -13,6 +14,11 @@ Var ForecastModel::TrainingLoss(const data::ForecastDataset& dataset,
                                 bool training, Rng* rng) {
   GAIA_CHECK(!nodes.empty());
   std::vector<Var> preds = PredictNodes(dataset, nodes, training, rng);
+  if (preds.size() != nodes.size()) {
+    // Forward aborted by the ambient cancel token; the trainer checks the
+    // token before ever backpropagating this placeholder.
+    return ag::Constant(Tensor({1}));
+  }
   // Per-sample losses are independent subgraphs; build them in parallel into
   // fixed slots, then reduce with AddN in batch order (deterministic at any
   // thread count).

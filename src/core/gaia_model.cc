@@ -2,6 +2,7 @@
 
 #include "nn/init.h"
 #include "obs/obs.h"
+#include "util/cancel.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -114,6 +115,7 @@ std::vector<Var> GaiaModel::ForwardGraph(const graph::EsellerGraph& graph,
   {
     GAIA_OBS_SPAN("model.encode");
     for (const NodeInput& input : inputs) {
+      if (util::CurrentCancelled()) return {};
       embeddings.push_back(EncodeNode(input));
     }
   }
@@ -121,12 +123,16 @@ std::vector<Var> GaiaModel::ForwardGraph(const graph::EsellerGraph& graph,
   for (size_t l = 0; l < layers_.size(); ++l) {
     const bool is_last = l + 1 == layers_.size();
     h = layers_[l]->Forward(graph, h, is_last ? probe : nullptr);
+    // A layer that observed the token returns {}; unwind without touching
+    // the partially built state.
+    if (h.size() != inputs.size()) return {};
   }
   // Prediction head with the TEL residual (Eq. 9).
   GAIA_OBS_SPAN("model.head");
   std::vector<Var> predictions;
   predictions.reserve(inputs.size());
   for (size_t v = 0; v < inputs.size(); ++v) {
+    if (util::CurrentCancelled()) return {};
     Var residual = ag::Add(h[v], embeddings[v]);          // [T, C]
     Var pooled = head_conv_->Forward(residual);            // [T, 1]
     Var row = ag::Reshape(pooled, {1, t_len_});            // [1, T]
@@ -147,6 +153,7 @@ std::vector<Var> GaiaModel::PredictNodes(const data::ForecastDataset& dataset,
                   &dataset.static_features(v)};
   }
   std::vector<Var> all = ForwardGraph(dataset.graph(), inputs);
+  if (all.size() != inputs.size()) return {};  // cancelled mid-forward
   std::vector<Var> selected;
   selected.reserve(nodes.size());
   for (int32_t v : nodes) {
@@ -166,8 +173,8 @@ std::string GaiaModel::name() const {
   return n;
 }
 
-Tensor GaiaModel::PredictEgo(const data::ForecastDataset& dataset,
-                             const graph::EgoSubgraph& ego) const {
+Result<Tensor> GaiaModel::PredictEgo(const data::ForecastDataset& dataset,
+                                     const graph::EgoSubgraph& ego) const {
   Result<graph::EsellerGraph> local =
       graph::EsellerGraph::Create(ego.num_nodes(), ego.edges);
   GAIA_CHECK(local.ok()) << local.status().ToString();
@@ -179,6 +186,9 @@ Tensor GaiaModel::PredictEgo(const data::ForecastDataset& dataset,
                                &dataset.static_features(global_id)});
   }
   std::vector<Var> preds = ForwardGraph(local.value(), inputs);
+  if (preds.size() != inputs.size()) {
+    return Status::Cancelled("ego forward aborted by cancel token");
+  }
   return preds.front()->value;  // centre node is local id 0
 }
 
@@ -194,6 +204,7 @@ std::vector<Var> GaiaModel::PredictNodesViaEgo(
   };
   std::vector<EgoWork> work(nodes.size());
   for (size_t i = 0; i < nodes.size(); ++i) {
+    if (util::CurrentCancelled()) return {};
     graph::EgoSubgraph ego = graph::ExtractEgoSubgraph(
         dataset.graph(), nodes[i], num_hops, max_fanout, rng);
     // A failed extraction (fault injection) yields an empty subgraph; degrade
@@ -213,8 +224,10 @@ std::vector<Var> GaiaModel::PredictNodesViaEgo(
   std::vector<Var> out(nodes.size());
   util::ParallelFor(static_cast<int64_t>(work.size()), [&](int64_t i) {
     const EgoWork& w = work[static_cast<size_t>(i)];
-    out[static_cast<size_t>(i)] = ForwardGraph(w.graph, w.inputs).front();
+    std::vector<Var> preds = ForwardGraph(w.graph, w.inputs);
+    if (!preds.empty()) out[static_cast<size_t>(i)] = preds.front();
   });
+  if (util::CurrentCancelled()) return {};
   return out;
 }
 

@@ -64,7 +64,9 @@ class GaiaModel : public ForecastModel {
 
   /// Full forward over an arbitrary graph and matching node features.
   /// Returns one [T'] prediction var per node. `probe` (optional) collects
-  /// last-layer attention for introspection.
+  /// last-layer attention for introspection. If the ambient CancelToken
+  /// (see util::CancelScope) fires mid-forward, returns an *empty* vector:
+  /// callers must treat a size mismatch as "aborted, discard".
   std::vector<Var> ForwardGraph(const graph::EsellerGraph& graph,
                                 const std::vector<NodeInput>& inputs,
                                 ItaProbe* probe = nullptr) const;
@@ -76,9 +78,11 @@ class GaiaModel : public ForecastModel {
   std::string name() const override;
 
   /// Serving path: predicts the centre node of an ego subgraph (normalized
-  /// units), matching the online deployment of §VI.
-  Tensor PredictEgo(const data::ForecastDataset& dataset,
-                    const graph::EgoSubgraph& ego) const;
+  /// units), matching the online deployment of §VI. Returns
+  /// StatusCode::kCancelled when the ambient CancelToken aborts the forward
+  /// mid-flight (the server degrades such requests to the fallback).
+  Result<Tensor> PredictEgo(const data::ForecastDataset& dataset,
+                            const graph::EgoSubgraph& ego) const;
 
   /// AGL-style mini-batch path: one differentiable prediction per node, each
   /// computed on that node's k-hop ego subgraph instead of the full graph.

@@ -1,6 +1,7 @@
 #include "core/ita_gcn.h"
 
 #include "obs/obs.h"
+#include "util/cancel.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -55,6 +56,10 @@ std::vector<Var> ItaGcnLayer::Forward(const graph::EsellerGraph& graph,
       }
     });
   }
+  // A cancelled projection loop leaves unfilled slots; bail before phase 2
+  // dereferences them. Empty return = "forward aborted", understood by
+  // ForwardGraph.
+  if (util::CurrentCancelled()) return {};
 
   // Phase 2 — CAU attention fans across this node's in-edges; neighbour
   // messages accumulate in the graph's fixed in-neighbour order, so the sum
@@ -131,12 +136,16 @@ std::vector<Var> ItaGcnLayer::Forward(const graph::EsellerGraph& graph,
   if (probe != nullptr) {
     // Introspection path stays serial so probe records keep their documented
     // node-then-edge order.
-    for (int32_t u = 0; u < n; ++u) compute_node(u, probe);
+    for (int32_t u = 0; u < n; ++u) {
+      if (util::CurrentCancelled()) return {};
+      compute_node(u, probe);
+    }
   } else {
     util::ParallelFor(n, [&](int64_t u) {
       GAIA_OBS_SPAN_DETAIL("ita_gcn.node");
       compute_node(static_cast<int32_t>(u), nullptr);
     });
+    if (util::CurrentCancelled()) return {};
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "obs/obs.h"
+#include "util/cancel.h"
 #include "util/check.h"
 
 namespace gaia::core {
@@ -44,6 +45,11 @@ Var TemporalEmbeddingLayer::Forward(const Var& s) const {
   GAIA_OBS_SPAN("tel.forward");
   GAIA_CHECK_EQ(s->value.ndim(), 2);
   GAIA_CHECK_EQ(s->value.dim(1), channels_);
+  // Cancelled forwards are discarded at the next checked boundary; a
+  // shape-correct zero skips the convolution banks.
+  if (util::CurrentCancelled()) {
+    return ag::Constant(Tensor({s->value.dim(0), channels_}));
+  }
   std::vector<Var> capture_parts, denoise_parts;
   capture_parts.reserve(capture_.size());
   denoise_parts.reserve(denoise_.size());

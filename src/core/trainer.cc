@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
 
 #include "autograd/ops.h"
 #include "obs/obs.h"
 #include "optim/lr_schedule.h"
 #include "optim/optimizer.h"
+#include "util/cancel.h"
 #include "util/check.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -24,6 +29,11 @@ double Trainer::EvaluateMse(ForecastModel* model,
   Rng rng(0);
   std::vector<Var> preds =
       model->PredictNodes(dataset, nodes, /*training=*/false, &rng);
+  if (preds.size() != nodes.size()) {
+    // Forward aborted by the ambient cancel token; the caller must check the
+    // token before trusting this value.
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   // Per-sample squared-error partials run in parallel; the reduction over
   // samples stays serial in node order so the result is thread-count
   // invariant.
@@ -54,6 +64,18 @@ TrainResult Trainer::Fit(ForecastModel* model,
     util::ThreadPool::SetGlobalThreads(config_.num_threads);
   }
   GAIA_OBS_SPAN("trainer.fit");
+  // Fit's own deadline becomes a child of whatever token the caller
+  // installed (e.g. the scheduler's retrain budget), so either can abort
+  // the loop at the next safe point.
+  std::shared_ptr<util::CancelToken> fit_token;
+  const util::CancelToken* ambient = util::CancelToken::Current();
+  if (config_.deadline_ms > 0.0) {
+    fit_token = util::CancelToken::Child(ambient, config_.deadline_ms);
+  }
+  const util::CancelToken* token =
+      fit_token != nullptr ? fit_token.get() : ambient;
+  std::optional<util::CancelScope> cancel_scope;
+  if (fit_token != nullptr) cancel_scope.emplace(fit_token.get());
   Stopwatch watch;
   Rng rng(config_.seed);
   std::vector<Var> params = model->Parameters();
@@ -80,6 +102,11 @@ TrainResult Trainer::Fit(ForecastModel* model,
   const optim::CosineDecayLr schedule(config_.learning_rate,
                                       config_.learning_rate * 0.1f);
   for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    if (token != nullptr && token->Cancelled()) {
+      result.cancelled = true;
+      util::NoteCancelObserved();
+      break;
+    }
     if (config_.cosine_lr_decay) {
       optimizer.set_lr(schedule.LearningRate(epoch, config_.max_epochs));
     }
@@ -91,7 +118,8 @@ TrainResult Trainer::Fit(ForecastModel* model,
       batch.resize(static_cast<size_t>(config_.batch_nodes));
     }
     Stopwatch step_watch;
-    float step_loss;
+    float step_loss = 0.0f;
+    bool aborted = false;
     {
       GAIA_OBS_SPAN("trainer.step");
       Var loss;
@@ -99,14 +127,55 @@ TrainResult Trainer::Fit(ForecastModel* model,
         GAIA_OBS_SPAN("trainer.loss_forward");
         loss = model->TrainingLoss(dataset, batch, /*training=*/true, &rng);
       }
-      model->ZeroGrad();
-      ag::Backward(loss);
-      {
-        GAIA_OBS_SPAN("trainer.optimizer_step");
-        optim::ClipGradNorm(params, config_.grad_clip);
-        optimizer.Step();
+      // Never backpropagate a forward the token aborted (the loss would be
+      // a placeholder), and never step on gradients from an aborted
+      // backward: the check sits immediately before the only parameter
+      // write, so a cancelled Fit always leaves a consistent end-of-epoch
+      // parameter state.
+      if (token != nullptr && token->Cancelled()) {
+        aborted = true;
+      } else {
+        model->ZeroGrad();
+        ag::Backward(loss);
+        if (token != nullptr && token->Cancelled()) {
+          aborted = true;
+        } else {
+          GAIA_OBS_SPAN("trainer.optimizer_step");
+          // Fault sites "train.grad_exchange" (a lost gradient all-reduce)
+          // and "train.optimizer_step" (a failed update) both resolve to
+          // skipping this epoch's parameter update entirely — params and
+          // optimizer state stay at the previous epoch — and training
+          // retries on the next epoch. Both sites are sampled every epoch
+          // so count-bounded budgets stay exact.
+          util::FaultInjector& faults = util::FaultInjector::Global();
+          bool skip_step = false;
+          if (faults.enabled()) {
+            const bool grad_fault =
+                faults.Sample("train.grad_exchange").has_value();
+            const bool step_fault =
+                faults.Sample("train.optimizer_step").has_value();
+            skip_step = grad_fault || step_fault;
+          }
+          if (skip_step) {
+            ++result.skipped_steps;
+            static obs::Counter& skipped_metric =
+                obs::MetricsRegistry::Global().GetCounter(
+                    "gaia_robust_train_steps_skipped_total",
+                    "Training epochs whose optimizer step was skipped by an "
+                    "injected fault");
+            skipped_metric.Increment();
+          } else {
+            optim::ClipGradNorm(params, config_.grad_clip);
+            optimizer.Step();
+          }
+        }
       }
-      step_loss = loss->value.data()[0];
+      if (!aborted) step_loss = loss->value.data()[0];
+    }
+    if (aborted) {
+      result.cancelled = true;
+      util::NoteCancelObserved();
+      break;
     }
     if (obs::Enabled()) {
       obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
@@ -131,6 +200,11 @@ TrainResult Trainer::Fit(ForecastModel* model,
                           epoch + 1 == config_.max_epochs;
     if (eval_now && !val_nodes.empty()) {
       const double val_loss = EvaluateMse(model, dataset, val_nodes);
+      if (token != nullptr && token->Cancelled()) {
+        result.cancelled = true;
+        util::NoteCancelObserved();
+        break;
+      }
       if (obs::Enabled()) {
         obs::MetricsRegistry::Global()
             .GetGauge("gaia_train_last_val_loss",

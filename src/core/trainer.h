@@ -32,11 +32,23 @@ struct TrainConfig {
   /// the global pool to that size when Fit starts. Results are bitwise
   /// identical at any setting; 1 recovers the serial path exactly.
   int num_threads = 0;
+  /// Wall-clock budget for the whole Fit call in milliseconds (0 = none).
+  /// Arms a util::CancelToken (a child of any ambient token, so a caller's
+  /// budget also applies); when it fires the loop stops at the next safe
+  /// point — never between backward and the optimizer step, so parameters
+  /// are always a consistent "end of epoch k" state.
+  double deadline_ms = 0.0;
 };
 
 /// \brief Outcome of a training run.
 struct TrainResult {
   int epochs_run = 0;
+  /// True when the run was aborted by a deadline or cancel token; the
+  /// parameters still hold the best (or last completed) epoch's state.
+  bool cancelled = false;
+  /// Epochs whose optimizer step was skipped by an injected fault
+  /// (train.grad_exchange / train.optimizer_step sites).
+  int skipped_steps = 0;
   double best_val_loss = 0.0;
   double final_train_loss = 0.0;
   double seconds = 0.0;

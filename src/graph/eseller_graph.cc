@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/cancel.h"
 #include "util/check.h"
 #include "util/fault_injector.h"
 
@@ -214,6 +215,10 @@ EgoSubgraph ExtractEgoSubgraph(const EsellerGraph& graph, int32_t center,
   for (int64_t hop = 0; hop < num_hops && !frontier.empty(); ++hop) {
     std::vector<int32_t> next_frontier;
     for (int32_t u : frontier) {
+      // Cooperative cancellation at frontier-node granularity: an empty
+      // subgraph is the same "extraction failed, degrade" signal the fault
+      // site above produces.
+      if (util::CurrentCancelled()) return EgoSubgraph{};
       std::vector<Neighbor> neighbors =
           max_fanout > 0 ? graph.SampleInNeighbors(u, max_fanout, rng)
                          : graph.InNeighbors(u);

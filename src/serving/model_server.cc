@@ -1,12 +1,16 @@
 #include "serving/model_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <optional>
+#include <thread>
 
 #include "graph/eseller_graph.h"
 #include "obs/obs.h"
 #include "serving/checkpoint_store.h"
 #include "ts/holt_winters.h"
+#include "util/cancel.h"
 #include "util/check.h"
 #include "util/fault_injector.h"
 #include "util/stopwatch.h"
@@ -56,6 +60,25 @@ struct RobustMetrics {
     return *metrics;
   }
 };
+
+/// Cancellation metrics, unconditional like RobustMetrics: a mid-flight
+/// abort is an operational event worth counting with GAIA_OBS off.
+struct CancelServeMetrics {
+  obs::Histogram& latency_saved = obs::MetricsRegistry::Global().GetHistogram(
+      "gaia_cancel_latency_saved_seconds", {},
+      "Estimated wall-clock saved per aborted forward: mean successful "
+      "forward latency minus elapsed time at abort (an estimate; the "
+      "counterfactual full forward is never run)");
+  static CancelServeMetrics& Get() {
+    static CancelServeMetrics* metrics = new CancelServeMetrics();
+    return *metrics;
+  }
+};
+
+std::string DeadlineReason(double deadline_ms, const char* detail) {
+  return "deadline_exceeded (budget " + std::to_string(deadline_ms) +
+         " ms, " + detail + ")";
+}
 
 void ObservePrediction(const ModelServer::Prediction& prediction) {
   if (!obs::Enabled()) return;
@@ -113,7 +136,7 @@ std::vector<double> ModelServer::FallbackForecast(int32_t shop) const {
 }
 
 ModelServer::Prediction ModelServer::PredictOne(
-    int32_t shop, const graph::EgoSubgraph& ego) const {
+    int32_t shop, const graph::EgoSubgraph& ego, double deadline_ms) const {
   Stopwatch watch;
   Prediction prediction;
   prediction.shop = shop;
@@ -127,37 +150,91 @@ ModelServer::Prediction ModelServer::PredictOne(
     RobustMetrics::Get().ego_failures.Increment();
   } else {
     util::FaultInjector& faults = util::FaultInjector::Global();
+    // Arm the latency budget *before* the forward: the token is installed
+    // for this thread (and re-installed on pool workers), so the kernels
+    // abort at their next chunk boundary once it fires, instead of burning
+    // the full forward and noticing afterwards.
+    std::shared_ptr<util::CancelToken> token;
+    std::optional<util::CancelScope> scope;
+    if (deadline_ms > 0.0 && config_.cooperative_cancel) {
+      token = util::CancelToken::Child(util::CancelToken::Current(),
+                                       deadline_ms);
+      scope.emplace(token.get());
+    }
     std::optional<util::FaultKind> fault;
-    if (faults.enabled()) fault = faults.Sample("serving.forward");
+    if (faults.enabled()) {
+      fault = faults.Sample("serving.forward");
+      // Fault site "serving.cancel_delay": a forward stuck before its first
+      // cooperative checkpoint. Hold the request until the token fires (or
+      // a small cap, so un-armed requests are only briefly delayed), then
+      // let the forward observe the fired token.
+      if (faults.Sample("serving.cancel_delay").has_value()) {
+        const double cap_ms = deadline_ms > 0.0 ? deadline_ms * 2.0 : 1.0;
+        Stopwatch delay_watch;
+        while (delay_watch.ElapsedMillis() < cap_ms) {
+          if (token != nullptr && token->Cancelled()) break;
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+    }
     if (fault && *fault != util::FaultKind::kNan) {
       reason = util::FaultStatus(*fault, "serving.forward").ToString();
       if (*fault == util::FaultKind::kDeadline) {
         RobustMetrics::Get().deadline.Increment();
       }
     } else {
-      normalized = model_->PredictEgo(*dataset_, ego);
-      if (fault && *fault == util::FaultKind::kNan) {
-        // Poison the forward output: models the paper's anomalous-model
-        // scenario where a bad checkpoint or input produces NaN scores.
-        for (int64_t h = 0; h < normalized.size(); ++h) {
-          normalized.data()[h] = std::nanf("");
-        }
-      }
-      model_ok = true;
-      for (int64_t h = 0; h < normalized.size(); ++h) {
-        if (!std::isfinite(normalized.data()[h])) {
-          reason = "non-finite model output";
-          RobustMetrics::Get().nonfinite.Increment();
-          model_ok = false;
-          break;
-        }
-      }
-      if (model_ok && config_.deadline_ms > 0.0 &&
-          watch.ElapsedMillis() > config_.deadline_ms) {
-        reason = "deadline exceeded (" + std::to_string(config_.deadline_ms) +
-                 " ms)";
+      Result<Tensor> forward = model_->PredictEgo(*dataset_, ego);
+      if (!forward.ok()) {
+        // kCancelled: the token fired and the forward unwound mid-flight.
+        reason = DeadlineReason(deadline_ms, "aborted mid-forward");
         RobustMetrics::Get().deadline.Increment();
-        model_ok = false;
+        util::NoteCancelObserved();
+        // Estimate the wall-clock the abort saved against the running mean
+        // of successful forwards (the counterfactual is never run).
+        const int64_t count = model_forward_count_.load(std::memory_order_relaxed);
+        if (count > 0) {
+          const double mean_ms =
+              static_cast<double>(
+                  model_forward_us_total_.load(std::memory_order_relaxed)) *
+              1e-3 / static_cast<double>(count);
+          const double saved_ms = mean_ms - watch.ElapsedMillis();
+          if (saved_ms > 0.0) {
+            CancelServeMetrics::Get().latency_saved.Observe(saved_ms * 1e-3);
+          }
+        }
+      } else {
+        normalized = std::move(forward).value();
+        if (fault && *fault == util::FaultKind::kNan) {
+          // Poison the forward output: models the paper's anomalous-model
+          // scenario where a bad checkpoint or input produces NaN scores.
+          for (int64_t h = 0; h < normalized.size(); ++h) {
+            normalized.data()[h] = std::nanf("");
+          }
+        }
+        model_ok = true;
+        for (int64_t h = 0; h < normalized.size(); ++h) {
+          if (!std::isfinite(normalized.data()[h])) {
+            reason = "non-finite model output";
+            RobustMetrics::Get().nonfinite.Increment();
+            model_ok = false;
+            break;
+          }
+        }
+        // Check-after-forward backstop: the only deadline check when
+        // cooperative_cancel is off, and the safety net for a forward that
+        // completed its last chunk just past the budget.
+        if (model_ok && deadline_ms > 0.0 &&
+            watch.ElapsedMillis() > deadline_ms) {
+          reason = DeadlineReason(deadline_ms, "completed late");
+          RobustMetrics::Get().deadline.Increment();
+          model_ok = false;
+        }
+        if (model_ok) {
+          model_forward_count_.fetch_add(1, std::memory_order_relaxed);
+          model_forward_us_total_.fetch_add(
+              static_cast<int64_t>(watch.ElapsedMillis() * 1e3),
+              std::memory_order_relaxed);
+        }
       }
     }
   }
@@ -179,11 +256,16 @@ ModelServer::Prediction ModelServer::PredictOne(
 }
 
 ModelServer::Prediction ModelServer::Predict(int32_t shop) {
+  return Predict(shop, config_.deadline_ms);
+}
+
+ModelServer::Prediction ModelServer::Predict(int32_t shop,
+                                             double deadline_ms) {
   GAIA_OBS_SPAN("server.predict");
   graph::EgoSubgraph ego =
       graph::ExtractEgoSubgraph(dataset_->graph(), shop, config_.ego_hops,
                                 config_.max_fanout, &rng_);
-  Prediction prediction = PredictOne(shop, ego);
+  Prediction prediction = PredictOne(shop, ego, deadline_ms);
   ObservePrediction(prediction);
   ++total_requests_;
   if (prediction.served_by == ServePath::kFallback) ++fallback_requests_;
@@ -208,7 +290,7 @@ std::vector<ModelServer::Prediction> ModelServer::PredictBatch(
   std::vector<Prediction> out(shops.size());
   util::ParallelFor(static_cast<int64_t>(shops.size()), [&](int64_t i) {
     const auto idx = static_cast<size_t>(i);
-    out[idx] = PredictOne(shops[idx], egos[idx]);
+    out[idx] = PredictOne(shops[idx], egos[idx], config_.deadline_ms);
   });
   for (const Prediction& prediction : out) {
     ObservePrediction(prediction);
@@ -244,12 +326,20 @@ Result<std::shared_ptr<core::GaiaModel>> OfflineTrainingPipeline::Run(
   std::shared_ptr<core::GaiaModel> model = std::move(created).value();
   core::TrainResult train_result =
       core::Trainer(config_.train).Fit(model.get(), dataset);
-  if (!config_.checkpoint_path.empty()) {
-    GAIA_RETURN_NOT_OK(model->Save(config_.checkpoint_path));
-  }
   if (report != nullptr) {
     report->train = train_result;
     report->checkpoint_path = config_.checkpoint_path;
+  }
+  if (train_result.cancelled) {
+    // A retrain that blew its budget publishes nothing: the checkpoint
+    // store keeps the last good weights and the scheduler serves those
+    // (its rollback path), so no half-trained model ever goes live.
+    return Status::Cancelled("offline retrain aborted by deadline after " +
+                             std::to_string(train_result.epochs_run) +
+                             " epochs");
+  }
+  if (!config_.checkpoint_path.empty()) {
+    GAIA_RETURN_NOT_OK(model->Save(config_.checkpoint_path));
   }
   return model;
 }

@@ -1,6 +1,8 @@
 #ifndef GAIA_SERVING_MODEL_SERVER_H_
 #define GAIA_SERVING_MODEL_SERVER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +32,12 @@ struct ServerConfig {
   /// is answered by the fallback forecaster instead. 0 disables the check
   /// (the default keeps no-fault runs bitwise identical to older builds).
   double deadline_ms = 0.0;
+  /// With a deadline set, arm a util::CancelToken before the forward so an
+  /// overrun aborts *mid-flight* at the next chunk boundary instead of
+  /// burning the full compute. False reverts to the legacy
+  /// check-after-forward behaviour (kept measurable: the
+  /// serve_deadline_abort bench compares the two).
+  bool cooperative_cancel = true;
   /// When the model path fails (ego extraction fault, non-finite output,
   /// deadline), serve a per-shop Holt-Winters forecast fit on that shop's
   /// own history instead of failing. False degrades to a zero forecast.
@@ -70,8 +78,16 @@ class ModelServer {
               const ServerConfig& config);
 
   /// Serves one request. Never fails: faults on the model path degrade to
-  /// the fallback forecaster. Fault site: "serving.forward".
+  /// the fallback forecaster. Fault sites: "serving.forward",
+  /// "serving.cancel_delay".
   Prediction Predict(int32_t shop);
+
+  /// Same, with a per-request latency budget overriding
+  /// ServerConfig::deadline_ms for this call only (0 disables the deadline
+  /// for this request). With cooperative_cancel the budget is armed as a
+  /// CancelToken before the forward; an overrun aborts mid-flight and the
+  /// request degrades with degraded_reason starting "deadline_exceeded".
+  Prediction Predict(int32_t shop, double deadline_ms);
 
   /// Serves a batch of requests (the deployed system predicts millions of
   /// e-sellers in a monthly sweep); forwards fan out across the pool.
@@ -95,8 +111,10 @@ class ModelServer {
 
  private:
   /// The per-request pipeline behind both Predict and PredictBatch: forward
-  /// with NaN/deadline guards, degrading to FallbackForecast. Thread-safe.
-  Prediction PredictOne(int32_t shop, const graph::EgoSubgraph& ego) const;
+  /// with NaN/deadline guards (cooperative token when configured), degrading
+  /// to FallbackForecast. Thread-safe.
+  Prediction PredictOne(int32_t shop, const graph::EgoSubgraph& ego,
+                        double deadline_ms) const;
 
   /// The degradation rung below the model: additive Holt-Winters fit on the
   /// shop's own normalized history, denormalized and clamped to >= 0.
@@ -110,6 +128,11 @@ class ModelServer {
   double total_latency_ms_ = 0.0;
   int64_t fallback_requests_ = 0;
   int last_load_rollbacks_ = 0;
+  /// Running mean of successful model-forward latency (microseconds),
+  /// feeding the gaia_cancel_latency_saved_seconds estimate. Atomic because
+  /// PredictBatch runs PredictOne concurrently.
+  mutable std::atomic<int64_t> model_forward_count_{0};
+  mutable std::atomic<int64_t> model_forward_us_total_{0};
 };
 
 /// \brief Offline side of the hybrid architecture (§VI, Fig. 5): the

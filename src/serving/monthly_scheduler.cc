@@ -5,6 +5,7 @@
 
 #include "data/dataset.h"
 #include "obs/obs.h"
+#include "util/cancel.h"
 #include "util/stopwatch.h"
 
 namespace gaia::serving {
@@ -108,7 +109,17 @@ Result<std::vector<MonthlyScheduler::CycleReport>> MonthlyScheduler::Run()
     OfflineTrainingPipeline pipeline(offline_cfg);
     OfflineTrainingPipeline::RunReport offline_report;
     std::shared_ptr<core::GaiaModel> model;
-    auto trained = pipeline.Run(*dataset, &offline_report);
+    // Arm the retrain budget: Trainer::Fit picks the token up as its
+    // ambient parent and aborts between safe points once it fires.
+    std::shared_ptr<util::CancelToken> train_token;
+    if (config_.train_deadline_ms > 0.0) {
+      train_token = util::CancelToken::WithDeadline(config_.train_deadline_ms);
+    }
+    Result<std::shared_ptr<core::GaiaModel>> trained = [&] {
+      util::CancelScope train_scope(train_token.get());
+      return pipeline.Run(*dataset, &offline_report);
+    }();
+    report.train = offline_report.train;
     if (obs::Enabled() && offline_report.train.epochs_run > 0) {
       SchedulerMetrics::Get().train_seconds.Observe(
           offline_report.train.seconds);
@@ -116,7 +127,6 @@ Result<std::vector<MonthlyScheduler::CycleReport>> MonthlyScheduler::Run()
     if (trained.ok()) {
       model = trained.value();
       report.trained = true;
-      report.train = offline_report.train;
       if (store.has_value()) {
         auto published = store->Publish(*model);
         if (published.ok()) {

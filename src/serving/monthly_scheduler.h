@@ -40,6 +40,12 @@ class MonthlyScheduler {
     /// offline.checkpoint_path.
     std::string checkpoint_dir;
     int checkpoint_keep = 3;  ///< store history depth (checkpoint_dir mode)
+    /// Wall-clock budget for each cycle's offline retrain in milliseconds
+    /// (0 = none). Armed as a util::CancelToken around the pipeline run, so
+    /// an overrunning retrain aborts mid-epoch (at a parameter-consistent
+    /// point), publishes nothing, and the cycle serves the last good
+    /// checkpoint via the rollback path.
+    double train_deadline_ms = 0.0;
   };
 
   struct CycleReport {

@@ -1,0 +1,96 @@
+#include "util/cancel.h"
+
+#include "obs/metrics.h"
+
+namespace gaia::util {
+
+namespace {
+
+/// Innermost installed token for this thread (see CancelScope).
+thread_local const CancelToken* tl_current_token = nullptr;
+
+/// Cancellation metrics are unconditional (like gaia_robust_*): a deadline
+/// abort is an operational event worth counting even with GAIA_OBS off.
+struct CancelMetrics {
+  obs::Counter& requested = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_cancel_requested_total",
+      "Cancel tokens fired (explicit Cancel or deadline expiry)");
+  obs::Counter& observed = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_cancel_observed_total",
+      "Cooperative abort events: work units that saw a fired token and "
+      "stopped early");
+  static CancelMetrics& Get() {
+    static CancelMetrics* metrics = new CancelMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<CancelToken> CancelToken::Create() {
+  return std::make_shared<CancelToken>();
+}
+
+std::shared_ptr<CancelToken> CancelToken::WithDeadline(double deadline_ms) {
+  auto token = std::make_shared<CancelToken>();
+  token->has_deadline_ = true;
+  token->deadline_ = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(deadline_ms));
+  return token;
+}
+
+std::shared_ptr<CancelToken> CancelToken::Child(const CancelToken* parent,
+                                                double deadline_ms) {
+  auto token = deadline_ms > 0.0 ? WithDeadline(deadline_ms) : Create();
+  token->parent_ = parent;
+  return token;
+}
+
+bool CancelToken::CheckSlow() const {
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    Fire("deadline_exceeded");
+    return true;
+  }
+  if (parent_ != nullptr && parent_->Cancelled()) {
+    Fire(parent_->reason());
+    return true;
+  }
+  return false;
+}
+
+void CancelToken::Fire(const char* reason) const {
+  bool expected = false;
+  if (fired_.compare_exchange_strong(expected, true,
+                                     std::memory_order_acq_rel)) {
+    reason_.store(reason, std::memory_order_release);
+    CancelMetrics::Get().requested.Increment();
+  }
+}
+
+Status CancelToken::ToStatus() const {
+  if (!Cancelled()) return Status::OK();
+  return Status::Cancelled(reason());
+}
+
+const CancelToken* CancelToken::Current() { return tl_current_token; }
+
+CancelScope::CancelScope(const CancelToken* token) {
+  if (token == nullptr) return;
+  previous_ = tl_current_token;
+  tl_current_token = token;
+  installed_ = true;
+}
+
+CancelScope::~CancelScope() {
+  if (installed_) tl_current_token = previous_;
+}
+
+bool CurrentCancelled() {
+  const CancelToken* token = tl_current_token;
+  return token != nullptr && token->Cancelled();
+}
+
+void NoteCancelObserved() { CancelMetrics::Get().observed.Increment(); }
+
+}  // namespace gaia::util

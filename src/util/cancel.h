@@ -1,0 +1,117 @@
+#ifndef GAIA_UTIL_CANCEL_H_
+#define GAIA_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "util/status.h"
+
+namespace gaia::util {
+
+/// \brief Cooperative cancellation token, std-only.
+///
+/// A token is a shared atomic flag plus an optional steady-clock deadline.
+/// Work that wants to be abortable polls `Cancelled()` at chunk granularity
+/// (between loop chunks, between layers, between epochs) and unwinds through
+/// the normal Status/Result machinery with StatusCode::kCancelled — never
+/// mid-write, so a cancelled run leaves no partially updated state
+/// observable, and an armed-but-unfired token changes nothing (chunk
+/// boundaries and accumulation order do not depend on the token).
+///
+/// Cost model: `Cancelled()` on a flag-only token is one relaxed atomic
+/// load; a deadline token additionally reads the steady clock until the
+/// deadline fires (after which the flag short-circuits). Tokens form a
+/// hierarchy: a child observes its parent's cancellation (checked on poll,
+/// no registration or callbacks), while cancelling a child leaves the
+/// parent live — e.g. one request aborting does not abort its batch.
+///
+/// Lifetime: children hold a raw pointer to the parent; the parent must
+/// outlive the child. In practice every child lives inside the lexical
+/// scope that owns its parent (a serve request inside the server, a Fit
+/// call inside the scheduler's cycle), so this needs no reference counting.
+class CancelToken {
+ public:
+  /// A live token with no deadline; fires only via Cancel().
+  CancelToken() = default;
+
+  /// Heap factories for the common shared-ownership call sites.
+  static std::shared_ptr<CancelToken> Create();
+  /// Token that auto-fires `deadline_ms` from now (steady clock).
+  /// Pre: deadline_ms > 0.
+  static std::shared_ptr<CancelToken> WithDeadline(double deadline_ms);
+  /// Child of `parent` (may be nullptr = no parent), with an optional own
+  /// deadline (0 = none). Fires when either its own flag/deadline fires or
+  /// the parent chain is cancelled.
+  static std::shared_ptr<CancelToken> Child(const CancelToken* parent,
+                                            double deadline_ms = 0.0);
+
+  /// True once the token has fired (explicitly, via deadline, or through a
+  /// parent). One relaxed load on the fast path.
+  bool Cancelled() const {
+    if (fired_.load(std::memory_order_relaxed)) return true;
+    return CheckSlow();
+  }
+
+  /// Fires the token. First call wins; `reason` must be a string literal or
+  /// otherwise outlive the token (tokens never allocate).
+  void Cancel(const char* reason = "cancelled") const { Fire(reason); }
+
+  /// Why the token fired ("" while live). Typical values: "cancelled",
+  /// "deadline_exceeded".
+  const char* reason() const {
+    const char* r = reason_.load(std::memory_order_acquire);
+    return r != nullptr ? r : "";
+  }
+
+  /// OK while live; Status::Cancelled(reason) once fired.
+  Status ToStatus() const;
+
+  /// The token installed on this thread by the innermost CancelScope, or
+  /// nullptr. Parallel workers re-install the submitting job's token, so
+  /// nested kernels observe cancellation on every thread.
+  static const CancelToken* Current();
+
+ private:
+  friend class CancelScope;
+
+  bool CheckSlow() const;
+  void Fire(const char* reason) const;
+
+  mutable std::atomic<bool> fired_{false};
+  mutable std::atomic<const char*> reason_{nullptr};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  const CancelToken* parent_ = nullptr;
+};
+
+/// \brief RAII scope installing a token as the thread's current one.
+///
+/// Kernels and model layers poll `CancelToken::Current()` through the
+/// ParallelFor free functions, so arming cancellation for a whole call tree
+/// is one scope at the top — no signature changes down the stack. Scopes
+/// nest; the previous token is restored on destruction. A nullptr token is
+/// a no-op (the ambient token, if any, stays installed).
+class CancelScope {
+ public:
+  explicit CancelScope(const CancelToken* token);
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  const CancelToken* previous_ = nullptr;
+  bool installed_ = false;
+};
+
+/// True when a token is installed on this thread and it has fired.
+bool CurrentCancelled();
+
+/// Records one cooperative abort event (a loop, forward, or epoch observed
+/// a fired token and stopped early) in gaia_cancel_observed_total. Counted
+/// unconditionally, like the gaia_robust_* family.
+void NoteCancelObserved();
+
+}  // namespace gaia::util
+
+#endif  // GAIA_UTIL_CANCEL_H_

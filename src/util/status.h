@@ -27,6 +27,7 @@ enum class StatusCode {
   kDataLoss,          ///< stored data is corrupt (bad CRC, torn write, NaN)
   kUnavailable,       ///< transient failure; safe to retry with backoff
   kDeadlineExceeded,  ///< operation exceeded its latency budget
+  kCancelled,         ///< work aborted cooperatively via util::CancelToken
 };
 
 /// \brief Returns a human readable name for a status code ("OK",
@@ -76,6 +77,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

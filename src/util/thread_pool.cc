@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <optional>
 
 #include "obs/obs.h"
+#include "util/cancel.h"
 #include "util/check.h"
 
 namespace gaia::util {
@@ -41,6 +43,29 @@ struct PoolMetrics {
 std::mutex g_global_mu;
 std::unique_ptr<ThreadPool> g_global_pool;
 
+/// Inline execution shared by the no-worker / nested / sub-grain paths.
+/// Without a token this is the single body(0, n) call it always was; with
+/// one armed, the loop runs the same grain-sized chunks the pool would
+/// have dispatched and polls the token between them — identical chunk
+/// boundaries, so an unfired token changes nothing, and a 1-thread run
+/// can still abort mid-loop.
+void RunInline(int64_t n, int64_t grain,
+               const std::function<void(int64_t, int64_t)>& body,
+               const CancelToken* cancel) {
+  if (obs::Enabled()) PoolMetrics::Get().inline_chunks.Increment();
+  if (cancel == nullptr) {
+    body(0, n);
+    return;
+  }
+  for (int64_t begin = 0; begin < n; begin += grain) {
+    if (cancel->Cancelled()) {
+      NoteCancelObserved();
+      return;
+    }
+    body(begin, std::min(n, begin + grain));
+  }
+}
+
 }  // namespace
 
 /// One dispatched loop. Chunks are claimed through `next`; the job is done
@@ -51,9 +76,11 @@ struct ThreadPool::Job {
   int64_t num_chunks = 0;
   uint64_t submit_ns = 0;  ///< obs: trace-epoch time of dispatch (0 = off)
   const std::function<void(int64_t, int64_t)>* body = nullptr;
+  const CancelToken* cancel = nullptr;
   std::atomic<int64_t> next{0};
   std::atomic<int64_t> completed{0};
   std::atomic<bool> has_error{false};
+  std::atomic<bool> cancel_noted{false};
   std::mutex error_mu;
   std::exception_ptr error;
   std::mutex done_mu;
@@ -97,6 +124,12 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::RunChunks(Job& job) {
   const bool previous = tl_in_parallel_region;
   tl_in_parallel_region = true;
+  // Workers re-install the job's token so code called from the body (and,
+  // later, nested inline loops) observes cancellation on every thread. The
+  // submitting caller blocks in ParallelForRange until the job drains, so
+  // the raw pointer cannot dangle.
+  std::optional<CancelScope> cancel_scope;
+  if (job.cancel != nullptr) cancel_scope.emplace(job.cancel);
   // Timing is read but never fed back into scheduling or the loop body, so
   // enabling observability cannot perturb chunk order or numerics.
   const bool obs_on = job.submit_ns != 0 && obs::Enabled();
@@ -113,7 +146,10 @@ void ThreadPool::RunChunks(Job& job) {
             static_cast<double>(chunk_start - job.submit_ns) * 1e-9);
       }
     }
-    if (!job.has_error.load(std::memory_order_relaxed)) {
+    const bool cancelled =
+        job.cancel != nullptr && job.cancel->Cancelled();
+    if (cancelled && !job.cancel_noted.exchange(true)) NoteCancelObserved();
+    if (!cancelled && !job.has_error.load(std::memory_order_relaxed)) {
       try {
         const int64_t begin = chunk * job.grain;
         const int64_t end = std::min(job.n, begin + job.grain);
@@ -140,15 +176,15 @@ void ThreadPool::RunChunks(Job& job) {
 
 void ThreadPool::ParallelForRange(
     int64_t n, int64_t grain,
-    const std::function<void(int64_t, int64_t)>& body) {
+    const std::function<void(int64_t, int64_t)>& body,
+    const CancelToken* cancel) {
   if (n <= 0) return;
   grain = std::max<int64_t>(1, grain);
   if (workers_.empty() || tl_in_parallel_region || n <= grain) {
     // The inline path bypasses worker dispatch entirely, so without its own
     // counter a 1-thread run reports all-zero pool metrics (the documented
     // metrics_snapshot footgun). Count it so the work is still visible.
-    if (obs::Enabled()) PoolMetrics::Get().inline_chunks.Increment();
-    body(0, n);
+    RunInline(n, grain, body, cancel);
     return;
   }
   // One job at a time: concurrent top-level callers queue up here.
@@ -158,6 +194,7 @@ void ThreadPool::ParallelForRange(
   job->grain = grain;
   job->num_chunks = (n + grain - 1) / grain;
   job->body = &body;
+  job->cancel = cancel;
   if (obs::Enabled()) {
     job->submit_ns = obs::internal_trace::NowNs();
     PoolMetrics::Get().jobs.Increment();
@@ -183,10 +220,13 @@ void ThreadPool::ParallelForRange(
 
 void ThreadPool::ParallelFor(int64_t n,
                              const std::function<void(int64_t)>& body,
-                             int64_t grain) {
-  ParallelForRange(n, grain, [&body](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) body(i);
-  });
+                             int64_t grain, const CancelToken* cancel) {
+  ParallelForRange(
+      n, grain,
+      [&body](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) body(i);
+      },
+      cancel);
 }
 
 ThreadPool& ThreadPool::Global() {
@@ -228,23 +268,30 @@ bool ThreadPool::InParallelRegion() { return tl_in_parallel_region; }
 void ParallelFor(int64_t n, const std::function<void(int64_t)>& body,
                  int64_t grain) {
   if (n <= 0) return;
-  if (ThreadPool::InParallelRegion() || n <= std::max<int64_t>(1, grain)) {
-    if (obs::Enabled()) PoolMetrics::Get().inline_chunks.Increment();
-    for (int64_t i = 0; i < n; ++i) body(i);
+  const CancelToken* cancel = CancelToken::Current();
+  grain = std::max<int64_t>(1, grain);
+  if (ThreadPool::InParallelRegion() || n <= grain) {
+    RunInline(
+        n, grain,
+        [&body](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) body(i);
+        },
+        cancel);
     return;
   }
-  ThreadPool::Global().ParallelFor(n, body, grain);
+  ThreadPool::Global().ParallelFor(n, body, grain, cancel);
 }
 
 void ParallelForRange(int64_t n, int64_t grain,
                       const std::function<void(int64_t, int64_t)>& body) {
   if (n <= 0) return;
-  if (ThreadPool::InParallelRegion() || n <= std::max<int64_t>(1, grain)) {
-    if (obs::Enabled()) PoolMetrics::Get().inline_chunks.Increment();
-    body(0, n);
+  const CancelToken* cancel = CancelToken::Current();
+  grain = std::max<int64_t>(1, grain);
+  if (ThreadPool::InParallelRegion() || n <= grain) {
+    RunInline(n, grain, body, cancel);
     return;
   }
-  ThreadPool::Global().ParallelForRange(n, grain, body);
+  ThreadPool::Global().ParallelForRange(n, grain, body, cancel);
 }
 
 }  // namespace gaia::util

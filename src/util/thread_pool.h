@@ -11,6 +11,8 @@
 
 namespace gaia::util {
 
+class CancelToken;
+
 /// \brief Fixed-size thread pool with a blocking, deterministic ParallelFor.
 ///
 /// Design goals, in order: deterministic numerics, simplicity, speed. There
@@ -31,6 +33,11 @@ namespace gaia::util {
 ///  - Exceptions thrown by the body are captured; remaining chunks are
 ///    skipped and the first exception is rethrown on the calling thread
 ///    after the loop drains.
+///  - With a CancelToken armed, the token is checked once per claimed chunk:
+///    after it fires, remaining chunk bodies are skipped and the loop drains
+///    early. Chunk boundaries and accumulation order never depend on the
+///    token, so an armed-but-unfired token is bitwise identical to no token,
+///    and a fired one never interrupts a chunk mid-write.
 class ThreadPool {
  public:
   /// Spawns `num_threads - 1` workers. Pre: num_threads >= 1.
@@ -44,13 +51,18 @@ class ThreadPool {
 
   /// Runs body(i) for every i in [0, n), blocking until all complete.
   /// `grain` is the number of consecutive indices claimed at a time.
+  /// With `cancel` non-null, chunks claimed after the token fires are
+  /// skipped (see class comment); the token is also installed as
+  /// CancelToken::Current() on the worker threads for the duration of
+  /// their chunk runs, so nested kernels observe it too.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& body,
-                   int64_t grain = 1);
+                   int64_t grain = 1, const CancelToken* cancel = nullptr);
 
   /// Blocked variant: body(begin, end) over disjoint chunks of at most
   /// `grain` consecutive indices covering [0, n).
   void ParallelForRange(int64_t n, int64_t grain,
-                        const std::function<void(int64_t, int64_t)>& body);
+                        const std::function<void(int64_t, int64_t)>& body,
+                        const CancelToken* cancel = nullptr);
 
   /// Process-wide pool used by the parallel kernels. Created on first use
   /// with DefaultThreads().
@@ -87,6 +99,9 @@ class ThreadPool {
 
 /// Convenience wrappers over the global pool. These check the nesting flag
 /// before touching the pool, so nested and small loops stay lock-free.
+/// They consult CancelToken::Current() automatically, which is how the
+/// tensor kernels and model layers become abortable without signature
+/// changes: installing a CancelScope above them is enough.
 void ParallelFor(int64_t n, const std::function<void(int64_t)>& body,
                  int64_t grain = 1);
 void ParallelForRange(int64_t n, int64_t grain,

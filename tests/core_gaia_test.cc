@@ -144,7 +144,7 @@ TEST_F(GaiaModelTest, EgoPredictionMatchesHorizonShape) {
   Rng rng(11);
   auto ego = graph::ExtractEgoSubgraph(dataset_->graph(), /*center=*/2,
                                        /*num_hops=*/2, /*max_fanout=*/5, &rng);
-  Tensor pred = model->PredictEgo(*dataset_, ego);
+  Tensor pred = model->PredictEgo(*dataset_, ego).value();
   EXPECT_EQ(pred.dim(0), dataset_->horizon());
   EXPECT_TRUE(pred.AllFinite());
 }

@@ -21,8 +21,10 @@
 #include <unistd.h>
 
 #include "core/gaia_model.h"
+#include "core/trainer.h"
 #include "data/market_simulator.h"
 #include "nn/layers.h"
+#include "obs/metrics.h"
 #include "serving/checkpoint_store.h"
 #include "serving/model_server.h"
 #include "serving/monthly_scheduler.h"
@@ -544,6 +546,162 @@ TEST(ChaosScheduleTest, SurvivesCorruptionNanAndExtractionFaults) {
 
   faults.Reset();
   std::system(("rm -rf " + dir).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Chaos training: training-loop fault sites skip the step, never corrupt
+// ---------------------------------------------------------------------------
+
+class ChaosTrainingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::FaultInjector::Global().Reset();
+    data::MarketConfig cfg;
+    cfg.num_shops = 40;
+    cfg.history_months = 14;
+    cfg.seed = 31;
+    auto market = data::MarketSimulator(cfg).Generate();
+    ASSERT_TRUE(market.ok());
+    auto ds =
+        data::ForecastDataset::Create(market.value(), data::DatasetOptions{});
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_shared<data::ForecastDataset>(std::move(ds).value());
+
+    core::GaiaConfig model_cfg;
+    model_cfg.channels = 8;
+    model_cfg.tel_groups = 2;
+    model_cfg.num_layers = 1;
+    auto model = core::GaiaModel::Create(
+        model_cfg, dataset_->history_len(), dataset_->horizon(),
+        dataset_->temporal_dim(), dataset_->static_dim());
+    ASSERT_TRUE(model.ok());
+    model_ = std::shared_ptr<core::GaiaModel>(std::move(model).value());
+
+    train_cfg_.max_epochs = 6;
+    train_cfg_.eval_every = 2;
+    train_cfg_.patience = 10;
+  }
+  void TearDown() override { util::FaultInjector::Global().Reset(); }
+
+  void Arm(const std::string& site, int64_t max_fires) {
+    util::FaultSpec spec;
+    spec.site = site;
+    spec.kind = util::FaultKind::kUnavailable;
+    spec.probability = 1.0;
+    spec.max_fires = max_fires;
+    util::FaultInjector::Global().Arm(spec);
+  }
+
+  /// Faulted or not, a finished run must leave every parameter finite and
+  /// produce a checkpoint that round-trips CRC verification.
+  void ExpectConsistentParameters() {
+    const std::vector<int32_t> nodes = {0, 1, 2};
+    auto preds =
+        model_->PredictNodes(*dataset_, nodes, /*training=*/false, nullptr);
+    ASSERT_EQ(preds.size(), nodes.size());
+    for (const auto& p : preds) {
+      const float* data = p->value.data();
+      for (int64_t i = 0; i < p->value.size(); ++i) {
+        ASSERT_TRUE(std::isfinite(data[i]));
+      }
+    }
+    const std::string path = TempPath("chaos_train.ckpt");
+    ASSERT_TRUE(model_->Save(path).ok());
+    EXPECT_TRUE(nn::Module::VerifyCheckpoint(path).ok());
+    std::remove(path.c_str());
+  }
+
+  std::shared_ptr<data::ForecastDataset> dataset_;
+  std::shared_ptr<core::GaiaModel> model_;
+  core::TrainConfig train_cfg_;
+};
+
+TEST_F(ChaosTrainingTest, OptimizerStepFaultSkipsEpochsNotTheRun) {
+  const uint64_t skipped_before = obs::MetricsRegistry::Global().CounterValue(
+      "gaia_robust_train_steps_skipped_total");
+  Arm("train.optimizer_step", /*max_fires=*/2);
+  core::TrainResult result = core::Trainer(train_cfg_).Fit(model_.get(),
+                                                           *dataset_);
+  EXPECT_EQ(util::FaultInjector::Global().fired_count("train.optimizer_step"),
+            2);
+  // Faulted epochs skip the parameter write but still count as epochs: the
+  // run completes its full budget instead of dying.
+  EXPECT_EQ(result.skipped_steps, 2);
+  EXPECT_EQ(result.epochs_run, train_cfg_.max_epochs);
+  EXPECT_FALSE(result.cancelled);
+  EXPECT_EQ(obs::MetricsRegistry::Global().CounterValue(
+                "gaia_robust_train_steps_skipped_total"),
+            skipped_before + 2);
+  ExpectConsistentParameters();
+}
+
+TEST_F(ChaosTrainingTest, GradExchangeFaultSkipsTheStep) {
+  Arm("train.grad_exchange", /*max_fires=*/1);
+  core::TrainResult result = core::Trainer(train_cfg_).Fit(model_.get(),
+                                                           *dataset_);
+  EXPECT_EQ(util::FaultInjector::Global().fired_count("train.grad_exchange"),
+            1);
+  EXPECT_EQ(result.skipped_steps, 1);
+  EXPECT_EQ(result.epochs_run, train_cfg_.max_epochs);
+  ExpectConsistentParameters();
+}
+
+TEST_F(ChaosTrainingTest, BothSitesFaultingSameEpochSkipOnce) {
+  // Both sites are sampled every epoch (so budgets drain deterministically);
+  // two faults landing on the same epoch still skip exactly one step.
+  Arm("train.grad_exchange", /*max_fires=*/1);
+  Arm("train.optimizer_step", /*max_fires=*/1);
+  core::TrainResult result = core::Trainer(train_cfg_).Fit(model_.get(),
+                                                           *dataset_);
+  EXPECT_EQ(util::FaultInjector::Global().fired_count("train.grad_exchange"),
+            1);
+  EXPECT_EQ(util::FaultInjector::Global().fired_count("train.optimizer_step"),
+            1);
+  EXPECT_EQ(result.skipped_steps, 1);
+  EXPECT_EQ(result.epochs_run, train_cfg_.max_epochs);
+  ExpectConsistentParameters();
+}
+
+TEST_F(ChaosTrainingTest, SkippedStepLeavesTrainingDeterministic) {
+  // Fault handling must not introduce nondeterminism: re-running with the
+  // same fault schedule reproduces the loss history bit for bit.
+  Arm("train.optimizer_step", /*max_fires=*/1);
+  core::TrainResult first = core::Trainer(train_cfg_).Fit(model_.get(),
+                                                          *dataset_);
+  util::FaultInjector::Global().Reset();
+
+  SetUp();  // fresh model + same seed
+  Arm("train.optimizer_step", /*max_fires=*/1);
+  core::TrainResult second = core::Trainer(train_cfg_).Fit(model_.get(),
+                                                           *dataset_);
+  ASSERT_EQ(first.train_loss_history.size(), second.train_loss_history.size());
+  for (size_t e = 0; e < first.train_loss_history.size(); ++e) {
+    EXPECT_EQ(first.train_loss_history[e], second.train_loss_history[e])
+        << "epoch " << e;
+  }
+  EXPECT_EQ(first.skipped_steps, second.skipped_steps);
+}
+
+TEST_F(ChaosTrainingTest, CancelledRetrainPublishesNoCheckpoint) {
+  // A retrain that blows its budget must leave the published path untouched
+  // (the scheduler then keeps serving the last good checkpoint).
+  const std::string path = TempPath("cancelled_retrain.ckpt");
+  std::remove(path.c_str());
+  serving::OfflineTrainingPipeline::Config cfg;
+  cfg.model.channels = 8;
+  cfg.model.tel_groups = 2;
+  cfg.model.num_layers = 1;
+  cfg.train = train_cfg_;
+  cfg.train.deadline_ms = 1e-6;  // fires before the first epoch
+  cfg.checkpoint_path = path;
+  serving::OfflineTrainingPipeline::RunReport report;
+  auto trained =
+      serving::OfflineTrainingPipeline(cfg).Run(*dataset_, &report);
+  ASSERT_FALSE(trained.ok());
+  EXPECT_EQ(trained.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(report.train.cancelled);
+  std::ifstream published(path, std::ios::binary);
+  EXPECT_FALSE(published.good()) << "cancelled retrain published " << path;
 }
 
 TEST(ChaosScheduleTest, AllCyclesBrokenStillReportsFirstError) {

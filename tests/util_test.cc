@@ -43,7 +43,9 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
         StatusCode::kNotFound, StatusCode::kAlreadyExists,
         StatusCode::kFailedPrecondition, StatusCode::kIoError,
-        StatusCode::kNotImplemented, StatusCode::kInternal}) {
+        StatusCode::kNotImplemented, StatusCode::kInternal,
+        StatusCode::kDataLoss, StatusCode::kUnavailable,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
 }
@@ -252,6 +254,9 @@ TEST(StatusTest, RobustnessCodesRoundTrip) {
   EXPECT_NE(
       Status::DeadlineExceeded("slow").ToString().find("DeadlineExceeded"),
       std::string::npos);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_NE(Status::Cancelled("token fired").ToString().find("Cancelled"),
+            std::string::npos);
 }
 
 TEST(ResultDeathTest, ValueOnErrorAborts) {

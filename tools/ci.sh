@@ -2,17 +2,19 @@
 # Local mirror of .github/workflows/ci.yml for offline use: a Release build
 # running the full suite, an observability pass (same build, GAIA_OBS=1 +
 # metrics_snapshot JSON validation), a robustness pass (fault-injection suite
-# + randomized-seed chaos serve under GAIA_FAULTS), a perf pass (bench/harness
-# small-scale run gated by tools/bench_compare; see docs/BENCHMARKING.md),
-# then an ASan+UBSan build running the labelled
-# robust/concurrency/golden/obs subset.
+# + randomized-seed chaos serve and chaos train under GAIA_FAULTS), a perf
+# pass (bench/harness small-scale run gated by tools/bench_compare; see
+# docs/BENCHMARKING.md), an ASan+UBSan build running the labelled
+# robust/concurrency/golden/obs/cancel subset, then a TSan build running the
+# concurrency/robust/cancel subset (the cancellation tentpole's race check).
 #
 #   tools/ci.sh            # all jobs
 #   tools/ci.sh release    # release job only
 #   tools/ci.sh obs        # observability job only (reuses build/)
 #   tools/ci.sh robust     # robustness job only (reuses build/)
 #   tools/ci.sh perf       # perf job only (reuses build/)
-#   tools/ci.sh sanitize   # sanitizer job only
+#   tools/ci.sh sanitize   # ASan+UBSan job only
+#   tools/ci.sh tsan       # TSan job only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,6 +73,16 @@ if [[ "$job" == "robust" || "$job" == "all" ]]; then
   GAIA_FAULTS="market.read:io:1.0:1;checkpoint.read:unavailable:1.0:2;serving.forward:nan:0.2;serving.forward:unavailable:0.1;graph.ego_extract:corrupt:0.1" \
     ./build/tools/gaia_cli serve --market "$chaos_dir/market" \
     --checkpoint "$chaos_dir/ckpt.bin" --requests 200 --channels 8 --layers 1
+  # Chaos train: probabilistic faults on the training-loop sites skip the
+  # faulted epochs' optimizer steps but must still publish a checkpoint that
+  # verifies (the evaluate run below loads it, so a corrupt file fails).
+  echo "chaos train with GAIA_FAULTS_SEED=$seed"
+  GAIA_FAULTS_SEED="$seed" \
+  GAIA_FAULTS="train.optimizer_step:unavailable:0.3;train.grad_exchange:unavailable:0.2" \
+    ./build/tools/gaia_cli train --market "$chaos_dir/market" \
+    --checkpoint "$chaos_dir/ckpt_chaos.bin" --epochs 4 --channels 8 --layers 1
+  ./build/tools/gaia_cli evaluate --market "$chaos_dir/market" \
+    --checkpoint "$chaos_dir/ckpt_chaos.bin" --channels 8 --layers 1
   rm -rf "$chaos_dir"
 fi
 
@@ -106,10 +118,19 @@ EOF
 fi
 
 if [[ "$job" == "sanitize" || "$job" == "all" ]]; then
-  echo "=== ASan+UBSan build + robust/concurrency/golden/obs tests ==="
+  echo "=== ASan+UBSan build + robust/concurrency/golden/obs/cancel tests ==="
   cmake -B build-asan -S . -DGAIA_SANITIZE=ON
   cmake --build build-asan -j"$jobs"
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 GAIA_OBS=1 \
     ctest --test-dir build-asan --output-on-failure \
-    -L "robust|concurrency|golden|obs"
+    -L "robust|concurrency|golden|obs|cancel"
+fi
+
+if [[ "$job" == "tsan" || "$job" == "all" ]]; then
+  echo "=== TSan build + concurrency/robust/cancel tests ==="
+  cmake -B build-tsan -S . -DGAIA_SANITIZE=thread
+  cmake --build build-tsan -j"$jobs"
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure \
+    -L "concurrency|robust|cancel"
 fi

@@ -9,9 +9,11 @@
 //       [--layers L]
 //       Evaluate a published checkpoint on the market's test split.
 //   gaia_cli serve --market DIR --checkpoint FILE [--requests N]
-//       [--metrics-out FILE]
+//       [--deadline-ms D] [--metrics-out FILE]
 //       Replay N online requests through the model server and report
-//       latency statistics.
+//       latency statistics. --deadline-ms arms a per-request budget: an
+//       overrunning forward is aborted mid-flight (cooperative cancel) and
+//       the request degrades to the fallback forecaster.
 //
 // --metrics-out FILE writes the Prometheus metrics export to FILE at exit
 // (chaos/CI runs keep an inspectable artifact). It forces the observability
@@ -58,6 +60,11 @@ class Args {
   int64_t GetInt(const std::string& key, int64_t fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
   }
 
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
@@ -208,9 +215,13 @@ int Serve(const Args& args) {
       std::move(dataset_result).value());
   auto model = BuildModel(*dataset, args);
   if (!model.ok()) return Fail(model.status().ToString());
+  serving::ServerConfig server_cfg;
+  // Per-request latency budget: overruns abort the forward mid-flight (a
+  // cooperative CancelToken) and degrade to the fallback forecaster.
+  server_cfg.deadline_ms = args.GetDouble("deadline-ms", 0.0);
   serving::ModelServer server(
       std::shared_ptr<core::GaiaModel>(std::move(model).value()), dataset,
-      serving::ServerConfig{});
+      server_cfg);
   // The server's hot-swap path retries transient checkpoint I/O and is
   // verify-then-swap, so a flaky read never serves half-loaded weights.
   Status loaded = server.LoadCheckpoint(args.Get("checkpoint", ""));
