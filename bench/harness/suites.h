@@ -31,6 +31,11 @@ void RegisterDeploymentCases(Harness& harness);
 /// the wall clock the cancellation tentpole saves. Tag: "cancel".
 void RegisterCancelCases(Harness& harness);
 
+/// Sharded serving tier: concurrent-client QPS at 1/2/4 shards, the
+/// coalesced batch path and tier spin-up. items_per_rep carries the request
+/// count so the JSON reports throughput. Tag: "serve_throughput".
+void RegisterServeThroughputCases(Harness& harness);
+
 /// Prevents the optimizer from discarding a benchmark result.
 template <typename T>
 inline void KeepAlive(const T& value) {

@@ -1,6 +1,7 @@
-// The continuous-perf entry point: registers all four measured layers —
+// The continuous-perf entry point: registers all five measured layers —
 // tensor kernels, thread-pool scaling, end-to-end serving, deadline-abort
-// serving — on the bench/harness runner and (with --json) writes the
+// serving, sharded-tier throughput — on the bench/harness runner and (with
+// --json) writes the
 // gaia.bench/1 artifact that tools/bench_compare gates CI against (see
 // docs/BENCHMARKING.md).
 //
@@ -24,5 +25,6 @@ int main(int argc, char** argv) {
   RegisterScalingCases(harness, {1, 2, 4});
   RegisterDeploymentCases(harness);
   RegisterCancelCases(harness);
+  RegisterServeThroughputCases(harness);
   return RunDriver(harness, options);
 }

@@ -1,0 +1,51 @@
+#include "graph/partitioner.h"
+
+#include "util/check.h"
+
+namespace gaia::graph {
+
+namespace {
+
+/// splitmix64 finalizer (Steele et al.): a full-avalanche mix so dense shop
+/// ids land on uncorrelated shards.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashPartitioner::HashPartitioner(int num_shards) : num_shards_(num_shards) {
+  GAIA_CHECK_GE(num_shards, 1);
+}
+
+int HashPartitioner::ShardOf(int32_t node) const {
+  if (num_shards_ == 1) return 0;
+  return static_cast<int>(Mix64(static_cast<uint64_t>(
+                              static_cast<uint32_t>(node))) %
+                          static_cast<uint64_t>(num_shards_));
+}
+
+std::unique_ptr<Partitioner> MakePartitioner(PartitionStrategy strategy,
+                                             int num_shards) {
+  GAIA_CHECK_GE(num_shards, 1);
+  switch (strategy) {
+    case PartitionStrategy::kHash:
+      return std::make_unique<HashPartitioner>(num_shards);
+  }
+  return std::make_unique<HashPartitioner>(num_shards);
+}
+
+std::vector<int64_t> ShardSizes(const Partitioner& partitioner,
+                                int64_t num_nodes) {
+  std::vector<int64_t> sizes(static_cast<size_t>(partitioner.num_shards()), 0);
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    ++sizes[static_cast<size_t>(
+        partitioner.ShardOf(static_cast<int32_t>(v)))];
+  }
+  return sizes;
+}
+
+}  // namespace gaia::graph

@@ -1,0 +1,65 @@
+#ifndef GAIA_GRAPH_PARTITIONER_H_
+#define GAIA_GRAPH_PARTITIONER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gaia::graph {
+
+/// \brief Assigns e-seller nodes to serving shards.
+///
+/// The sharded serving tier routes each request to ShardOf(shop)'s worker,
+/// so the assignment must be a pure function of the node id — stable across
+/// processes and restarts, independent of request order. The interface
+/// exists so a later PR can drop in a community/METIS-style partitioner
+/// (keeping supply-chain neighbourhoods shard-local for drift and anomaly
+/// handling, cf. GraphAD's entity-wise serving) without touching the server.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Number of shards this partitioner maps into (>= 1).
+  virtual int num_shards() const = 0;
+
+  /// Shard of node `node`, in [0, num_shards()). Pure and thread-safe.
+  virtual int ShardOf(int32_t node) const = 0;
+
+  /// Human-readable strategy name ("hash", ...).
+  virtual std::string name() const = 0;
+};
+
+/// \brief Stateless hash partitioner: splitmix64(node) % num_shards.
+///
+/// The id is mixed before the modulo so contiguous shop ids (the simulator
+/// allocates them densely) spread across shards instead of striping.
+class HashPartitioner : public Partitioner {
+ public:
+  /// Pre: num_shards >= 1.
+  explicit HashPartitioner(int num_shards);
+
+  int num_shards() const override { return num_shards_; }
+  int ShardOf(int32_t node) const override;
+  std::string name() const override { return "hash"; }
+
+ private:
+  int num_shards_;
+};
+
+/// Shard-assignment strategy selector (config-file friendly).
+enum class PartitionStrategy {
+  kHash = 0,  ///< HashPartitioner (the only strategy implemented so far)
+};
+
+/// Builds a partitioner for the given strategy. Pre: num_shards >= 1.
+std::unique_ptr<Partitioner> MakePartitioner(PartitionStrategy strategy,
+                                             int num_shards);
+
+/// Node count per shard for nodes [0, num_nodes) — balance diagnostics.
+std::vector<int64_t> ShardSizes(const Partitioner& partitioner,
+                                int64_t num_nodes);
+
+}  // namespace gaia::graph
+
+#endif  // GAIA_GRAPH_PARTITIONER_H_

@@ -80,6 +80,20 @@ std::string DeadlineReason(double deadline_ms, const char* detail) {
          " ms, " + detail + ")";
 }
 
+/// Seed of the per-request ego-sampling stream: a splitmix64-style mix of
+/// the server seed and the shop id. Giving every request its own stream
+/// (instead of advancing one shared RNG in request order) is what makes a
+/// forecast a pure function of (config, shop) — independent of request
+/// interleaving, batch composition, shard assignment and thread count.
+uint64_t RequestSeed(uint64_t seed, int32_t shop) {
+  uint64_t x = seed ^ (static_cast<uint64_t>(static_cast<uint32_t>(shop)) *
+                       0x9e3779b97f4a7c15ULL);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 void ObservePrediction(const ModelServer::Prediction& prediction) {
   if (!obs::Enabled()) return;
   ServeMetrics& metrics = ServeMetrics::Get();
@@ -95,8 +109,7 @@ ModelServer::ModelServer(std::shared_ptr<core::GaiaModel> model,
                          const ServerConfig& config)
     : model_(std::move(model)),
       dataset_(std::move(dataset)),
-      config_(config),
-      rng_(config.seed) {
+      config_(config) {
   GAIA_CHECK(model_ != nullptr);
   GAIA_CHECK(dataset_ != nullptr);
   if (config_.num_threads > 0) {
@@ -255,6 +268,19 @@ ModelServer::Prediction ModelServer::PredictOne(
   return prediction;
 }
 
+ModelServer::Prediction ModelServer::Serve(int32_t shop,
+                                           double deadline_ms) const {
+  // Per-request RNG: the ego subgraph depends only on (config.seed, shop),
+  // never on what was served before — see RequestSeed above.
+  Rng rng(RequestSeed(config_.seed, shop));
+  graph::EgoSubgraph ego =
+      graph::ExtractEgoSubgraph(dataset_->graph(), shop, config_.ego_hops,
+                                config_.max_fanout, &rng);
+  Prediction prediction = PredictOne(shop, ego, deadline_ms);
+  ObservePrediction(prediction);
+  return prediction;
+}
+
 ModelServer::Prediction ModelServer::Predict(int32_t shop) {
   return Predict(shop, config_.deadline_ms);
 }
@@ -262,11 +288,7 @@ ModelServer::Prediction ModelServer::Predict(int32_t shop) {
 ModelServer::Prediction ModelServer::Predict(int32_t shop,
                                              double deadline_ms) {
   GAIA_OBS_SPAN("server.predict");
-  graph::EgoSubgraph ego =
-      graph::ExtractEgoSubgraph(dataset_->graph(), shop, config_.ego_hops,
-                                config_.max_fanout, &rng_);
-  Prediction prediction = PredictOne(shop, ego, deadline_ms);
-  ObservePrediction(prediction);
+  Prediction prediction = Serve(shop, deadline_ms);
   ++total_requests_;
   if (prediction.served_by == ServePath::kFallback) ++fallback_requests_;
   total_latency_ms_ += prediction.latency_ms;
@@ -277,23 +299,16 @@ std::vector<ModelServer::Prediction> ModelServer::PredictBatch(
     const std::vector<int32_t>& shops) {
   GAIA_OBS_SPAN("server.predict_batch");
   if (obs::Enabled()) ServeMetrics::Get().batches.Increment();
-  // The monthly sweep: ego extraction stays serial (it consumes rng_ in
-  // request order, exactly as repeated Predict calls would), then the
-  // per-shop model forwards — the dominant cost — fan out across the pool.
-  std::vector<graph::EgoSubgraph> egos;
-  egos.reserve(shops.size());
-  for (int32_t shop : shops) {
-    egos.push_back(graph::ExtractEgoSubgraph(dataset_->graph(), shop,
-                                             config_.ego_hops,
-                                             config_.max_fanout, &rng_));
-  }
+  // The monthly sweep: requests fan out across the pool, one Serve call
+  // (ego extraction + forward) per claimed thread. Per-request RNG keeps
+  // every answer bitwise identical to a standalone Predict of the same
+  // shop, at any thread count.
   std::vector<Prediction> out(shops.size());
   util::ParallelFor(static_cast<int64_t>(shops.size()), [&](int64_t i) {
     const auto idx = static_cast<size_t>(i);
-    out[idx] = PredictOne(shops[idx], egos[idx], config_.deadline_ms);
+    out[idx] = Serve(shops[idx], config_.deadline_ms);
   });
   for (const Prediction& prediction : out) {
-    ObservePrediction(prediction);
     ++total_requests_;
     if (prediction.served_by == ServePath::kFallback) ++fallback_requests_;
     total_latency_ms_ += prediction.latency_ms;

@@ -22,11 +22,21 @@ class CheckpointStore;
 struct ServerConfig {
   int64_t ego_hops = 2;     ///< matches the stacked ITA-GCN depth
   int64_t max_fanout = 10;  ///< per-hop neighbour cap for latency control
+  /// Base seed for per-request ego sampling. Each request derives its own
+  /// RNG stream from (seed, shop), so a given shop's ego subgraph — and
+  /// therefore its forecast — is a pure function of the config, independent
+  /// of request order, batching, shard assignment and thread count.
   uint64_t seed = 5;
-  /// Worker threads for the batch sweep (PredictBatch fans requests across
-  /// the pool). 0 keeps the current process-wide pool (GAIA_NUM_THREADS or
-  /// hardware concurrency); > 0 pins the global pool to that size at server
-  /// construction. Forecast values are bitwise identical at any setting.
+  /// Thread-count knob. 0 leaves the process-wide pool alone; > 0 resizes
+  /// the *global* pool (util::ThreadPool::SetGlobalThreads) at server
+  /// construction — it is NOT a private per-server pool, so it also affects
+  /// training and any other server in the process. PredictBatch's fan-out is
+  /// one outer ParallelFor over the requests: with an N-thread pool up to N
+  /// requests run concurrently, each forward running inline on its claimed
+  /// thread (nested loops never re-dispatch); with a 1-thread pool the whole
+  /// sweep runs inline on the calling thread and no worker threads are
+  /// involved (pinned by ShardedServingTest.PredictBatchFanout*). Forecast
+  /// values are bitwise identical at any setting.
   int num_threads = 0;
   /// Per-request latency budget in milliseconds; a forward that overruns it
   /// is answered by the fallback forecaster instead. 0 disables the check
@@ -58,6 +68,12 @@ struct ServerConfig {
 /// Degradation ladder (docs/ROBUSTNESS.md): model forward -> per-shop
 /// Holt-Winters fallback -> zero forecast. Predict never fails; the serve
 /// path taken is tagged on the Prediction.
+///
+/// Thread-safety: Serve is const and safe from any number of threads.
+/// Predict/PredictBatch additionally accumulate the per-server totals
+/// below without synchronization, so those two entry points expect one
+/// caller at a time (the sharded tier routes everything through Serve and
+/// keeps its own atomic totals).
 class ModelServer {
  public:
   /// Which rung of the degradation ladder answered the request.
@@ -89,8 +105,17 @@ class ModelServer {
   /// request degrades with degraded_reason starting "deadline_exceeded".
   Prediction Predict(int32_t shop, double deadline_ms);
 
+  /// The stateless request pipeline behind Predict/PredictBatch and the
+  /// sharded tier's shard workers: per-request ego extraction (RNG derived
+  /// from (config.seed, shop)) followed by the guarded forward. Const and
+  /// thread-safe — any number of threads may call it concurrently — and it
+  /// does not touch the per-server request totals, so callers that need
+  /// them keep their own. Results are bitwise identical to Predict's.
+  Prediction Serve(int32_t shop, double deadline_ms) const;
+
   /// Serves a batch of requests (the deployed system predicts millions of
-  /// e-sellers in a monthly sweep); forwards fan out across the pool.
+  /// e-sellers in a monthly sweep); Serve calls fan out across the global
+  /// pool, one request per claimed thread (see num_threads above).
   std::vector<Prediction> PredictBatch(const std::vector<int32_t>& shops);
 
   /// Hot-swaps model weights from an offline-produced checkpoint, retrying
@@ -123,7 +148,6 @@ class ModelServer {
   std::shared_ptr<core::GaiaModel> model_;
   std::shared_ptr<const data::ForecastDataset> dataset_;
   ServerConfig config_;
-  Rng rng_;
   int64_t total_requests_ = 0;
   double total_latency_ms_ = 0.0;
   int64_t fallback_requests_ = 0;

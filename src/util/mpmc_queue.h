@@ -1,0 +1,122 @@
+#ifndef GAIA_UTIL_MPMC_QUEUE_H_
+#define GAIA_UTIL_MPMC_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace gaia::util {
+
+/// \brief Bounded multi-producer/multi-consumer queue, std-only.
+///
+/// The micro-batching buffer in front of each serving shard: clients push
+/// requests from any thread, the shard worker pops them (with a deadline, so
+/// a partially filled batch window can flush on time). The queue is
+/// mutex+condvar based — correctness and TSan-cleanliness over lock-free
+/// cleverness; one push/pop is microseconds-scale against a
+/// milliseconds-scale model forward.
+///
+/// Closing semantics: Close() wakes everyone; pushes fail immediately, pops
+/// keep draining buffered items and return nullopt only once the queue is
+/// both closed and empty. This lets a server shut down without dropping
+/// accepted requests.
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Pre: capacity >= 1. Pushes beyond `capacity` block (backpressure).
+  explicit MpmcQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks while the queue is full; returns false iff the queue was closed.
+  /// On false the item has NOT been moved from — the caller still owns it
+  /// and can handle the request inline.
+  bool Push(T&& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed (item left intact).
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return PopLocked(lock);
+  }
+
+  /// Like Pop but gives up at `deadline` (steady clock): nullopt then means
+  /// "window expired", which the shard worker treats as a batch flush.
+  std::optional<T> PopUntil(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_empty_.wait_until(
+            lock, deadline, [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;  // timed out with nothing buffered
+    }
+    return PopLocked(lock);
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain then end.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Instantaneous depth (monitoring only; racy by nature).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<T> PopLocked(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace gaia::util
+
+#endif  // GAIA_UTIL_MPMC_QUEUE_H_

@@ -265,6 +265,12 @@ int ThreadPool::DefaultThreads() {
 
 bool ThreadPool::InParallelRegion() { return tl_in_parallel_region; }
 
+ThreadPool::InlineScope::InlineScope() : previous_(tl_in_parallel_region) {
+  tl_in_parallel_region = true;
+}
+
+ThreadPool::InlineScope::~InlineScope() { tl_in_parallel_region = previous_; }
+
 void ParallelFor(int64_t n, const std::function<void(int64_t)>& body,
                  int64_t grain) {
   if (n <= 0) return;

@@ -83,6 +83,26 @@ class ThreadPool {
   /// True when called from inside a ParallelFor body (on any thread).
   static bool InParallelRegion();
 
+  /// \brief RAII scope that marks the current thread as already inside a
+  /// parallel region, forcing every nested ParallelFor to run inline
+  /// serially instead of dispatching to the global pool.
+  ///
+  /// Long-lived service threads (the sharded server's per-shard workers) use
+  /// this so K shards can run K forwards truly concurrently: without it each
+  /// worker would submit to the one global pool and serialize on its submit
+  /// mutex. The inline path is the exact serial path, so results stay
+  /// bitwise identical (parallel_determinism_test's guarantee).
+  class InlineScope {
+   public:
+    InlineScope();
+    ~InlineScope();
+    InlineScope(const InlineScope&) = delete;
+    InlineScope& operator=(const InlineScope&) = delete;
+
+   private:
+    bool previous_;
+  };
+
  private:
   struct Job;
 

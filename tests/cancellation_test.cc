@@ -32,6 +32,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serving/model_server.h"
+#include "serving/sharded_server.h"
 #include "util/cancel.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -410,6 +411,84 @@ TEST_F(CancelServeTest, GenerousDeadlineKeepsServeBitwiseIdentical) {
   ASSERT_EQ(actual.gmv.size(), expected.gmv.size());
   for (size_t i = 0; i < expected.gmv.size(); ++i) {
     EXPECT_EQ(actual.gmv[i], expected.gmv[i]) << "forecast month " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded tier: cancellation inside the micro-batch queue
+// ---------------------------------------------------------------------------
+
+TEST_F(CancelServeTest, RequestCancelledInMicroBatchQueueIsDroppedBeforeForward) {
+  obs::SetLevel(obs::Level::kOn);
+  auto& registry = obs::MetricsRegistry::Global();
+
+  // Reference answers (no tokens anywhere).
+  serving::ModelServer reference(model_, dataset_, serving::ServerConfig{});
+  const auto want_a = reference.Predict(1);
+  const auto want_b = reference.Predict(2);
+  const auto want_c = reference.Predict(3);
+
+  // Spans one forward records (num_layers ita_gcn.forward spans), measured
+  // rather than assumed so a config change cannot silently skew the check.
+  obs::TraceBuffer::Global().Clear();
+  (void)reference.Predict(5);
+  const uint64_t spans_per_forward = [&] {
+    auto agg = obs::TraceBuffer::Global().AggregateByName();
+    auto it = agg.find("ita_gcn.forward");
+    return it != agg.end() ? it->second.count : uint64_t{0};
+  }();
+  ASSERT_GT(spans_per_forward, 0u);
+
+  serving::ShardedServerConfig cfg;
+  cfg.num_shards = 1;  // one queue so all four requests share a window
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 50e3;
+  serving::ShardedServer sharded(model_, dataset_, cfg);
+
+  obs::TraceBuffer::Global().Clear();
+  const uint64_t observed_before =
+      registry.CounterValue("gaia_cancel_observed_total");
+  const uint64_t dropped_before =
+      registry.CounterValue("gaia_serve_cancelled_in_queue_total");
+
+  // Four concurrent requests; the token of one fires while it waits in the
+  // shard queue (it is born fired — the strictest version of "while
+  // queued": no window has opened yet).
+  CancelToken cancelled;
+  cancelled.Cancel();
+  serving::ShardedServer::Prediction got_a, got_b, got_c, got_dropped;
+  std::thread ta([&] { got_a = sharded.Predict(1); });
+  std::thread tb([&] { got_b = sharded.Predict(2); });
+  std::thread tc([&] { got_c = sharded.Predict(3); });
+  std::thread td([&] { got_dropped = sharded.Predict(4, 0.0, &cancelled); });
+  ta.join();
+  tb.join();
+  tc.join();
+  td.join();
+  sharded.Stop();
+
+  // The cancelled request was answered without a forward...
+  EXPECT_EQ(got_dropped.served_by, serving::ModelServer::ServePath::kFallback);
+  EXPECT_EQ(got_dropped.degraded_reason, "cancelled while queued");
+  EXPECT_GT(registry.CounterValue("gaia_cancel_observed_total"),
+            observed_before);
+  EXPECT_EQ(registry.CounterValue("gaia_serve_cancelled_in_queue_total"),
+            dropped_before + 1);
+  // ...literally: exactly three model forwards ran, one per live request.
+  auto agg = obs::TraceBuffer::Global().AggregateByName();
+  auto it = agg.find("ita_gcn.forward");
+  ASSERT_NE(it, agg.end());
+  EXPECT_EQ(it->second.count, 3 * spans_per_forward)
+      << "dropped request still reached the model forward";
+  // ...and the rest of its window is unaffected: bitwise equal to the
+  // unsharded reference.
+  for (const auto& [got, want] :
+       {std::pair{&got_a, &want_a}, {&got_b, &want_b}, {&got_c, &want_c}}) {
+    ASSERT_EQ(got->gmv.size(), want->gmv.size());
+    for (size_t i = 0; i < want->gmv.size(); ++i) {
+      EXPECT_EQ(got->gmv[i], want->gmv[i])
+          << "shop " << want->shop << " month " << i;
+    }
   }
 }
 

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
+#include <vector>
+
+#include "graph/partitioner.h"
 
 namespace gaia::graph {
 namespace {
@@ -189,6 +193,65 @@ TEST_F(EgoTest, IsolatedCenterYieldsSingleton) {
   auto g2 = EsellerGraph::Create(3, {{0, 1, EdgeType::kSameOwner}});
   EgoSubgraph ego = ExtractEgoSubgraph(g2.value(), 2, 2, 0, &rng);
   EXPECT_EQ(ego.num_nodes(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner (the sharded serving tier's shop -> shard map)
+// ---------------------------------------------------------------------------
+
+TEST(PartitionerTest, ShardAssignmentIsStableAndInRange) {
+  HashPartitioner partitioner(4);
+  for (int32_t node = 0; node < 1000; ++node) {
+    const int shard = partitioner.ShardOf(node);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+    // Pure function of the node id: the routing contract the sharded
+    // server (and any future cross-process router) relies on.
+    EXPECT_EQ(shard, partitioner.ShardOf(node));
+  }
+  // A second instance with the same K agrees — no per-instance state.
+  HashPartitioner other(4);
+  for (int32_t node = 0; node < 1000; ++node) {
+    EXPECT_EQ(partitioner.ShardOf(node), other.ShardOf(node));
+  }
+}
+
+TEST(PartitionerTest, SingleShardMapsEverythingToZero) {
+  HashPartitioner partitioner(1);
+  for (int32_t node : {0, 1, 63, 100000}) {
+    EXPECT_EQ(partitioner.ShardOf(node), 0);
+  }
+}
+
+TEST(PartitionerTest, HashSpreadsDenseIdsRoughlyEvenly) {
+  // Dense sequential shop ids (the common case: shops are numbered 0..N)
+  // must not pile onto few shards; the splitmix64 mix should keep every
+  // shard within a loose factor of the ideal share.
+  constexpr int kShards = 8;
+  constexpr int64_t kNodes = 8000;
+  HashPartitioner partitioner(kShards);
+  const std::vector<int64_t> sizes = ShardSizes(partitioner, kNodes);
+  ASSERT_EQ(sizes.size(), static_cast<size_t>(kShards));
+  const int64_t ideal = kNodes / kShards;
+  int64_t total = 0;
+  for (int64_t size : sizes) {
+    total += size;
+    EXPECT_GT(size, ideal / 2) << "shard starved";
+    EXPECT_LT(size, ideal * 2) << "shard overloaded";
+  }
+  EXPECT_EQ(total, kNodes);  // a partition: every node in exactly one shard
+}
+
+TEST(PartitionerTest, FactorySelectsStrategy) {
+  const std::unique_ptr<Partitioner> p =
+      MakePartitioner(PartitionStrategy::kHash, 3);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->num_shards(), 3);
+  EXPECT_EQ(p->name(), "hash");
+  const HashPartitioner direct(3);
+  for (int32_t node = 0; node < 256; ++node) {
+    EXPECT_EQ(p->ShardOf(node), direct.ShardOf(node));
+  }
 }
 
 }  // namespace

@@ -2,17 +2,21 @@
 # Local mirror of .github/workflows/ci.yml for offline use: a Release build
 # running the full suite, an observability pass (same build, GAIA_OBS=1 +
 # metrics_snapshot JSON validation), a robustness pass (fault-injection suite
-# + randomized-seed chaos serve and chaos train under GAIA_FAULTS), a perf
-# pass (bench/harness small-scale run gated by tools/bench_compare; see
-# docs/BENCHMARKING.md), an ASan+UBSan build running the labelled
-# robust/concurrency/golden/obs/cancel subset, then a TSan build running the
-# concurrency/robust/cancel subset (the cancellation tentpole's race check).
+# + randomized-seed chaos serve/train and a sharded chaos storm under
+# GAIA_FAULTS), a perf pass (bench/harness small-scale run gated by
+# tools/bench_compare; see docs/BENCHMARKING.md), a sharded-serving pass
+# (shard-labelled concurrency tests + multi-shard CLI smoke + throughput
+# scaling check), an ASan+UBSan build running the labelled
+# robust/concurrency/golden/obs/cancel/shard subset, then a TSan build
+# running the concurrency/robust/cancel/shard subset (the concurrency
+# tentpoles' race check).
 #
 #   tools/ci.sh            # all jobs
 #   tools/ci.sh release    # release job only
 #   tools/ci.sh obs        # observability job only (reuses build/)
 #   tools/ci.sh robust     # robustness job only (reuses build/)
 #   tools/ci.sh perf       # perf job only (reuses build/)
+#   tools/ci.sh shard      # sharded-serving job only (reuses build/)
 #   tools/ci.sh sanitize   # ASan+UBSan job only
 #   tools/ci.sh tsan       # TSan job only
 set -euo pipefail
@@ -83,6 +87,20 @@ if [[ "$job" == "robust" || "$job" == "all" ]]; then
     --checkpoint "$chaos_dir/ckpt_chaos.bin" --epochs 4 --channels 8 --layers 1
   ./build/tools/gaia_cli evaluate --market "$chaos_dir/market" \
     --checkpoint "$chaos_dir/ckpt_chaos.bin" --channels 8 --layers 1
+  # Sharded chaos: the same randomized seed drives checkpoint.read faults
+  # and forward-path faults while 4 client threads hammer a 4-shard tier.
+  # The RCU generation swap and the retry/degradation ladder must keep every
+  # request answered, so this too must exit 0 at any seed.
+  echo "chaos sharded serve with GAIA_FAULTS_SEED=$seed"
+  GAIA_FAULTS_SEED="$seed" \
+  GAIA_FAULTS="checkpoint.read:unavailable:1.0:2;serving.forward:nan:0.2;serving.forward:unavailable:0.1" \
+    ./build/tools/gaia_cli serve --market "$chaos_dir/market" \
+    --checkpoint "$chaos_dir/ckpt.bin" --requests 200 --channels 8 --layers 1 \
+    --shards 4 --clients 4
+  # Randomized-seed replay of the shard suite's publish/serve chaos storm
+  # (the in-process CheckpointStore + ShardedServer torn-read property).
+  GAIA_FAULTS_SEED="$seed" ctest --test-dir build --output-on-failure \
+    -L shard -j"$jobs"
   rm -rf "$chaos_dir"
 fi
 
@@ -92,7 +110,7 @@ if [[ "$job" == "perf" || "$job" == "all" ]]; then
   cmake --build build -j"$jobs"
   # The comparator gates itself first: verdict logic on synthetic documents.
   tools/bench_compare --self-test
-  # Small-scale run of all three measured layers; the artifact stays at the
+  # Small-scale run of all five measured layers; the artifact stays at the
   # repo root for upload/inspection.
   ./build/bench/perf_suite --reps 5 --warmup 1 --json BENCH_perf.json
   # An identical self-compare must pass at the strict default thresholds...
@@ -117,20 +135,42 @@ EOF
     --rel-tol 1.5 --mad-mult 8 --min-ns 500000 --missing-ok
 fi
 
+if [[ "$job" == "shard" || "$job" == "all" ]]; then
+  echo "=== Sharded serving: shard tests + multi-shard CLI smoke + scaling ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$jobs"
+  # The queue/window/RCU/chaos concurrency suite (tests/sharded_serving_test).
+  ctest --test-dir build --output-on-failure -L shard -j"$jobs"
+  # End-to-end smoke: concurrent clients against a 4-shard tier over a real
+  # trained checkpoint.
+  shard_dir=$(mktemp -d)
+  ./build/tools/gaia_cli simulate --out "$shard_dir/market" --shops 80 \
+    --history 18 --seed 7
+  ./build/tools/gaia_cli train --market "$shard_dir/market" \
+    --checkpoint "$shard_dir/ckpt.bin" --epochs 3 --channels 8 --layers 1
+  ./build/tools/gaia_cli serve --market "$shard_dir/market" \
+    --checkpoint "$shard_dir/ckpt.bin" --requests 200 --channels 8 --layers 1 \
+    --shards 4 --clients 4
+  rm -rf "$shard_dir"
+  # Throughput vs shard count; the >=2x-at-4-shards bar is enforced only on
+  # multi-core hosts (single-core runners are legitimately flat).
+  ./build/bench/serve_throughput --reps 3 --warmup 1 --check-scaling
+fi
+
 if [[ "$job" == "sanitize" || "$job" == "all" ]]; then
-  echo "=== ASan+UBSan build + robust/concurrency/golden/obs/cancel tests ==="
+  echo "=== ASan+UBSan build + robust/concurrency/golden/obs/cancel/shard tests ==="
   cmake -B build-asan -S . -DGAIA_SANITIZE=ON
   cmake --build build-asan -j"$jobs"
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 GAIA_OBS=1 \
     ctest --test-dir build-asan --output-on-failure \
-    -L "robust|concurrency|golden|obs|cancel"
+    -L "robust|concurrency|golden|obs|cancel|shard"
 fi
 
 if [[ "$job" == "tsan" || "$job" == "all" ]]; then
-  echo "=== TSan build + concurrency/robust/cancel tests ==="
+  echo "=== TSan build + concurrency/robust/cancel/shard tests ==="
   cmake -B build-tsan -S . -DGAIA_SANITIZE=thread
   cmake --build build-tsan -j"$jobs"
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure \
-    -L "concurrency|robust|cancel"
+    -L "concurrency|robust|cancel|shard"
 fi

@@ -9,11 +9,16 @@
 //       [--layers L]
 //       Evaluate a published checkpoint on the market's test split.
 //   gaia_cli serve --market DIR --checkpoint FILE [--requests N]
-//       [--deadline-ms D] [--metrics-out FILE]
+//       [--deadline-ms D] [--shards K] [--clients C] [--max-batch B]
+//       [--max-wait-us W] [--metrics-out FILE]
 //       Replay N online requests through the model server and report
 //       latency statistics. --deadline-ms arms a per-request budget: an
 //       overrunning forward is aborted mid-flight (cooperative cancel) and
-//       the request degrades to the fallback forecaster.
+//       the request degrades to the fallback forecaster. --shards K routes
+//       the replay through the sharded serving tier (K shard workers,
+//       micro-batching; see docs/ARCHITECTURE.md) with --clients C
+//       concurrent client threads hammering it; forecasts are bitwise
+//       identical to the unsharded path.
 //
 // --metrics-out FILE writes the Prometheus metrics export to FILE at exit
 // (chaos/CI runs keep an inspectable artifact). It forces the observability
@@ -21,12 +26,15 @@
 //
 // Exit code 0 on success; a diagnostic on stderr otherwise.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/evaluator.h"
@@ -36,6 +44,8 @@
 #include "data/market_simulator.h"
 #include "obs/obs.h"
 #include "serving/model_server.h"
+#include "serving/sharded_server.h"
+#include "util/stopwatch.h"
 #include "util/table_printer.h"
 
 namespace gaia::cli {
@@ -219,6 +229,45 @@ int Serve(const Args& args) {
   // Per-request latency budget: overruns abort the forward mid-flight (a
   // cooperative CancelToken) and degrade to the fallback forecaster.
   server_cfg.deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  const int64_t requests = args.GetInt("requests", 50);
+  const auto& shops = dataset->test_nodes();
+  const int shards = static_cast<int>(args.GetInt("shards", 0));
+  if (shards > 0) {
+    // Sharded tier: K shard workers behind micro-batch queues, hammered by
+    // C concurrent client threads replaying the same request stream.
+    serving::ShardedServerConfig sharded_cfg;
+    sharded_cfg.num_shards = shards;
+    sharded_cfg.max_batch = static_cast<int>(args.GetInt("max-batch", 8));
+    sharded_cfg.max_wait_us = args.GetDouble("max-wait-us", 200.0);
+    sharded_cfg.server = server_cfg;
+    serving::ShardedServer server(
+        std::shared_ptr<core::GaiaModel>(std::move(model).value()), dataset,
+        sharded_cfg);
+    Status loaded = server.LoadCheckpoint(args.Get("checkpoint", ""));
+    if (!loaded.ok()) return Fail(loaded.ToString());
+    const int clients =
+        std::max<int>(1, static_cast<int>(args.GetInt("clients", 4)));
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(static_cast<size_t>(clients));
+    std::atomic<int64_t> next{0};
+    Stopwatch watch;
+    for (int c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&] {
+        int64_t i;
+        while ((i = next.fetch_add(1)) < requests) {
+          server.Predict(shops[static_cast<size_t>(i) % shops.size()]);
+        }
+      });
+    }
+    for (auto& t : client_threads) t.join();
+    const double elapsed_ms = watch.ElapsedMillis();
+    server.Stop();
+    std::cout << "served " << server.total_requests() << " requests across "
+              << shards << " shards (" << clients << " clients) in "
+              << TablePrinter::FormatDouble(elapsed_ms, 1) << " ms, "
+              << server.fallback_requests() << " degraded to fallback\n";
+    return 0;
+  }
   serving::ModelServer server(
       std::shared_ptr<core::GaiaModel>(std::move(model).value()), dataset,
       server_cfg);
@@ -226,8 +275,6 @@ int Serve(const Args& args) {
   // verify-then-swap, so a flaky read never serves half-loaded weights.
   Status loaded = server.LoadCheckpoint(args.Get("checkpoint", ""));
   if (!loaded.ok()) return Fail(loaded.ToString());
-  const int64_t requests = args.GetInt("requests", 50);
-  const auto& shops = dataset->test_nodes();
   for (int64_t i = 0; i < requests; ++i) {
     server.Predict(shops[static_cast<size_t>(i) % shops.size()]);
   }
