@@ -13,6 +13,7 @@
 #include "data/market_simulator.h"
 #include "graph/eseller_graph.h"
 #include "tensor/tensor_ops.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace gaia::bench::harness {
@@ -64,6 +65,47 @@ void RegisterTensorCases(Harness& harness) {
         "tensor.matmul_" + std::to_string(n),
         [a, b, inner] {
           for (int i = 0; i < inner; ++i) KeepAlive(MatMul(*a, *b));
+        },
+        options);
+  }
+
+  // Packed-vs-naive pair at a shape squarely in the packed regime. The CI
+  // perf job requires matmul_packed_256 to beat matmul_naive_256 within the
+  // same run (tools/ci.sh perf), so the blocked kernel can never silently
+  // regress back to memory-bound behavior.
+  {
+    const int64_t n = 256;
+    Rng rng(11);
+    auto a = std::make_shared<Tensor>(Tensor::Randn({n, n}, &rng));
+    auto b = std::make_shared<Tensor>(Tensor::Randn({n, n}, &rng));
+    CaseOptions options = tensor_tag;
+    options.items_per_rep = n * n * n;  // multiply-adds
+    harness.AddCase(
+        "tensor.matmul_packed_256",
+        [a, b] { KeepAlive(MatMulPacked(*a, *b)); }, options);
+    harness.AddCase(
+        "tensor.matmul_naive_256",
+        [a, b] { KeepAlive(MatMulNaive(*a, *b)); }, options);
+  }
+
+  // Arena hot path: churn Tensor temporaries inside a scope the way a
+  // forward pass does. Steady state every iteration is a cache hit, so this
+  // case prices the allocator itself (pop + memset), not the system heap.
+  {
+    const int inner = 64;
+    Rng rng(12);
+    auto x = std::make_shared<Tensor>(Tensor::Randn({64, 64}, &rng));
+    CaseOptions options = tensor_tag;
+    options.items_per_rep = inner;  // temporaries per repetition
+    harness.AddCase(
+        "tensor.arena_churn",
+        [x, inner] {
+          util::ArenaScope scope;
+          for (int i = 0; i < inner; ++i) {
+            Tensor tmp(x->shape());
+            tmp.Accumulate(*x);
+            KeepAlive(std::move(tmp));
+          }
         },
         options);
   }

@@ -331,12 +331,16 @@ Var Conv1d(const Var& input, const Var& weight, const Var& bias, PadMode mode,
            int64_t dilation) {
   static const Tensor kNoBias;
   const Tensor& bias_value = bias ? bias->value : kNoBias;
-  Tensor out = gaia::Conv1d(input->value, weight->value, bias_value, mode,
-                            dilation);
+  // Validate through the Result-returning checker so every shape rule lives
+  // in one place; a mismatch here is a model-construction bug, so abort with
+  // the checker's message rather than threading Status through Var.
+  Result<Tensor> out = gaia::Conv1dChecked(input->value, weight->value,
+                                           bias_value, mode, dilation);
+  GAIA_CHECK(out.ok()) << out.status().ToString();
   std::vector<Var> parents = {input, weight};
   if (bias) parents.push_back(bias);
   const bool has_bias = bias != nullptr;
-  return MakeOp(std::move(out), std::move(parents),
+  return MakeOp(std::move(out).value(), std::move(parents),
                 [mode, dilation, has_bias](AutogradNode& n) {
                   const Var& in = n.parents[0];
                   const Var& w = n.parents[1];

@@ -1,4 +1,5 @@
 #include "core/trainer.h"
+#include "util/arena.h"
 
 #include <algorithm>
 #include <cmath>
@@ -24,6 +25,7 @@ namespace ag = autograd;
 double Trainer::EvaluateMse(ForecastModel* model,
                             const data::ForecastDataset& dataset,
                             const std::vector<int32_t>& nodes) {
+  util::ArenaScope arena_scope;
   GAIA_OBS_SPAN("trainer.eval");
   GAIA_CHECK(!nodes.empty());
   Rng rng(0);
@@ -59,6 +61,7 @@ double Trainer::EvaluateMse(ForecastModel* model,
 
 TrainResult Trainer::Fit(ForecastModel* model,
                          const data::ForecastDataset& dataset) const {
+  util::ArenaScope arena_scope;
   GAIA_CHECK(model != nullptr);
   if (config_.num_threads > 0) {
     util::ThreadPool::SetGlobalThreads(config_.num_threads);

@@ -49,6 +49,10 @@ class Gauge {
  public:
   void Set(double v) { bits_.store(Encode(v), std::memory_order_relaxed); }
   void Add(double delta);
+  /// Raises the gauge to `v` if below it (CAS loop, lock-free). High-water
+  /// marks (gaia_arena_high_water) use this so concurrent observers never
+  /// regress the mark.
+  void Max(double v);
   double value() const { return Decode(bits_.load(std::memory_order_relaxed)); }
   void Reset() { Set(0.0); }
 

@@ -5,8 +5,8 @@
 #include <numeric>
 #include <sstream>
 
-#include "obs/obs.h"
 #include "util/check.h"
+#include "util/compiler.h"
 
 namespace gaia {
 
@@ -21,47 +21,16 @@ int64_t Product(const std::vector<int64_t>& shape) {
   return n;
 }
 
-/// Allocation instruments fed by the tensor construction hook below. The
-/// bench harness reads these per case to expose allocation churn alongside
-/// wall time (see docs/BENCHMARKING.md). Resolved once; references are
-/// stable for the registry's lifetime.
-struct AllocMetrics {
-  obs::Counter& tensors = obs::MetricsRegistry::Global().GetCounter(
-      "gaia_alloc_tensors_total",
-      "Tensor buffers constructed (Zeros/Randn/op results; copies excluded)");
-  obs::Counter& bytes = obs::MetricsRegistry::Global().GetCounter(
-      "gaia_alloc_bytes_total",
-      "Bytes allocated for tensor buffers through the construction hook");
-  static AllocMetrics& Get() {
-    static AllocMetrics* metrics = new AllocMetrics();
-    return *metrics;
-  }
-};
-
-/// Tensor-allocation hook: every shape-constructing path (and therefore
-/// every factory and elementwise op result) lands here. Off-path cost is
-/// one relaxed load and a branch, same budget as every other instrument.
-inline void CountTensorAlloc(size_t elements) {
-  if (elements > 0 && obs::Enabled()) {
-    AllocMetrics& metrics = AllocMetrics::Get();
-    metrics.tensors.Increment();
-    metrics.bytes.Increment(elements * sizeof(float));
-  }
-}
-
 }  // namespace
 
 Tensor::Tensor(std::vector<int64_t> shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<size_t>(Product(shape_)), 0.0f) {
-  CountTensorAlloc(data_.size());
-}
+    : shape_(std::move(shape)), data_(Product(shape_)) {}
 
 Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
-  GAIA_CHECK_EQ(Product(shape_), static_cast<int64_t>(data_.size()))
+    : shape_(std::move(shape)),
+      data_(static_cast<int64_t>(data.size()), data.data()) {
+  GAIA_CHECK_EQ(Product(shape_), static_cast<int64_t>(data.size()))
       << "shape does not match data size";
-  CountTensorAlloc(data_.size());
 }
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
@@ -143,7 +112,10 @@ float Tensor::at(int64_t i, int64_t j, int64_t k) const {
 Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
   GAIA_CHECK_EQ(Product(new_shape), size())
       << "reshape from " << ShapeString();
-  return Tensor(std::move(new_shape), data_);
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
 }
 
 std::string Tensor::ShapeString() const {
@@ -171,21 +143,26 @@ std::string Tensor::ToString(int64_t max_elements) const {
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_.data(), data_.data() + size(), value);
 }
 
 void Tensor::Scale(float factor) {
-  for (float& v : data_) v *= factor;
+  float* GAIA_RESTRICT p = data_.data();
+  const int64_t n = size();
+  for (int64_t i = 0; i < n; ++i) p[i] *= factor;
 }
 
 void Tensor::Accumulate(const Tensor& other) {
   GAIA_CHECK(SameShape(other))
       << ShapeString() << " vs " << other.ShapeString();
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* GAIA_RESTRICT p = data_.data();
+  const float* GAIA_RESTRICT q = other.data_.data();
+  const int64_t n = size();
+  for (int64_t i = 0; i < n; ++i) p[i] += q[i];
 }
 
 double Tensor::Sum() const {
-  return std::accumulate(data_.begin(), data_.end(), 0.0);
+  return std::accumulate(data_.data(), data_.data() + size(), 0.0);
 }
 
 double Tensor::Mean() const {
@@ -195,22 +172,24 @@ double Tensor::Mean() const {
 
 float Tensor::Max() const {
   GAIA_CHECK(!empty());
-  return *std::max_element(data_.begin(), data_.end());
+  return *std::max_element(data_.data(), data_.data() + size());
 }
 
 float Tensor::Min() const {
   GAIA_CHECK(!empty());
-  return *std::min_element(data_.begin(), data_.end());
+  return *std::min_element(data_.data(), data_.data() + size());
 }
 
 double Tensor::Norm() const {
   double sum_sq = 0.0;
-  for (float v : data_) sum_sq += static_cast<double>(v) * v;
+  const float* p = data_.data();
+  const int64_t n = size();
+  for (int64_t i = 0; i < n; ++i) sum_sq += static_cast<double>(p[i]) * p[i];
   return std::sqrt(sum_sq);
 }
 
 bool Tensor::AllFinite() const {
-  return std::all_of(data_.begin(), data_.end(),
+  return std::all_of(data_.data(), data_.data() + size(),
                      [](float v) { return std::isfinite(v); });
 }
 

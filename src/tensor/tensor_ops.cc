@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/check.h"
+#include "util/compiler.h"
 #include "util/thread_pool.h"
 
 namespace gaia {
@@ -30,8 +32,8 @@ void ParallelRows(int64_t rows, int64_t work_per_row, const Body& body) {
 template <typename Fn>
 Tensor Map(const Tensor& a, Fn fn) {
   Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.data();
+  const float* GAIA_RESTRICT pa = a.data();
+  float* GAIA_RESTRICT po = out.data();
   ParallelRows(a.size(), 1, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) po[i] = fn(pa[i]);
   });
@@ -44,9 +46,183 @@ int64_t PadLeft(int64_t kernel_size, PadMode mode, int64_t dilation) {
   return mode == PadMode::kCausal ? span : span / 2;
 }
 
+// ---------------------------------------------------------------------------
+// Packed GEMM (design notes in docs/PERFORMANCE.md)
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kMR = 8;    ///< micro-tile rows (A panel width)
+constexpr int64_t kNR = 8;    ///< micro-tile cols (B panel width)
+constexpr int64_t kKC = 128;  ///< k-dimension cache block (panel depth)
+constexpr int64_t kMC = 128;  ///< row cache block; one parallel task each
+
+/// Dispatch floor: below this m*k*n (or with a thin k/n), packing overhead
+/// beats the cache win and MatMul stays on the naive kernel — which also
+/// keeps the golden tests' small matrices on their historical code path.
+/// Measured on an AVX2 host: packed/naive crossover is below 32^3 for
+/// square-ish shapes (32^3 ratio 1.85x, 48^3 2.1x, 64^3 2.0x) but thin
+/// operands (k or n < 16) waste most of each 8-wide panel, so they stay
+/// naive regardless of volume.
+constexpr int64_t kPackedMinWork = int64_t{1} << 15;
+constexpr int64_t kPackedMinDim = 16;
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// Thread-local packing scratch, reused across calls. B is packed once per
+/// call by the calling thread (workers read it in place — ParallelForRange
+/// blocks, so the buffer outlives them); each worker packs A tiles into its
+/// own scratch.
+thread_local std::vector<float> tl_pack_a;
+thread_local std::vector<float> tl_pack_b;
+
+/// Packs all of B [k, n] into panel-major form: for each KC block of rows,
+/// for each NR-panel of columns, `kc` rows of kNR contiguous values,
+/// zero-padded on the right edge. The panel for (k0, j0) starts at
+/// k0 * padded_n + (j0 / kNR) * kc * kNR.
+void PackB(const float* GAIA_RESTRICT b, int64_t k, int64_t n,
+           float* GAIA_RESTRICT out) {
+  int64_t offset = 0;
+  for (int64_t k0 = 0; k0 < k; k0 += kKC) {
+    const int64_t kc = std::min(kKC, k - k0);
+    for (int64_t j0 = 0; j0 < n; j0 += kNR) {
+      const int64_t nr = std::min(kNR, n - j0);
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        const float* GAIA_RESTRICT row = b + (k0 + kk) * n + j0;
+        float* GAIA_RESTRICT dst = out + offset + kk * kNR;
+        for (int64_t j = 0; j < nr; ++j) dst[j] = row[j];
+        for (int64_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+      }
+      offset += kc * kNR;
+    }
+  }
+}
+
+/// Packs the A block rows [i0, i0+mc) x cols [k0, k0+kc) into MR-row panels,
+/// k-major within a panel (out[panel][kk][row]), zero-padding the bottom
+/// edge. Strided column loads happen once here; the micro-kernel then reads
+/// A purely sequentially.
+void PackA(const float* GAIA_RESTRICT a, int64_t lda, int64_t i0, int64_t mc,
+           int64_t k0, int64_t kc, float* GAIA_RESTRICT out) {
+  int64_t offset = 0;
+  for (int64_t r0 = 0; r0 < mc; r0 += kMR) {
+    const int64_t mr = std::min(kMR, mc - r0);
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      const float* GAIA_RESTRICT col = a + (i0 + r0) * lda + (k0 + kk);
+      float* GAIA_RESTRICT dst = out + offset + kk * kMR;
+      for (int64_t rr = 0; rr < mr; ++rr) dst[rr] = col[rr * lda];
+      for (int64_t rr = mr; rr < kMR; ++rr) dst[rr] = 0.0f;
+    }
+    offset += kc * kMR;
+  }
+}
+
+/// 8x8 register-tiled micro-kernel: C += Ap * Bp over `kc` packed k-steps.
+/// The C tile is loaded into registers, accumulated with k ascending, and
+/// stored once — per element that is the chain ((c + a0*b0) + a1*b1) + ...,
+/// exactly the naive kernel's per-element order, so packed and naive agree
+/// bitwise on finite inputs (this file builds with -ffp-contract=off so FMA
+/// contraction cannot perturb either side). All vector arithmetic is
+/// lane-wise — no horizontal ops, no reassociation.
+///
+/// The accumulators are eight named GCC vector-extension values rather than
+/// a float[8][8]: GCC does not reliably scalarize the 2-D array into
+/// registers, and a spilled C tile costs 2x over the naive kernel. An
+/// 8-lane vector op lowers to one YMM instruction under -mavx2 and to two
+/// XMM instructions on baseline x86-64, with identical per-lane results.
+#if defined(__GNUC__) || defined(__clang__)
+#define GAIA_GEMM_VECTOR_KERNEL 1
+typedef float Vec8 __attribute__((vector_size(32)));
+
+GAIA_ALWAYS_INLINE Vec8 Load8(const float* GAIA_RESTRICT p) {
+  Vec8 v;
+  __builtin_memcpy(&v, p, sizeof(v));  // unaligned-safe
+  return v;
+}
+
+GAIA_ALWAYS_INLINE void Store8(float* GAIA_RESTRICT p, Vec8 v) {
+  __builtin_memcpy(p, &v, sizeof(v));
+}
+
+GAIA_ALWAYS_INLINE void MicroKernelFull(int64_t kc,
+                                        const float* GAIA_RESTRICT ap,
+                                        const float* GAIA_RESTRICT bp,
+                                        float* GAIA_RESTRICT c, int64_t ldc) {
+  Vec8 acc0 = Load8(c + 0 * ldc), acc1 = Load8(c + 1 * ldc);
+  Vec8 acc2 = Load8(c + 2 * ldc), acc3 = Load8(c + 3 * ldc);
+  Vec8 acc4 = Load8(c + 4 * ldc), acc5 = Load8(c + 5 * ldc);
+  Vec8 acc6 = Load8(c + 6 * ldc), acc7 = Load8(c + 7 * ldc);
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* GAIA_RESTRICT a_col = ap + kk * kMR;
+    const Vec8 b = Load8(bp + kk * kNR);
+    // `vector + scalar` broadcasts the scalar across lanes.
+    acc0 += (Vec8{} + a_col[0]) * b;
+    acc1 += (Vec8{} + a_col[1]) * b;
+    acc2 += (Vec8{} + a_col[2]) * b;
+    acc3 += (Vec8{} + a_col[3]) * b;
+    acc4 += (Vec8{} + a_col[4]) * b;
+    acc5 += (Vec8{} + a_col[5]) * b;
+    acc6 += (Vec8{} + a_col[6]) * b;
+    acc7 += (Vec8{} + a_col[7]) * b;
+  }
+  Store8(c + 0 * ldc, acc0);
+  Store8(c + 1 * ldc, acc1);
+  Store8(c + 2 * ldc, acc2);
+  Store8(c + 3 * ldc, acc3);
+  Store8(c + 4 * ldc, acc4);
+  Store8(c + 5 * ldc, acc5);
+  Store8(c + 6 * ldc, acc6);
+  Store8(c + 7 * ldc, acc7);
+}
+#else
+// Portable fallback; same per-element accumulation chain.
+GAIA_ALWAYS_INLINE void MicroKernelFull(int64_t kc,
+                                        const float* GAIA_RESTRICT ap,
+                                        const float* GAIA_RESTRICT bp,
+                                        float* GAIA_RESTRICT c, int64_t ldc) {
+  float acc[kMR][kNR];
+  for (int64_t r = 0; r < kMR; ++r) {
+    for (int64_t j = 0; j < kNR; ++j) acc[r][j] = c[r * ldc + j];
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* GAIA_RESTRICT a_col = ap + kk * kMR;
+    const float* GAIA_RESTRICT b_row = bp + kk * kNR;
+    for (int64_t r = 0; r < kMR; ++r) {
+      const float a_val = a_col[r];
+      for (int64_t j = 0; j < kNR; ++j) acc[r][j] += a_val * b_row[j];
+    }
+  }
+  for (int64_t r = 0; r < kMR; ++r) {
+    for (int64_t j = 0; j < kNR; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+#endif
+
+/// Edge-tile variant: runs the same constant-bound accumulation over the
+/// zero-padded panels (padded lanes accumulate zeros and are never stored),
+/// loading/storing only the valid mr x nr sub-tile. Valid elements see the
+/// identical chain as MicroKernelFull.
+void MicroKernelEdge(int64_t kc, const float* GAIA_RESTRICT ap,
+                     const float* GAIA_RESTRICT bp, float* GAIA_RESTRICT c,
+                     int64_t ldc, int64_t mr, int64_t nr) {
+  float acc[kMR][kNR] = {};
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) acc[r][j] = c[r * ldc + j];
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* GAIA_RESTRICT a_col = ap + kk * kMR;
+    const float* GAIA_RESTRICT b_row = bp + kk * kNR;
+    for (int64_t r = 0; r < kMR; ++r) {
+      const float a_val = a_col[r];
+      for (int64_t j = 0; j < kNR; ++j) acc[r][j] += a_val * b_row[j];
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
 }  // namespace
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+Tensor MatMulNaive(const Tensor& a, const Tensor& b) {
   GAIA_CHECK_EQ(a.ndim(), 2);
   GAIA_CHECK_EQ(b.ndim(), 2);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
@@ -61,13 +237,84 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       for (int64_t p = 0; p < k; ++p) {
         const float aip = pa[i * k + p];
         if (aip == 0.0f) continue;
-        const float* brow = pb + p * n;
-        float* orow = po + i * n;
+        const float* GAIA_RESTRICT brow = pb + p * n;
+        float* GAIA_RESTRICT orow = po + i * n;
         for (int64_t j = 0; j < n; ++j) orow[j] += aip * brow[j];
       }
     }
   });
   return out;
+}
+
+Tensor MatMulPacked(const Tensor& a, const Tensor& b) {
+  GAIA_CHECK_EQ(a.ndim(), 2);
+  GAIA_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  GAIA_CHECK_EQ(k, b.dim(0)) << "MatMul " << a.ShapeString() << " x "
+                             << b.ShapeString();
+  Tensor out({m, n});
+  if (m == 0 || n == 0 || k == 0) return out;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+
+  const int64_t padded_n = CeilDiv(n, kNR) * kNR;
+  std::vector<float>& bpack = tl_pack_b;
+  if (static_cast<int64_t>(bpack.size()) < k * padded_n) {
+    bpack.resize(static_cast<size_t>(k * padded_n));
+  }
+  PackB(pb, k, n, bpack.data());
+  const float* bp_base = bpack.data();
+
+  // One task per MC row block. Block boundaries depend on shape only and
+  // each output element is written by exactly one task, so the result is
+  // identical at any thread count.
+  const int64_t row_blocks = CeilDiv(m, kMC);
+  util::ParallelForRange(
+      row_blocks, 1, [&](int64_t blk_begin, int64_t blk_end) {
+        std::vector<float>& apack = tl_pack_a;
+        if (static_cast<int64_t>(apack.size()) < kMC * kKC) {
+          apack.resize(static_cast<size_t>(kMC * kKC));
+        }
+        for (int64_t blk = blk_begin; blk < blk_end; ++blk) {
+          const int64_t i0 = blk * kMC;
+          const int64_t mc = std::min(kMC, m - i0);
+          for (int64_t k0 = 0; k0 < k; k0 += kKC) {
+            const int64_t kc = std::min(kKC, k - k0);
+            PackA(pa, k, i0, mc, k0, kc, apack.data());
+            const float* bp_block = bp_base + k0 * padded_n;
+            for (int64_t j0 = 0; j0 < n; j0 += kNR) {
+              const int64_t nr = std::min(kNR, n - j0);
+              const float* bp = bp_block + (j0 / kNR) * (kc * kNR);
+              for (int64_t r0 = 0; r0 < mc; r0 += kMR) {
+                const int64_t mr = std::min(kMR, mc - r0);
+                const float* ap = apack.data() + (r0 / kMR) * (kc * kMR);
+                float* c = po + (i0 + r0) * n + j0;
+                if (mr == kMR && nr == kNR) {
+                  MicroKernelFull(kc, ap, bp, c, n);
+                } else {
+                  MicroKernelEdge(kc, ap, bp, c, n, mr, nr);
+                }
+              }
+            }
+          }
+        }
+      });
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  GAIA_CHECK_EQ(a.ndim(), 2);
+  GAIA_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  GAIA_CHECK_EQ(k, b.dim(0)) << "MatMul " << a.ShapeString() << " x "
+                             << b.ShapeString();
+  // Shape-only dispatch: results at a given shape never depend on thread
+  // count or any runtime state.
+  if (k >= kPackedMinDim && n >= kPackedMinDim && m * k * n >= kPackedMinWork) {
+    return MatMulPacked(a, b);
+  }
+  return MatMulNaive(a, b);
 }
 
 Tensor MatVec(const Tensor& a, const Tensor& x) {
@@ -146,11 +393,13 @@ Tensor SoftmaxRows(const Tensor& logits) {
   GAIA_CHECK_EQ(logits.ndim(), 2);
   const int64_t rows = logits.dim(0), cols = logits.dim(1);
   Tensor out({rows, cols});
+  const float* GAIA_RESTRICT pin = logits.data();
+  float* GAIA_RESTRICT pout = out.data();
   // exp dominates the per-row cost; weight it when sizing parallel chunks.
   ParallelRows(rows, cols * 8, [&](int64_t row_begin, int64_t row_end) {
     for (int64_t i = row_begin; i < row_end; ++i) {
-      const float* in = logits.data() + i * cols;
-      float* po = out.data() + i * cols;
+      const float* GAIA_RESTRICT in = pin + i * cols;
+      float* GAIA_RESTRICT po = pout + i * cols;
       float row_max = kMaskNegInf;
       for (int64_t j = 0; j < cols; ++j) row_max = std::max(row_max, in[j]);
       if (row_max <= kMaskNegInf) continue;  // fully masked row -> zeros
@@ -161,6 +410,7 @@ Tensor SoftmaxRows(const Tensor& logits) {
         denom += e;
       }
       const float inv = static_cast<float>(1.0 / denom);
+      // Stride-1 scale; vectorizes lane-wise (no reassociation involved).
       for (int64_t j = 0; j < cols; ++j) po[j] *= inv;
     }
   });
@@ -173,9 +423,9 @@ Tensor SoftmaxRowsBackward(const Tensor& y, const Tensor& dy) {
   const int64_t rows = y.dim(0), cols = y.dim(1);
   Tensor dx({rows, cols});
   for (int64_t i = 0; i < rows; ++i) {
-    const float* py = y.data() + i * cols;
-    const float* pdy = dy.data() + i * cols;
-    float* pdx = dx.data() + i * cols;
+    const float* GAIA_RESTRICT py = y.data() + i * cols;
+    const float* GAIA_RESTRICT pdy = dy.data() + i * cols;
+    float* GAIA_RESTRICT pdx = dx.data() + i * cols;
     double inner = 0.0;
     for (int64_t j = 0; j < cols; ++j) inner += static_cast<double>(py[j]) * pdy[j];
     for (int64_t j = 0; j < cols; ++j) {
@@ -298,40 +548,96 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t len) {
   return out;
 }
 
+namespace {
+
+/// Shared Conv1d body; shape validity established by the caller (Conv1d via
+/// GAIA_CHECK, Conv1dChecked via Status). Per output position t the valid
+/// kernel-tap window [k_lo, k_hi) is hoisted out of the (o, k) loops — the
+/// old kernel re-derived s = t + k*dilation - left and bounds-checked it
+/// c_out * kernel times per position. The surviving taps run in the same
+/// ascending (k, c) order with the same float-multiply/double-accumulate
+/// expression, so outputs are bitwise unchanged.
+Tensor Conv1dImpl(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                  PadMode mode, int64_t dilation) {
+  const int64_t t_len = input.dim(0), c_in = input.dim(1);
+  const int64_t c_out = weight.dim(0), kernel = weight.dim(1);
+  const bool has_bias = !bias.empty();
+  const int64_t left = PadLeft(kernel, mode, dilation);
+  Tensor out({t_len, c_out});
+  const float* GAIA_RESTRICT pin = input.data();
+  const float* GAIA_RESTRICT pw = weight.data();
+  float* GAIA_RESTRICT po = out.data();
+  ParallelRows(t_len, c_out * kernel * c_in,
+               [&](int64_t t_begin, int64_t t_end) {
+    for (int64_t t = t_begin; t < t_end; ++t) {
+      const int64_t k_lo =
+          left > t ? (left - t + dilation - 1) / dilation : 0;
+      const int64_t k_hi =
+          std::min(kernel, (t_len - 1 - t + left) / dilation + 1);
+      const int64_t s0 = t + k_lo * dilation - left;
+      for (int64_t o = 0; o < c_out; ++o) {
+        double acc = has_bias ? bias.at(o) : 0.0;
+        int64_t s = s0;
+        for (int64_t k = k_lo; k < k_hi; ++k, s += dilation) {
+          const float* GAIA_RESTRICT in_row = pin + s * c_in;
+          const float* GAIA_RESTRICT w_row = pw + (o * kernel + k) * c_in;
+          for (int64_t c = 0; c < c_in; ++c) acc += in_row[c] * w_row[c];
+        }
+        po[t * c_out + o] = static_cast<float>(acc);
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
 Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               PadMode mode, int64_t dilation) {
   GAIA_CHECK_EQ(input.ndim(), 2);
   GAIA_CHECK_EQ(weight.ndim(), 3);
   GAIA_CHECK_GE(dilation, 1);
-  const int64_t t_len = input.dim(0), c_in = input.dim(1);
-  const int64_t c_out = weight.dim(0), kernel = weight.dim(1);
-  GAIA_CHECK_EQ(weight.dim(2), c_in)
+  GAIA_CHECK_EQ(weight.dim(2), input.dim(1))
       << "Conv1d channel mismatch: input " << input.ShapeString()
       << " weight " << weight.ShapeString();
-  const bool has_bias = !bias.empty();
-  if (has_bias) {
+  if (!bias.empty()) {
     GAIA_CHECK_EQ(bias.ndim(), 1);
-    GAIA_CHECK_EQ(bias.dim(0), c_out);
+    GAIA_CHECK_EQ(bias.dim(0), weight.dim(0));
   }
-  const int64_t left = PadLeft(kernel, mode, dilation);
-  Tensor out({t_len, c_out});
-  ParallelRows(t_len, c_out * kernel * c_in,
-               [&](int64_t t_begin, int64_t t_end) {
-    for (int64_t t = t_begin; t < t_end; ++t) {
-      for (int64_t o = 0; o < c_out; ++o) {
-        double acc = has_bias ? bias.at(o) : 0.0;
-        for (int64_t k = 0; k < kernel; ++k) {
-          const int64_t s = t + k * dilation - left;
-          if (s < 0 || s >= t_len) continue;
-          const float* in_row = input.data() + s * c_in;
-          const float* w_row = weight.data() + (o * kernel + k) * c_in;
-          for (int64_t c = 0; c < c_in; ++c) acc += in_row[c] * w_row[c];
-        }
-        out.at(t, o) = static_cast<float>(acc);
-      }
-    }
-  });
-  return out;
+  return Conv1dImpl(input, weight, bias, mode, dilation);
+}
+
+Result<Tensor> Conv1dChecked(const Tensor& input, const Tensor& weight,
+                             const Tensor& bias, PadMode mode,
+                             int64_t dilation) {
+  if (input.ndim() != 2) {
+    return Status::InvalidArgument("Conv1d: input must be [T, Cin], got " +
+                                   input.ShapeString());
+  }
+  if (weight.ndim() != 3) {
+    return Status::InvalidArgument(
+        "Conv1d: weight must be [Cout, K, Cin], got " + weight.ShapeString());
+  }
+  if (dilation < 1) {
+    return Status::InvalidArgument("Conv1d: dilation must be >= 1, got " +
+                                   std::to_string(dilation));
+  }
+  if (weight.dim(0) < 1 || weight.dim(1) < 1) {
+    return Status::InvalidArgument("Conv1d: degenerate weight shape " +
+                                   weight.ShapeString());
+  }
+  if (weight.dim(2) != input.dim(1)) {
+    return Status::InvalidArgument("Conv1d: channel mismatch, input " +
+                                   input.ShapeString() + " vs weight " +
+                                   weight.ShapeString());
+  }
+  if (!bias.empty() &&
+      (bias.ndim() != 1 || bias.dim(0) != weight.dim(0))) {
+    return Status::InvalidArgument("Conv1d: bias must be [Cout], got " +
+                                   bias.ShapeString() + " for weight " +
+                                   weight.ShapeString());
+  }
+  return Conv1dImpl(input, weight, bias, mode, dilation);
 }
 
 Tensor Conv1dBackwardInput(const Tensor& grad_out, const Tensor& weight,
@@ -345,14 +651,21 @@ Tensor Conv1dBackwardInput(const Tensor& grad_out, const Tensor& weight,
   const int64_t left = PadLeft(kernel, mode, dilation);
   Tensor grad_in({input_len, c_in});
   for (int64_t t = 0; t < t_len; ++t) {
+    // Same hoisted tap window as the forward kernel; surviving (o, k, c)
+    // iterations run in the original order, so gradients are bitwise
+    // unchanged.
+    const int64_t k_lo = left > t ? (left - t + dilation - 1) / dilation : 0;
+    const int64_t k_hi =
+        std::min(kernel, (input_len - 1 - t + left) / dilation + 1);
+    const int64_t s0 = t + k_lo * dilation - left;
     for (int64_t o = 0; o < c_out; ++o) {
       const float g = grad_out.at(t, o);
       if (g == 0.0f) continue;
-      for (int64_t k = 0; k < kernel; ++k) {
-        const int64_t s = t + k * dilation - left;
-        if (s < 0 || s >= input_len) continue;
-        float* gi_row = grad_in.data() + s * c_in;
-        const float* w_row = weight.data() + (o * kernel + k) * c_in;
+      int64_t s = s0;
+      for (int64_t k = k_lo; k < k_hi; ++k, s += dilation) {
+        float* GAIA_RESTRICT gi_row = grad_in.data() + s * c_in;
+        const float* GAIA_RESTRICT w_row =
+            weight.data() + (o * kernel + k) * c_in;
         for (int64_t c = 0; c < c_in; ++c) gi_row[c] += g * w_row[c];
       }
     }
@@ -371,14 +684,18 @@ Tensor Conv1dBackwardWeight(const Tensor& grad_out, const Tensor& input,
   const int64_t left = PadLeft(kernel_size, mode, dilation);
   Tensor grad_w({c_out, kernel_size, c_in});
   for (int64_t t = 0; t < t_len; ++t) {
+    const int64_t k_lo = left > t ? (left - t + dilation - 1) / dilation : 0;
+    const int64_t k_hi =
+        std::min(kernel_size, (t_len - 1 - t + left) / dilation + 1);
+    const int64_t s0 = t + k_lo * dilation - left;
     for (int64_t o = 0; o < c_out; ++o) {
       const float g = grad_out.at(t, o);
       if (g == 0.0f) continue;
-      for (int64_t k = 0; k < kernel_size; ++k) {
-        const int64_t s = t + k * dilation - left;
-        if (s < 0 || s >= t_len) continue;
-        const float* in_row = input.data() + s * c_in;
-        float* gw_row = grad_w.data() + (o * kernel_size + k) * c_in;
+      int64_t s = s0;
+      for (int64_t k = k_lo; k < k_hi; ++k, s += dilation) {
+        const float* GAIA_RESTRICT in_row = input.data() + s * c_in;
+        float* GAIA_RESTRICT gw_row =
+            grad_w.data() + (o * kernel_size + k) * c_in;
         for (int64_t c = 0; c < c_in; ++c) gw_row[c] += g * in_row[c];
       }
     }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace gaia {
 
@@ -16,7 +17,26 @@ inline constexpr float kMaskNegInf = -1e9f;
 // ---------------------------------------------------------------------------
 
 /// Matrix product of a [m,k] and b [k,n] -> [m,n].
+///
+/// Dispatches by shape alone (so results are identical at every thread
+/// count): large-enough products run the cache-blocked packed kernel,
+/// small ones the row-streaming naive kernel. See docs/PERFORMANCE.md for
+/// the blocking design and why the two kernels agree bitwise on finite
+/// inputs.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// The row-streaming reference kernel (pre-blocking implementation). Public
+/// so the packed-vs-naive equivalence property test and the bench suite can
+/// pin the packed kernel against it; model code should call MatMul.
+Tensor MatMulNaive(const Tensor& a, const Tensor& b);
+
+/// The cache-blocked, register-tiled kernel: packs A into MR-row panels and
+/// B into NR-column panels once per call, then drives an 8x8 micro-kernel
+/// whose per-element accumulation order is exactly the naive kernel's
+/// ascending-k chain — so packed and naive agree bitwise on finite inputs,
+/// at any thread count. Parallelism is ParallelForRange over row blocks;
+/// chunk boundaries depend on shape only.
+Tensor MatMulPacked(const Tensor& a, const Tensor& b);
 
 /// Matrix-vector product of a [m,n] and x [n] -> [m].
 Tensor MatVec(const Tensor& a, const Tensor& x);
@@ -104,6 +124,16 @@ enum class PadMode { kSame, kCausal };
 /// fields). Output length always equals input length.
 Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               PadMode mode, int64_t dilation = 1);
+
+/// Validated Conv1d: returns kInvalidArgument on any shape mismatch
+/// (rank, channel count, bias length, non-positive kernel/dilation) instead
+/// of aborting — the single source of truth for Conv1d shape rules (the
+/// checked autograd path routes through it, so a mismatched weight can
+/// never silently drop taps or truncate the output). On success the output
+/// is exactly Conv1d's.
+Result<Tensor> Conv1dChecked(const Tensor& input, const Tensor& weight,
+                             const Tensor& bias, PadMode mode,
+                             int64_t dilation = 1);
 
 /// Gradient of Conv1d w.r.t. its input.
 Tensor Conv1dBackwardInput(const Tensor& grad_out, const Tensor& weight,

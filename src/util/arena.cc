@@ -1,0 +1,308 @@
+#include "util/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace gaia::util {
+
+namespace {
+
+/// Every buffer carries a 64-byte header so Release can tell how it was
+/// allocated (arena size-class vs exact-size heap) without any side table,
+/// and so the payload stays 64-byte aligned for the vectorized kernels.
+constexpr uint64_t kArenaMagic = 0xA13ACAFEF00D0001ull;
+constexpr uint64_t kPlainMagic = 0xA13ACAFEF00D0002ull;
+constexpr size_t kHeaderBytes = 64;
+
+struct alignas(64) Header {
+  uint64_t magic;
+  int64_t payload_bytes;  ///< capacity (class-rounded for arena buffers)
+};
+static_assert(sizeof(Header) <= kHeaderBytes, "header must fit its slot");
+
+/// Size classes: powers of two from 256 B (64 floats) to 2 GiB. Anything
+/// larger bypasses the cache — at that size the memset dominates the malloc
+/// anyway.
+constexpr int64_t kMinClassBytes = 256;
+constexpr int kNumClasses = 24;
+constexpr int64_t kMaxClassBytes = kMinClassBytes << (kNumClasses - 1);
+
+int ClassIndex(int64_t bytes) {
+  int idx = 0;
+  int64_t cap = kMinClassBytes;
+  while (cap < bytes) {
+    cap <<= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+int64_t ClassCapacity(int idx) { return kMinClassBytes << idx; }
+
+/// Arena instruments. Resolved once; references are stable for the
+/// registry's lifetime. gaia_alloc_* moved here from tensor.cc: they now
+/// count buffers that actually hit the system heap, so "arena working"
+/// reads directly as those counters flatlining per request.
+struct ArenaMetrics {
+  obs::Counter& heap_tensors = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_alloc_tensors_total",
+      "Tensor buffers allocated from the system heap (arena hits excluded)");
+  obs::Counter& heap_bytes = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_alloc_bytes_total",
+      "Bytes allocated from the system heap for tensor buffers");
+  obs::Counter& reuse = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_arena_reuse_total",
+      "Tensor allocations served from a thread-local arena cache");
+  obs::Gauge& in_use = obs::MetricsRegistry::Global().GetGauge(
+      "gaia_arena_bytes_in_use",
+      "Arena-class bytes currently lent out to live tensors");
+  obs::Gauge& high_water = obs::MetricsRegistry::Global().GetGauge(
+      "gaia_arena_high_water",
+      "Maximum of gaia_arena_bytes_in_use over the process lifetime");
+  static ArenaMetrics& Get() {
+    static ArenaMetrics* metrics = new ArenaMetrics();
+    return *metrics;
+  }
+};
+
+std::atomic<bool> g_enabled{TensorArena::ParseEnabled(
+    std::getenv("GAIA_ARENA"))};
+
+int64_t CapBytes() {
+  static const int64_t cap = [] {
+    const char* value = std::getenv("GAIA_ARENA_CAP_MB");
+    if (value == nullptr || *value == '\0') return int64_t{256} << 20;
+    const long long mb = std::atoll(value);
+    return mb > 0 ? int64_t{mb} << 20 : int64_t{256} << 20;
+  }();
+  return cap;
+}
+
+float* Payload(Header* header) {
+  return reinterpret_cast<float*>(reinterpret_cast<char*>(header) +
+                                  kHeaderBytes);
+}
+
+Header* HeaderOf(float* payload) {
+  return reinterpret_cast<Header*>(reinterpret_cast<char*>(payload) -
+                                   kHeaderBytes);
+}
+
+Header* RawAllocate(int64_t payload_bytes, uint64_t magic) {
+  void* raw = ::operator new(kHeaderBytes + static_cast<size_t>(payload_bytes),
+                             std::align_val_t{64});
+  Header* header = static_cast<Header*>(raw);
+  header->magic = magic;
+  header->payload_bytes = payload_bytes;
+  return header;
+}
+
+void RawFree(Header* header) {
+  ::operator delete(static_cast<void*>(header), std::align_val_t{64});
+}
+
+/// The per-thread cache. Lives as a function-local thread_local so it is
+/// constructed on first use and destroyed at thread exit; the POD
+/// `tl_cache_dead` flag outlives it (trivially destructible), letting
+/// static-destruction stragglers detect the dead cache and fall back to a
+/// plain heap free instead of touching a destroyed object.
+thread_local bool tl_cache_dead = false;
+
+struct ThreadCache {
+  std::vector<void*> free_lists[kNumClasses];
+  TensorArena::ThreadStats stats;
+  int scope_depth = 0;
+
+  ~ThreadCache() {
+    TrimLists();
+    tl_cache_dead = true;
+  }
+
+  void TrimLists() {
+    for (auto& list : free_lists) {
+      for (void* entry : list) RawFree(static_cast<Header*>(entry));
+      list.clear();
+    }
+    stats.cached_bytes = 0;
+  }
+};
+
+ThreadCache* Cache() {
+  if (tl_cache_dead) return nullptr;
+  thread_local ThreadCache cache;
+  return &cache;
+}
+
+void CountHeapAlloc(int64_t bytes) {
+  if (obs::Enabled()) {
+    ArenaMetrics& metrics = ArenaMetrics::Get();
+    metrics.heap_tensors.Increment();
+    metrics.heap_bytes.Increment(static_cast<uint64_t>(bytes));
+  }
+}
+
+float* AllocateImpl(int64_t n, bool zero) {
+  if (n <= 0) return nullptr;
+  const int64_t bytes = n * static_cast<int64_t>(sizeof(float));
+  ThreadCache* cache = Cache();
+  const bool use_arena = bytes <= kMaxClassBytes && cache != nullptr &&
+                         cache->scope_depth > 0 &&
+                         g_enabled.load(std::memory_order_relaxed);
+  if (use_arena) {
+    const int cls = ClassIndex(bytes);
+    std::vector<void*>& list = cache->free_lists[cls];
+    Header* header;
+    if (!list.empty()) {
+      header = static_cast<Header*>(list.back());
+      list.pop_back();
+      cache->stats.cached_bytes -= header->payload_bytes;
+      ++cache->stats.reuse_count;
+      if (obs::Enabled()) ArenaMetrics::Get().reuse.Increment();
+    } else {
+      header = RawAllocate(ClassCapacity(cls), kArenaMagic);
+      ++cache->stats.heap_allocs;
+      CountHeapAlloc(header->payload_bytes);
+    }
+    cache->stats.live_bytes += header->payload_bytes;
+    if (cache->stats.live_bytes > cache->stats.high_water_bytes) {
+      cache->stats.high_water_bytes = cache->stats.live_bytes;
+    }
+    if (obs::Enabled()) {
+      ArenaMetrics& metrics = ArenaMetrics::Get();
+      metrics.in_use.Add(static_cast<double>(header->payload_bytes));
+      metrics.high_water.Max(metrics.in_use.value());
+    }
+    float* payload = Payload(header);
+    // Zero only the requested span: callers never read past `n`, and the
+    // class-rounded tail would be wasted bandwidth.
+    if (zero) std::memset(payload, 0, static_cast<size_t>(bytes));
+    return payload;
+  }
+  Header* header = RawAllocate(bytes, kPlainMagic);
+  if (cache != nullptr) ++cache->stats.heap_allocs;
+  CountHeapAlloc(bytes);
+  float* payload = Payload(header);
+  if (zero) std::memset(payload, 0, static_cast<size_t>(bytes));
+  return payload;
+}
+
+}  // namespace
+
+float* TensorArena::Allocate(int64_t n) { return AllocateImpl(n, true); }
+
+float* TensorArena::AllocateUninitialized(int64_t n) {
+  return AllocateImpl(n, false);
+}
+
+void TensorArena::Release(float* ptr) {
+  if (ptr == nullptr) return;
+  Header* header = HeaderOf(ptr);
+  GAIA_CHECK(header->magic == kArenaMagic || header->magic == kPlainMagic)
+      << "TensorArena::Release: pointer was not allocated by the arena";
+  if (header->magic == kArenaMagic) {
+    const int64_t bytes = header->payload_bytes;
+    if (obs::Enabled()) {
+      ArenaMetrics::Get().in_use.Add(-static_cast<double>(bytes));
+    }
+    ThreadCache* cache = Cache();
+    if (cache != nullptr) {
+      cache->stats.live_bytes -= bytes;
+      if (g_enabled.load(std::memory_order_relaxed) &&
+          cache->stats.cached_bytes + bytes <= CapBytes()) {
+        cache->free_lists[ClassIndex(bytes)].push_back(
+            static_cast<void*>(header));
+        cache->stats.cached_bytes += bytes;
+        return;
+      }
+    }
+  }
+  RawFree(header);
+}
+
+bool TensorArena::Enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void TensorArena::SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TensorArena::ScopeActive() {
+  ThreadCache* cache = Cache();
+  return cache != nullptr && cache->scope_depth > 0;
+}
+
+TensorArena::ThreadStats TensorArena::Stats() {
+  ThreadCache* cache = Cache();
+  return cache != nullptr ? cache->stats : ThreadStats{};
+}
+
+void TensorArena::Trim() {
+  ThreadCache* cache = Cache();
+  if (cache != nullptr) cache->TrimLists();
+}
+
+bool TensorArena::ParseEnabled(const char* value) {
+  if (value == nullptr || *value == '\0') return true;
+  const std::string_view v(value);
+  return !(v == "0" || v == "off" || v == "OFF" || v == "false" ||
+           v == "FALSE" || v == "no");
+}
+
+ArenaScope::ArenaScope() {
+  ThreadCache* cache = Cache();
+  if (cache != nullptr) ++cache->scope_depth;
+}
+
+ArenaScope::~ArenaScope() {
+  ThreadCache* cache = Cache();
+  if (cache != nullptr) --cache->scope_depth;
+}
+
+FloatBuffer::FloatBuffer(int64_t n, const float* src)
+    : data_(TensorArena::AllocateUninitialized(n)), size_(n) {
+  if (n > 0) std::memcpy(data_, src, static_cast<size_t>(n) * sizeof(float));
+}
+
+FloatBuffer::FloatBuffer(const FloatBuffer& other)
+    : FloatBuffer(other.size_, other.data_) {}
+
+FloatBuffer& FloatBuffer::operator=(const FloatBuffer& other) {
+  if (this == &other) return *this;
+  if (size_ == other.size_) {
+    // Equal-size assignment reuses the allocation: the optimizer's
+    // snapshot/restore and checkpoint-load paths hit this every epoch.
+    if (size_ > 0) {
+      std::memcpy(data_, other.data_,
+                  static_cast<size_t>(size_) * sizeof(float));
+    }
+    return *this;
+  }
+  if (data_ != nullptr) TensorArena::Release(data_);
+  data_ = TensorArena::AllocateUninitialized(other.size_);
+  size_ = other.size_;
+  if (size_ > 0) {
+    std::memcpy(data_, other.data_,
+                static_cast<size_t>(size_) * sizeof(float));
+  }
+  return *this;
+}
+
+FloatBuffer& FloatBuffer::operator=(FloatBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  if (data_ != nullptr) TensorArena::Release(data_);
+  data_ = other.data_;
+  size_ = other.size_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+}  // namespace gaia::util

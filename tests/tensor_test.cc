@@ -66,7 +66,7 @@ TEST(TensorTest, ThreeDimIndexing) {
   Tensor t({2, 3, 4});
   t.at(1, 2, 3) = 9.0f;
   EXPECT_EQ(t.at(1, 2, 3), 9.0f);
-  EXPECT_EQ(t.vec()[static_cast<size_t>(1 * 12 + 2 * 4 + 3)], 9.0f);
+  EXPECT_EQ(t.data()[1 * 12 + 2 * 4 + 3], 9.0f);
 }
 
 TEST(TensorDeathTest, OutOfBoundsAborts) {

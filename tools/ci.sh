@@ -3,8 +3,10 @@
 # running the full suite, an observability pass (same build, GAIA_OBS=1 +
 # metrics_snapshot JSON validation), a robustness pass (fault-injection suite
 # + randomized-seed chaos serve/train and a sharded chaos storm under
-# GAIA_FAULTS), a perf pass (bench/harness small-scale run gated by
-# tools/bench_compare; see docs/BENCHMARKING.md), a sharded-serving pass
+# GAIA_FAULTS), a perf pass (kernel-equivalence tests, then a bench/harness
+# small-scale run gated by tools/bench_compare including the packed-vs-naive
+# MatMul pair check; see docs/BENCHMARKING.md and docs/PERFORMANCE.md), a
+# sharded-serving pass
 # (shard-labelled concurrency tests + multi-shard CLI smoke + throughput
 # scaling check), an ASan+UBSan build running the labelled
 # robust/concurrency/golden/obs/cancel/shard subset, then a TSan build
@@ -105,9 +107,14 @@ if [[ "$job" == "robust" || "$job" == "all" ]]; then
 fi
 
 if [[ "$job" == "perf" || "$job" == "all" ]]; then
-  echo "=== Perf: bench/harness small-scale run + bench_compare gate ==="
+  echo "=== Perf: kernel equivalence + bench/harness run + bench_compare gate ==="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j"$jobs"
+  # Kernel-equivalence leg: before trusting any bench win, prove the packed
+  # MatMul is bitwise-identical to the naive kernel and the arena's
+  # disabled-fallback path is bit-exact (tests/tensor_arena_test, label
+  # perf). A fast wrong kernel must never pass this job.
+  ctest --test-dir build --output-on-failure -L perf -j"$jobs"
   # The comparator gates itself first: verdict logic on synthetic documents.
   tools/bench_compare --self-test
   # Small-scale run of all five measured layers; the artifact stays at the
@@ -128,11 +135,17 @@ EOF
     echo "bench_compare failed to flag a 2x slowdown" >&2
     exit 1
   fi
-  # Cross-machine gate against the checked-in baseline. CI runners differ
-  # a lot from the machine that recorded bench/baselines/small.json, so the
-  # thresholds are deliberately generous: only a >2.5x median blowup fails.
+  # Cross-machine gate against the checked-in baseline, plus the within-run
+  # packed-vs-naive pair: the blocked kernel must beat the naive one in the
+  # same process on the same operands, which holds across machines (unlike
+  # the baseline medians). On >=4-core hosts the blocked kernel also gets
+  # the parallel row-block fan-out, so the bar rises to 1.5x; single-core
+  # runners only have the cache/register win, so the bar is 1.05x.
+  if [[ "$jobs" -ge 4 ]]; then pair_factor=1.5; else pair_factor=1.05; fi
+  echo "kernel pair gate: packed must beat naive by ${pair_factor}x ($jobs cores)"
   tools/bench_compare bench/baselines/small.json BENCH_perf.json \
-    --rel-tol 1.5 --mad-mult 8 --min-ns 500000 --missing-ok
+    --rel-tol 1.5 --mad-mult 8 --min-ns 500000 --missing-ok \
+    --require-faster "tensor.matmul_naive_256:tensor.matmul_packed_256:${pair_factor}"
 fi
 
 if [[ "$job" == "shard" || "$job" == "all" ]]; then
