@@ -1,0 +1,683 @@
+#include "dist/dist_trainer.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <optional>
+
+#include "dist/wire.h"
+#include "nn/module.h"
+#include "obs/obs.h"
+#include "serving/checkpoint_store.h"
+#include "util/fault_injector.h"
+#include "util/stopwatch.h"
+#include "util/subprocess.h"
+
+namespace gaia::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t).count();
+}
+
+/// gaia_dist_* instruments. Unconditional (like the gaia_robust_* family):
+/// supervision events must be countable even at GAIA_OBS=off.
+struct DistMetrics {
+  obs::Counter& workers_spawned;
+  obs::Counter& workers_lost;
+  obs::Counter& spawn_retries;
+  obs::Counter& heartbeats;
+  obs::Counter& heartbeat_timeouts;
+  obs::Counter& ring_frames;
+  obs::Counter& ring_bytes;
+  obs::Counter& rounds;
+  obs::Counter& rounds_skipped;
+  obs::Gauge& live_workers;
+
+  static DistMetrics& Get() {
+    static DistMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new DistMetrics{
+          r.GetCounter("gaia_dist_workers_spawned_total",
+                       "Training worker processes spawned"),
+          r.GetCounter("gaia_dist_workers_lost_total",
+                       "Training workers lost to death or heartbeat timeout"),
+          r.GetCounter("gaia_dist_spawn_retries_total",
+                       "Worker spawn attempts beyond the first"),
+          r.GetCounter("gaia_dist_heartbeats_total",
+                       "Worker heartbeat frames received"),
+          r.GetCounter("gaia_dist_heartbeat_timeouts_total",
+                       "Workers SIGKILLed for missing heartbeats"),
+          r.GetCounter("gaia_dist_ring_frames_total",
+                       "Ring all-reduce frames routed between workers"),
+          r.GetCounter("gaia_dist_ring_bytes_total",
+                       "Ring all-reduce payload bytes routed"),
+          r.GetCounter("gaia_dist_rounds_total",
+                       "Gradient-exchange rounds resolved"),
+          r.GetCounter("gaia_dist_rounds_skipped_total",
+                       "Rounds resolved as skip (fault or worker loss)"),
+          r.GetGauge("gaia_dist_live_workers",
+                     "Currently live training workers"),
+      };
+    }();
+    return *m;
+  }
+};
+
+std::string HexDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// Supervisor-side state for one worker process.
+struct WorkerProc {
+  int rank = -1;
+  pid_t pid = -1;
+  int read_fd = -1;   ///< worker → supervisor
+  int write_fd = -1;  ///< supervisor → worker
+  FrameBuffer inbox;
+  std::deque<std::vector<uint8_t>> outbox;
+  size_t outbox_offset = 0;  ///< bytes of outbox.front() already written
+  bool alive = false;
+  bool hello = false;
+  bool done = false;
+  DoneStats stats;
+  Clock::time_point last_heard;
+  int64_t report_epoch = -1;
+  EpochReport report;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(const DistTrainerConfig& config) : config_(config) {}
+
+  Result<DistTrainResult> Run() {
+    GAIA_OBS_SPAN("dist.fit");
+    // A worker can die while the supervisor is mid-write to it; EPIPE must
+    // surface as an errno, not a process-killing signal.
+    ::signal(SIGPIPE, SIG_IGN);
+    Stopwatch watch;
+    auto result = RunPhases();
+    ShutdownAll();
+    if (result.ok()) result.value().seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+ private:
+  Result<DistTrainResult> RunPhases() {
+    if (config_.num_workers < 1) {
+      return Status::InvalidArgument("num_workers must be >= 1");
+    }
+    Status spawned = SpawnAll();
+    if (!spawned.ok()) return spawned;
+    Status started = AwaitHellosAndStart();
+    if (!started.ok()) return started;
+    Status trained = EventLoop();
+    if (!trained.ok()) return trained;
+    auto checkpoint = SaveCheckpoint();
+    if (!checkpoint.ok()) return checkpoint.status();
+    result_.checkpoint_path = std::move(checkpoint).value();
+
+    const WorkerProc* source = nullptr;
+    for (const WorkerProc& w : workers_) {
+      if (w.alive && w.done) {
+        source = &w;
+        break;
+      }
+    }
+    if (source != nullptr) {
+      result_.epochs_run = source->stats.epochs_run;
+      result_.best_val_loss = source->stats.best_val_loss;
+      result_.final_train_loss = source->stats.final_train_loss;
+    }
+    result_.degraded = result_.workers_lost > 0 ||
+                       result_.workers_started < config_.num_workers;
+    return result_;
+  }
+
+  Status SpawnAll() {
+    GAIA_OBS_SPAN("dist.spawn");
+    workers_.resize(static_cast<size_t>(config_.num_workers));
+    const std::string exec_path = config_.worker_binary.empty()
+                                      ? util::SelfExePath("gaia_cli")
+                                      : config_.worker_binary;
+    for (int rank = 0; rank < config_.num_workers; ++rank) {
+      WorkerProc& w = workers_[static_cast<size_t>(rank)];
+      w.rank = rank;
+      Status status = SpawnOne(&w, exec_path);
+      if (!status.ok()) {
+        std::cerr << "[dist] worker " << rank
+                  << " failed to spawn: " << status.ToString() << "\n";
+        if (LiveCount() + (config_.num_workers - rank - 1) <
+            config_.min_workers) {
+          return Status::Unavailable(
+              "too few workers spawned: " + status.ToString());
+        }
+        continue;  // degrade: train on the workers that did come up
+      }
+      ++result_.workers_started;
+      DistMetrics::Get().workers_spawned.Increment();
+    }
+    if (LiveCount() < config_.min_workers) {
+      return Status::Unavailable("too few workers spawned");
+    }
+    DistMetrics::Get().live_workers.Set(static_cast<double>(LiveCount()));
+    return Status::OK();
+  }
+
+  Status SpawnOne(WorkerProc* w, const std::string& exec_path) {
+    auto to_worker = util::CreatePipe();
+    if (!to_worker.ok()) return to_worker.status();
+    auto to_parent = util::CreatePipe();
+    if (!to_parent.ok()) {
+      util::Pipe p = to_worker.value();
+      util::CloseFd(&p.read_fd);
+      util::CloseFd(&p.write_fd);
+      return to_parent.status();
+    }
+    util::Pipe down = to_worker.value();  // supervisor writes, worker reads
+    util::Pipe up = to_parent.value();    // worker writes, supervisor reads
+
+    util::SpawnSpec spec;
+    spec.argv = WorkerArgvFor(w->rank, down.read_fd, up.write_fd, exec_path);
+    spec.keep_fds = {down.read_fd, up.write_fd};
+
+    util::FaultInjector& faults = util::FaultInjector::Global();
+    util::RetryStats stats;
+    auto spawned = util::RetryResult<pid_t>(
+        config_.spawn_retry,
+        [&]() -> Result<pid_t> {
+          // dist.worker_spawn models fork/exec infrastructure failure;
+          // transient kinds ride the spawn retry ladder.
+          if (auto fault = faults.Sample("dist.worker_spawn")) {
+            return util::FaultStatus(*fault, "dist.worker_spawn");
+          }
+          return util::SpawnProcess(spec);
+        },
+        &stats);
+    if (stats.attempts > 1) {
+      result_.spawn_retries += stats.attempts - 1;
+      DistMetrics::Get().spawn_retries.Increment(
+          static_cast<uint64_t>(stats.attempts - 1));
+    }
+    // The child's ends belong to the child now (or to nobody, on failure).
+    util::CloseFd(&down.read_fd);
+    util::CloseFd(&up.write_fd);
+    if (!spawned.ok()) {
+      util::CloseFd(&down.write_fd);
+      util::CloseFd(&up.read_fd);
+      return spawned.status();
+    }
+    w->pid = spawned.value();
+    w->write_fd = down.write_fd;
+    w->read_fd = up.read_fd;
+    w->alive = true;
+    w->last_heard = Clock::now();
+    Status nb = util::SetNonBlocking(w->read_fd, true);
+    if (nb.ok()) nb = util::SetNonBlocking(w->write_fd, true);
+    if (!nb.ok()) {
+      LoseWorker(w, "fd setup failed");
+      return nb;
+    }
+    return Status::OK();
+  }
+
+  std::vector<std::string> WorkerArgvFor(int rank, int read_fd, int write_fd,
+                                         const std::string& exec_path) {
+    DistTrainerConfig cfg = config_;
+    cfg.worker_binary = exec_path;
+    return WorkerArgv(cfg, rank, read_fd, write_fd);
+  }
+
+  Status AwaitHellosAndStart() {
+    const Clock::time_point begin = Clock::now();
+    for (;;) {
+      PumpOnce(20);
+      ReapDead();
+      bool all = true;
+      for (const WorkerProc& w : workers_) {
+        if (w.alive && !w.hello) all = false;
+      }
+      if (all) break;
+      if (MsSince(begin) > config_.spawn_timeout_ms) {
+        for (WorkerProc& w : workers_) {
+          if (w.alive && !w.hello) LoseWorker(&w, "no hello before deadline");
+        }
+        break;
+      }
+    }
+    if (LiveCount() < config_.min_workers) {
+      return Status::Unavailable("too few workers reached hello");
+    }
+    Frame start;
+    start.type = FrameType::kStart;
+    start.payload = EncodeRanks(LiveRanks());
+    Broadcast(start);
+    return Status::OK();
+  }
+
+  Status EventLoop() {
+    for (;;) {
+      bool all_done = true;
+      for (const WorkerProc& w : workers_) {
+        if (w.alive && !w.done) all_done = false;
+      }
+      if (all_done) break;
+      if (LiveCount() < config_.min_workers || LiveCount() == 0) {
+        return Status::Unavailable(
+            "worker pool fell below min_workers during training");
+      }
+      PumpOnce(20);
+      ReapDead();
+      CheckHeartbeats();
+      MaybeResolveRound();
+    }
+    if (LiveCount() == 0) {
+      return Status::Unavailable("all workers lost");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> SaveCheckpoint() {
+    GAIA_OBS_SPAN("dist.save");
+    Status last = Status::Unavailable("no live worker to save from");
+    for (WorkerProc& w : workers_) {
+      if (!w.alive || !w.done) continue;
+      save_reply_.reset();
+      Frame save;
+      save.type = FrameType::kSave;
+      save.payload.assign(config_.checkpoint_path.begin(),
+                          config_.checkpoint_path.end());
+      QueueFrame(&w, save);
+      const Clock::time_point begin = Clock::now();
+      while (!save_reply_.has_value() && w.alive &&
+             MsSince(begin) <= config_.save_timeout_ms) {
+        PumpOnce(20);
+        ReapDead();
+      }
+      if (!save_reply_.has_value()) {
+        last = Status::Unavailable("worker " + std::to_string(w.rank) +
+                                   " did not acknowledge save");
+        if (w.alive) LoseWorker(&w, "save timeout");
+        continue;
+      }
+      if (save_reply_->arg0 != 1) {
+        last = Status::IoError(
+            "worker " + std::to_string(w.rank) + " save failed: " +
+            std::string(save_reply_->payload.begin(),
+                        save_reply_->payload.end()));
+        continue;
+      }
+      // Trust nothing until the bytes on disk CRC-verify.
+      Status verified = nn::Module::VerifyCheckpoint(config_.checkpoint_path);
+      if (!verified.ok()) {
+        last = verified;
+        continue;
+      }
+      if (!config_.store_dir.empty()) {
+        serving::CheckpointStoreConfig store_cfg;
+        store_cfg.dir = config_.store_dir;
+        serving::CheckpointStore store(store_cfg);
+        Status adopted = store.Adopt(config_.checkpoint_path);
+        if (!adopted.ok()) {
+          last = adopted;
+          continue;
+        }
+      }
+      return config_.checkpoint_path;
+    }
+    return last;
+  }
+
+  // --- event plumbing ---------------------------------------------------
+
+  void PumpOnce(int timeout_ms) {
+    std::vector<struct pollfd> fds;
+    std::vector<WorkerProc*> owners;
+    for (WorkerProc& w : workers_) {
+      if (!w.alive) continue;
+      struct pollfd rd;
+      rd.fd = w.read_fd;
+      rd.events = POLLIN;
+      rd.revents = 0;
+      fds.push_back(rd);
+      owners.push_back(&w);
+      if (!w.outbox.empty()) {
+        struct pollfd wr;
+        wr.fd = w.write_fd;
+        wr.events = POLLOUT;
+        wr.revents = 0;
+        fds.push_back(wr);
+        owners.push_back(&w);
+      }
+    }
+    if (fds.empty()) return;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready <= 0) return;
+    for (size_t i = 0; i < fds.size(); ++i) {
+      WorkerProc* w = owners[i];
+      if (!w->alive || fds[i].revents == 0) continue;
+      if (fds[i].events == POLLIN) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          DrainReads(w);
+        }
+      } else if ((fds[i].revents & (POLLOUT | POLLHUP | POLLERR)) != 0) {
+        FlushOutbox(w);
+      }
+    }
+  }
+
+  void DrainReads(WorkerProc* w) {
+    uint8_t buf[65536];
+    for (;;) {
+      const ssize_t got = ::read(w->read_fd, buf, sizeof(buf));
+      if (got < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        LoseWorker(w, "read error");
+        return;
+      }
+      if (got == 0) {
+        // EOF: drain what we have, then the reaper classifies the death.
+        DispatchFrames(w);
+        LoseWorker(w, "pipe closed");
+        return;
+      }
+      w->inbox.Append(buf, static_cast<size_t>(got));
+      if (got < static_cast<ssize_t>(sizeof(buf))) break;
+    }
+    DispatchFrames(w);
+  }
+
+  void DispatchFrames(WorkerProc* w) {
+    for (;;) {
+      auto next = w->inbox.Next();
+      if (!next.ok()) {
+        LoseWorker(w, "corrupt frame stream");
+        return;
+      }
+      if (!next.value().has_value()) return;
+      HandleFrame(w, std::move(*next.value()));
+      if (!w->alive) return;
+    }
+  }
+
+  void HandleFrame(WorkerProc* w, Frame&& f) {
+    w->last_heard = Clock::now();
+    switch (f.type) {
+      case FrameType::kHello:
+        w->hello = true;
+        break;
+      case FrameType::kHeartbeat:
+        DistMetrics::Get().heartbeats.Increment();
+        break;
+      case FrameType::kRingData: {
+        WorkerProc* dst = ByRank(static_cast<int>(f.arg1));
+        DistMetrics::Get().ring_frames.Increment();
+        DistMetrics::Get().ring_bytes.Increment(
+            static_cast<uint64_t>(f.payload.size()));
+        // Hops to a dead worker vanish; the sender's round resolves as a
+        // skip through the report/outcome path.
+        if (dst != nullptr && dst->alive) QueueFrame(dst, f);
+        break;
+      }
+      case FrameType::kEpochReport: {
+        if (f.epoch <= last_resolved_) break;  // straggler: already settled
+        auto body = DecodeStruct<EpochReport>(f.payload);
+        if (!body.ok()) {
+          LoseWorker(w, "bad epoch report");
+          break;
+        }
+        w->report = body.value();
+        w->report_epoch = f.epoch;
+        break;
+      }
+      case FrameType::kDone: {
+        auto body = DecodeStruct<DoneStats>(f.payload);
+        if (body.ok()) w->stats = body.value();
+        w->done = true;
+        break;
+      }
+      case FrameType::kSaveDone:
+        save_reply_ = std::move(f);
+        break;
+      default:
+        break;  // workers never send kStart/kOutcome/kSave/kShutdown
+    }
+  }
+
+  void QueueFrame(WorkerProc* w, const Frame& f) {
+    w->outbox.push_back(SerializeFrame(f));
+    FlushOutbox(w);
+  }
+
+  void FlushOutbox(WorkerProc* w) {
+    while (!w->outbox.empty()) {
+      const std::vector<uint8_t>& front = w->outbox.front();
+      const size_t remaining = front.size() - w->outbox_offset;
+      const ssize_t wrote =
+          ::write(w->write_fd, front.data() + w->outbox_offset, remaining);
+      if (wrote < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        LoseWorker(w, "write error");
+        return;
+      }
+      w->outbox_offset += static_cast<size_t>(wrote);
+      if (w->outbox_offset == front.size()) {
+        w->outbox.pop_front();
+        w->outbox_offset = 0;
+      }
+    }
+  }
+
+  void Broadcast(const Frame& f) {
+    for (WorkerProc& w : workers_) {
+      if (w.alive) QueueFrame(&w, f);
+    }
+  }
+
+  void LoseWorker(WorkerProc* w, const char* why) {
+    if (!w->alive) return;
+    w->alive = false;
+    util::CloseFd(&w->read_fd);
+    util::CloseFd(&w->write_fd);
+    w->outbox.clear();
+    w->outbox_offset = 0;
+    if (w->pid > 0) {
+      // Collect the corpse (SIGKILL first if it is somehow still running)
+      // so no zombie outlives the supervisor.
+      util::ReapWithTimeout(w->pid, 1000.0, /*kill_on_timeout=*/true);
+    }
+    ++result_.workers_lost;
+    DistMetrics::Get().workers_lost.Increment();
+    DistMetrics::Get().live_workers.Set(static_cast<double>(LiveCount()));
+    std::cerr << "[dist] worker " << w->rank << " (pid " << w->pid
+              << ") lost: " << why << "; continuing with " << LiveCount()
+              << " workers\n";
+    death_pending_ = true;
+    // Asynchronous death notice (epoch -1): unblocks peers waiting on ring
+    // hops from the dead worker; membership itself only changes on the
+    // next round outcome.
+    Frame notice;
+    notice.type = FrameType::kOutcome;
+    notice.epoch = -1;
+    notice.arg0 = static_cast<uint32_t>(OutcomeAction::kSkip);
+    notice.payload = EncodeRanks(LiveRanks());
+    Broadcast(notice);
+  }
+
+  void ReapDead() {
+    for (WorkerProc& w : workers_) {
+      if (!w.alive) continue;
+      util::ExitInfo info = util::TryReap(w.pid);
+      if (info.exited) {
+        w.pid = -1;  // already collected
+        LoseWorker(&w, info.signaled ? "killed by signal" : "exited");
+      }
+    }
+  }
+
+  void CheckHeartbeats() {
+    for (WorkerProc& w : workers_) {
+      // Done workers stop their heartbeat thread by design; they are
+      // supervised through the save/shutdown handshake instead.
+      if (!w.alive || w.done) continue;
+      if (MsSince(w.last_heard) > config_.heartbeat_timeout_ms) {
+        DistMetrics::Get().heartbeat_timeouts.Increment();
+        if (w.pid > 0) ::kill(w.pid, SIGKILL);
+        LoseWorker(&w, "heartbeat timeout");
+      }
+    }
+  }
+
+  void MaybeResolveRound() {
+    const int64_t epoch = last_resolved_ + 1;
+    bool any_report = false;
+    bool any_fail = false;
+    bool all_reported = true;
+    for (const WorkerProc& w : workers_) {
+      if (!w.alive || w.done) continue;
+      if (w.report_epoch == epoch) {
+        any_report = true;
+        if (w.report.ok == 0) any_fail = true;
+      } else {
+        all_reported = false;
+      }
+    }
+    if (!any_report) return;
+    if (any_fail || death_pending_) {
+      Resolve(epoch, OutcomeAction::kSkip);
+    } else if (all_reported) {
+      Resolve(epoch, OutcomeAction::kStep);
+    }
+  }
+
+  void Resolve(int64_t epoch, OutcomeAction action) {
+    last_resolved_ = epoch;
+    death_pending_ = false;
+    DistMetrics::Get().rounds.Increment();
+    if (action == OutcomeAction::kSkip) {
+      DistMetrics::Get().rounds_skipped.Increment();
+      ++result_.skipped_steps;
+    }
+    Frame outcome;
+    outcome.type = FrameType::kOutcome;
+    outcome.epoch = epoch;
+    outcome.arg0 = static_cast<uint32_t>(action);
+    outcome.payload = EncodeRanks(LiveRanks());
+    Broadcast(outcome);
+    if (config_.on_round) config_.on_round(epoch, LivePids());
+  }
+
+  void ShutdownAll() {
+    Frame bye;
+    bye.type = FrameType::kShutdown;
+    Broadcast(bye);
+    // Give the farewell a moment to flush, then make exit unconditional.
+    const Clock::time_point begin = Clock::now();
+    while (MsSince(begin) < 500.0) {
+      bool pending = false;
+      for (const WorkerProc& w : workers_) {
+        if (w.alive && !w.outbox.empty()) pending = true;
+      }
+      if (!pending) break;
+      PumpOnce(10);
+    }
+    for (WorkerProc& w : workers_) {
+      if (!w.alive) continue;
+      w.alive = false;
+      util::CloseFd(&w.read_fd);
+      util::CloseFd(&w.write_fd);
+      if (w.pid > 0) {
+        util::ReapWithTimeout(w.pid, 2000.0, /*kill_on_timeout=*/true);
+      }
+    }
+    DistMetrics::Get().live_workers.Set(0.0);
+  }
+
+  int LiveCount() const {
+    int n = 0;
+    for (const WorkerProc& w : workers_) {
+      if (w.alive) ++n;
+    }
+    return n;
+  }
+
+  std::vector<int> LiveRanks() const {
+    std::vector<int> ranks;
+    for (const WorkerProc& w : workers_) {
+      if (w.alive) ranks.push_back(w.rank);
+    }
+    return ranks;
+  }
+
+  std::vector<pid_t> LivePids() const {
+    std::vector<pid_t> pids;
+    for (const WorkerProc& w : workers_) {
+      if (w.alive) pids.push_back(w.pid);
+    }
+    return pids;
+  }
+
+  WorkerProc* ByRank(int rank) {
+    for (WorkerProc& w : workers_) {
+      if (w.rank == rank) return &w;
+    }
+    return nullptr;
+  }
+
+  DistTrainerConfig config_;
+  std::vector<WorkerProc> workers_;
+  DistTrainResult result_;
+  int64_t last_resolved_ = -1;
+  bool death_pending_ = false;
+  std::optional<Frame> save_reply_;
+};
+
+}  // namespace
+
+std::vector<std::string> WorkerArgv(const DistTrainerConfig& config, int rank,
+                                    int read_fd, int write_fd) {
+  const core::TrainConfig& t = config.train;
+  return {
+      config.worker_binary,
+      "train-worker",
+      "--rank", std::to_string(rank),
+      "--world", std::to_string(config.num_workers),
+      "--read-fd", std::to_string(read_fd),
+      "--write-fd", std::to_string(write_fd),
+      "--market", config.market_dir,
+      "--channels", std::to_string(config.channels),
+      "--layers", std::to_string(config.num_layers),
+      "--model-seed", std::to_string(config.model_seed),
+      "--epochs", std::to_string(t.max_epochs),
+      "--lr", HexDouble(static_cast<double>(t.learning_rate)),
+      "--grad-clip", HexDouble(static_cast<double>(t.grad_clip)),
+      "--patience", std::to_string(t.patience),
+      "--eval-every", std::to_string(t.eval_every),
+      "--batch-nodes", std::to_string(t.batch_nodes),
+      "--cosine", t.cosine_lr_decay ? "1" : "0",
+      "--seed", std::to_string(t.seed),
+      "--heartbeat-ms", HexDouble(config.heartbeat_ms),
+  };
+}
+
+Result<DistTrainResult> DistTrainer::Fit() {
+  Supervisor supervisor(config_);
+  return supervisor.Run();
+}
+
+}  // namespace gaia::dist

@@ -1,0 +1,103 @@
+#ifndef GAIA_DIST_DIST_TRAINER_H_
+#define GAIA_DIST_DIST_TRAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "core/trainer.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace gaia::dist {
+
+/// \brief Fault-tolerant multi-process data-parallel training supervisor.
+///
+/// DistTrainer spawns `num_workers` worker processes (the hidden
+/// `gaia_cli train-worker` mode; each an exact serial replica of the
+/// in-process Trainer), shards each epoch's batch across them, and routes
+/// their deterministic ring all-reduce over per-worker pipe pairs. The
+/// supervisor itself never touches gradients — it is the control plane:
+///
+///   heartbeat  — every worker beacons; a silent worker past
+///                heartbeat_timeout_ms is SIGKILLed and reaped
+///   retry      — worker spawn rides spawn_retry; a faulted gradient hop
+///                (dist.allreduce_send) retries inside the worker
+///   skip-step  — any failed exchange, fault, or mid-round death resolves
+///                the round as "skip": every live worker skips the
+///                optimizer step in lockstep (TrainResult::skipped_steps)
+///   degrade    — a dead worker is dropped from the ring and training
+///                continues with the survivors, down to min_workers
+///
+/// Membership only changes at round boundaries (carried on each kOutcome),
+/// so the parameter state stays bitwise identical across all live workers,
+/// and at a fixed worker count and seed the final parameters are bitwise
+/// identical across reruns. The final checkpoint is written by the lowest
+/// live rank and CRC-verified (and optionally adopted into a
+/// serving::CheckpointStore) before the run reports success.
+struct DistTrainerConfig {
+  int num_workers = 2;
+  /// Deaths below this leave too little compute: the run fails instead of
+  /// degrading further.
+  int min_workers = 1;
+  std::string market_dir;
+  std::string checkpoint_path;
+  /// When non-empty, the verified final checkpoint is adopted into the
+  /// CheckpointStore at this directory (manifest + history).
+  std::string store_dir;
+  /// Binary to exec for workers; empty resolves to /proc/self/exe.
+  std::string worker_binary;
+  core::TrainConfig train;
+  int64_t channels = 16;
+  int64_t num_layers = 2;
+  uint64_t model_seed = 1;
+  double heartbeat_ms = 100.0;
+  double heartbeat_timeout_ms = 10000.0;
+  /// Budget for a worker to come up (exec + market load + kHello).
+  double spawn_timeout_ms = 60000.0;
+  double save_timeout_ms = 60000.0;
+  util::RetryPolicy spawn_retry;
+  /// Test/chaos observer: called after every resolved round with the epoch
+  /// and the live worker pids — a SIGKILL aimed at one of these exercises
+  /// the death → skip → degrade ladder.
+  std::function<void(int64_t epoch, const std::vector<pid_t>& pids)> on_round;
+};
+
+struct DistTrainResult {
+  int epochs_run = 0;
+  /// Rounds resolved as skip — matches every worker's own
+  /// TrainResult::skipped_steps (shared CountSkippedStep bookkeeping).
+  int skipped_steps = 0;
+  int workers_started = 0;
+  int workers_lost = 0;
+  int spawn_retries = 0;
+  /// True when the run finished with fewer workers than it started with.
+  bool degraded = false;
+  double final_train_loss = 0.0;
+  double best_val_loss = 0.0;
+  double seconds = 0.0;
+  std::string checkpoint_path;
+};
+
+class DistTrainer {
+ public:
+  explicit DistTrainer(const DistTrainerConfig& config) : config_(config) {}
+
+  /// Runs the full supervised training session. Succeeds only when a final
+  /// checkpoint has been written and CRC-verified.
+  Result<DistTrainResult> Fit();
+
+ private:
+  DistTrainerConfig config_;
+};
+
+/// Worker argv for rank `rank` (exposed for tests). Floats are serialized
+/// as hexfloats so the worker's parsed TrainConfig is bit-exact.
+std::vector<std::string> WorkerArgv(const DistTrainerConfig& config, int rank,
+                                    int read_fd, int write_fd);
+
+}  // namespace gaia::dist
+
+#endif  // GAIA_DIST_DIST_TRAINER_H_

@@ -1,0 +1,66 @@
+#include "dist/ring.h"
+
+#include <vector>
+
+namespace gaia::dist {
+
+BlockRange RingBlock(int64_t len, int world, int block) {
+  GAIA_CHECK(world > 0);
+  GAIA_CHECK(block >= 0 && block < world);
+  BlockRange r;
+  r.begin = block * len / world;
+  r.end = (block + 1) * len / world;
+  return r;
+}
+
+Status RingAllReduceSum(int pos, int world, float* data, int64_t len,
+                        const RingTransport& transport) {
+  GAIA_CHECK(world > 0);
+  GAIA_CHECK(pos >= 0 && pos < world);
+  if (world == 1) return Status::OK();
+
+  const int M = world;
+  // Scratch large enough for the biggest block.
+  int64_t max_block = 0;
+  for (int b = 0; b < M; ++b) {
+    const BlockRange r = RingBlock(len, M, b);
+    if (r.end - r.begin > max_block) max_block = r.end - r.begin;
+  }
+  std::vector<float> scratch(static_cast<size_t>(max_block));
+
+  // Phase 1: reduce-scatter. Incoming block is accumulated into the local
+  // buffer; because FP addition is bitwise commutative, local += incoming
+  // reproduces the rank-ordered chain regardless of operand order here.
+  for (int s = 0; s < M - 1; ++s) {
+    const int send_block = ((pos - s) % M + M) % M;
+    const int recv_block = ((pos - s - 1) % M + M) % M;
+    const BlockRange sr = RingBlock(len, M, send_block);
+    const BlockRange rr = RingBlock(len, M, recv_block);
+    Status st = transport.send(s, send_block, data + sr.begin,
+                               sr.end - sr.begin);
+    if (!st.ok()) return st;
+    st = transport.recv(s, recv_block, scratch.data(), rr.end - rr.begin);
+    if (!st.ok()) return st;
+    float* local = data + rr.begin;
+    const int64_t count = rr.end - rr.begin;
+    for (int64_t i = 0; i < count; ++i) local[i] += scratch[i];
+  }
+
+  // Phase 2: all-gather. Position p now owns the fully reduced block
+  // (p + 1) mod M; circulate the finished blocks, overwriting local copies.
+  for (int s = 0; s < M - 1; ++s) {
+    const int send_block = ((pos + 1 - s) % M + M) % M;
+    const int recv_block = ((pos - s) % M + M) % M;
+    const BlockRange sr = RingBlock(len, M, send_block);
+    const BlockRange rr = RingBlock(len, M, recv_block);
+    Status st = transport.send(M - 1 + s, send_block, data + sr.begin,
+                               sr.end - sr.begin);
+    if (!st.ok()) return st;
+    st = transport.recv(M - 1 + s, recv_block, data + rr.begin,
+                        rr.end - rr.begin);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace gaia::dist

@@ -1,0 +1,64 @@
+#ifndef GAIA_DIST_RING_H_
+#define GAIA_DIST_RING_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/status.h"
+
+namespace gaia::dist {
+
+/// \brief Deterministic ring all-reduce (sum) with a fixed, rank-ordered
+/// reduction sequence.
+///
+/// The flat gradient vector is split into `world` contiguous blocks. The
+/// classic two-phase schedule runs:
+///
+///   reduce-scatter, steps s = 0..world-2:
+///     position p sends block (p - s) mod M to its successor, receives
+///     block (p - s - 1) mod M from its predecessor and accumulates it
+///     into the local buffer. After the phase, position p holds the fully
+///     reduced block (p + 1) mod M.
+///   all-gather, steps s = 0..world-2:
+///     position p sends block (p + 1 - s) mod M, receives block
+///     (p - s) mod M and overwrites the local copy.
+///
+/// Block j is therefore accumulated along the ring in one fixed order —
+/// ((g_j + g_{j+1}) + g_{j+2}) + ... — so at a fixed world size the result
+/// is bitwise identical across reruns and across interleavings of the
+/// underlying transport. (IEEE-754 addition is commutative bitwise; only
+/// the association order matters, and the schedule pins it.)
+///
+/// Transport is abstracted as two callbacks so the same schedule runs over
+/// supervisor-routed pipes in production and in-memory queues in tests.
+
+struct RingTransport {
+  /// Sends `count` floats of block `block` for exchange step `step` to the
+  /// ring successor. Must not return until the payload is handed off.
+  std::function<Status(int step, int block, const float* data, int64_t count)>
+      send;
+  /// Receives the matching payload for (`step`, `block`) from the ring
+  /// predecessor into `data`. Blocking, bounded by the caller's deadline.
+  std::function<Status(int step, int block, float* data, int64_t count)> recv;
+};
+
+/// Half-open element range [begin, end) of block `block` when a vector of
+/// `len` elements is split into `world` contiguous blocks. Remainders are
+/// spread over the leading blocks; every element lands in exactly one block.
+struct BlockRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+BlockRange RingBlock(int64_t len, int world, int block);
+
+/// Runs the schedule above for the worker at ring position `pos` (0-based
+/// among `world` live participants) over `data[0..len)`. On success every
+/// participant holds the identical bitwise sum. Any transport error aborts
+/// immediately with that status; `data` is then partially reduced garbage
+/// and the step must be skipped.
+Status RingAllReduceSum(int pos, int world, float* data, int64_t len,
+                        const RingTransport& transport);
+
+}  // namespace gaia::dist
+
+#endif  // GAIA_DIST_RING_H_

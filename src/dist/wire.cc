@@ -1,0 +1,184 @@
+#include "dist/wire.h"
+
+#include <cstring>
+
+#include "util/subprocess.h"
+
+namespace gaia::dist {
+
+namespace {
+
+/// On-the-wire header layout. Packed into a flat byte array by hand so the
+/// struct padding of the host compiler never leaks into the stream.
+constexpr size_t kHeaderBytes = 40;
+
+void PackU32(uint8_t* out, uint32_t v) { std::memcpy(out, &v, sizeof(v)); }
+void PackI64(uint8_t* out, int64_t v) { std::memcpy(out, &v, sizeof(v)); }
+void PackU64(uint8_t* out, uint64_t v) { std::memcpy(out, &v, sizeof(v)); }
+
+uint32_t UnpackU32(const uint8_t* in) {
+  uint32_t v;
+  std::memcpy(&v, in, sizeof(v));
+  return v;
+}
+
+int64_t UnpackI64(const uint8_t* in) {
+  int64_t v;
+  std::memcpy(&v, in, sizeof(v));
+  return v;
+}
+
+uint64_t UnpackU64(const uint8_t* in) {
+  uint64_t v;
+  std::memcpy(&v, in, sizeof(v));
+  return v;
+}
+
+void PackHeader(const Frame& frame, uint8_t* out) {
+  PackU32(out + 0, kFrameMagic);
+  PackU32(out + 4, static_cast<uint32_t>(frame.type));
+  PackI64(out + 8, frame.epoch);
+  PackU32(out + 16, frame.arg0);
+  PackU32(out + 20, frame.arg1);
+  PackU32(out + 24, frame.arg2);
+  PackU32(out + 28, frame.arg3);
+  PackU64(out + 32, static_cast<uint64_t>(frame.payload.size()));
+}
+
+Status UnpackHeader(const uint8_t* in, Frame* frame, uint64_t* payload_bytes) {
+  const uint32_t magic = UnpackU32(in + 0);
+  if (magic != kFrameMagic) {
+    return Status::DataLoss("frame header: bad magic " + std::to_string(magic));
+  }
+  const uint32_t type = UnpackU32(in + 4);
+  if (type < static_cast<uint32_t>(FrameType::kHello) ||
+      type > static_cast<uint32_t>(FrameType::kShutdown)) {
+    return Status::DataLoss("frame header: unknown type " +
+                            std::to_string(type));
+  }
+  const uint64_t bytes = UnpackU64(in + 32);
+  if (bytes > kMaxPayloadBytes) {
+    return Status::DataLoss("frame header: payload too large (" +
+                            std::to_string(bytes) + " bytes)");
+  }
+  frame->type = static_cast<FrameType>(type);
+  frame->epoch = UnpackI64(in + 8);
+  frame->arg0 = UnpackU32(in + 16);
+  frame->arg1 = UnpackU32(in + 20);
+  frame->arg2 = UnpackU32(in + 24);
+  frame->arg3 = UnpackU32(in + 28);
+  *payload_bytes = bytes;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeFrame(const Frame& frame) {
+  std::vector<uint8_t> buf(kHeaderBytes + frame.payload.size());
+  PackHeader(frame, buf.data());
+  if (!frame.payload.empty()) {
+    std::memcpy(buf.data() + kHeaderBytes, frame.payload.data(),
+                frame.payload.size());
+  }
+  return buf;
+}
+
+Status WriteFrame(int fd, const Frame& frame) {
+  // One contiguous write: header + payload. A single buffer keeps frames
+  // under PIPE_BUF atomic for the small control messages, and the blocking
+  // WriteFull handles the large kRingData payloads.
+  const std::vector<uint8_t> buf = SerializeFrame(frame);
+  return util::WriteFull(fd, buf.data(), buf.size());
+}
+
+Result<Frame> ReadFrame(int fd, const util::CancelToken* cancel) {
+  uint8_t header[kHeaderBytes];
+  Status read = util::ReadFull(fd, header, sizeof(header), cancel);
+  if (!read.ok()) return read;
+  Frame frame;
+  uint64_t payload_bytes = 0;
+  Status parsed = UnpackHeader(header, &frame, &payload_bytes);
+  if (!parsed.ok()) return parsed;
+  frame.payload.resize(payload_bytes);
+  if (payload_bytes > 0) {
+    read = util::ReadFull(fd, frame.payload.data(), payload_bytes, cancel);
+    if (!read.ok()) return read;
+  }
+  return frame;
+}
+
+void FrameBuffer::Append(const uint8_t* data, size_t n) {
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // steady-state appends stay amortized O(n).
+  if (consumed_ > 0 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+Result<std::optional<Frame>> FrameBuffer::Next() {
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderBytes) return std::optional<Frame>();
+  Frame frame;
+  uint64_t payload_bytes = 0;
+  Status parsed =
+      UnpackHeader(buffer_.data() + consumed_, &frame, &payload_bytes);
+  if (!parsed.ok()) return parsed;
+  if (available < kHeaderBytes + payload_bytes) return std::optional<Frame>();
+  frame.payload.assign(
+      buffer_.data() + consumed_ + kHeaderBytes,
+      buffer_.data() + consumed_ + kHeaderBytes + payload_bytes);
+  consumed_ += kHeaderBytes + payload_bytes;
+  return std::optional<Frame>(std::move(frame));
+}
+
+std::vector<uint8_t> EncodeRanks(const std::vector<int>& ranks) {
+  std::vector<uint8_t> out(ranks.size() * sizeof(uint32_t));
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    PackU32(out.data() + i * sizeof(uint32_t),
+            static_cast<uint32_t>(ranks[i]));
+  }
+  return out;
+}
+
+Result<std::vector<int>> DecodeRanks(const std::vector<uint8_t>& payload) {
+  if (payload.size() % sizeof(uint32_t) != 0) {
+    return Status::DataLoss("rank list payload not a multiple of 4 bytes");
+  }
+  std::vector<int> ranks(payload.size() / sizeof(uint32_t));
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    ranks[i] =
+        static_cast<int>(UnpackU32(payload.data() + i * sizeof(uint32_t)));
+  }
+  return ranks;
+}
+
+const char* FrameTypeToString(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kStart:
+      return "start";
+    case FrameType::kHeartbeat:
+      return "heartbeat";
+    case FrameType::kRingData:
+      return "ring_data";
+    case FrameType::kEpochReport:
+      return "epoch_report";
+    case FrameType::kOutcome:
+      return "outcome";
+    case FrameType::kDone:
+      return "done";
+    case FrameType::kSave:
+      return "save";
+    case FrameType::kSaveDone:
+      return "save_done";
+    case FrameType::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+}  // namespace gaia::dist

@@ -1,0 +1,133 @@
+#ifndef GAIA_DIST_WIRE_H_
+#define GAIA_DIST_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gaia::util {
+class CancelToken;
+}
+
+namespace gaia::dist {
+
+/// \brief Framed binary protocol between the DistTrainer supervisor and its
+/// worker processes (docs/ARCHITECTURE.md, "Multi-process training tier").
+///
+/// Every message is one frame: a fixed 40-byte header followed by
+/// `payload_bytes` of payload. Both directions share the format; the
+/// supervisor also *routes* kRingData frames between workers (the workers'
+/// only channel is their supervisor pipe pair), which is what turns N pipe
+/// pairs into a logical all-reduce ring. Single machine, single
+/// architecture: multi-byte fields are host-endian memcpys.
+
+enum class FrameType : uint32_t {
+  kHello = 1,    ///< worker → sup: dataset+model ready (arg0 = rank)
+  kStart,        ///< sup → worker: begin training (payload = live ranks)
+  kHeartbeat,    ///< worker → sup: liveness beacon (arg0 = rank)
+  kRingData,     ///< ring hop; args = src, dst, step, block; payload floats
+  kEpochReport,  ///< worker → sup: epoch finished (payload EpochReport)
+  kOutcome,      ///< sup → worker: step/skip verdict + live ranks
+  kDone,         ///< worker → sup: training loop ended (payload DoneStats)
+  kSave,         ///< sup → worker: write the checkpoint (payload = path)
+  kSaveDone,     ///< worker → sup: save verdict (arg0 = ok, payload = error)
+  kShutdown,     ///< sup → worker: exit cleanly
+};
+
+/// kOutcome arg0 values.
+enum class OutcomeAction : uint32_t {
+  kStep = 0,  ///< every live worker exchanged cleanly: apply the step
+  kSkip = 1,  ///< a fault or death broke the round: skip the step
+};
+
+constexpr uint32_t kFrameMagic = 0x47445731;  // "GDW1"
+
+/// Hard sanity cap on a single frame's payload; a gradient exchange for
+/// this model family is a few MB at most, so anything near the cap means a
+/// corrupt or misframed stream.
+constexpr uint64_t kMaxPayloadBytes = 1ull << 30;
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  int64_t epoch = -1;
+  uint32_t arg0 = 0;
+  uint32_t arg1 = 0;
+  uint32_t arg2 = 0;
+  uint32_t arg3 = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// kEpochReport payload.
+struct EpochReport {
+  uint32_t ok = 0;          ///< 1 = gradient exchange succeeded
+  uint32_t shard_size = 0;  ///< nodes this worker trained on
+  float shard_loss = 0.0f;  ///< training loss over the worker's shard
+};
+
+/// kDone payload.
+struct DoneStats {
+  int32_t epochs_run = 0;
+  int32_t skipped_steps = 0;
+  double best_val_loss = 0.0;
+  double final_train_loss = 0.0;
+};
+
+/// Header + payload as one contiguous byte buffer (the supervisor queues
+/// these on its non-blocking outboxes).
+std::vector<uint8_t> SerializeFrame(const Frame& frame);
+
+/// Serializes `frame` and writes it with util::WriteFull (blocking).
+Status WriteFrame(int fd, const Frame& frame);
+
+/// Reads one frame with util::ReadFull; `cancel` bounds the wait. Rejects
+/// bad magic / oversized payloads as kDataLoss.
+Result<Frame> ReadFrame(int fd, const util::CancelToken* cancel);
+
+/// \brief Incremental frame assembly for the supervisor's non-blocking
+/// reads: append whatever bytes poll() produced, pop complete frames.
+class FrameBuffer {
+ public:
+  void Append(const uint8_t* data, size_t n);
+
+  /// Next complete frame if one is buffered; std::nullopt when more bytes
+  /// are needed; kDataLoss on a corrupt header (the connection is then
+  /// unusable and the worker should be treated as lost).
+  Result<std::optional<Frame>> Next();
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;
+};
+
+/// Typed payload helpers. Decode errors are kDataLoss.
+std::vector<uint8_t> EncodeRanks(const std::vector<int>& ranks);
+Result<std::vector<int>> DecodeRanks(const std::vector<uint8_t>& payload);
+
+template <typename T>
+std::vector<uint8_t> EncodeStruct(const T& value) {
+  std::vector<uint8_t> out(sizeof(T));
+  std::memcpy(out.data(), &value, sizeof(T));
+  return out;
+}
+
+template <typename T>
+Result<T> DecodeStruct(const std::vector<uint8_t>& payload) {
+  if (payload.size() != sizeof(T)) {
+    return Status::DataLoss("frame payload size mismatch: got " +
+                            std::to_string(payload.size()) + ", want " +
+                            std::to_string(sizeof(T)));
+  }
+  T value;
+  std::memcpy(&value, payload.data(), sizeof(T));
+  return value;
+}
+
+const char* FrameTypeToString(FrameType type);
+
+}  // namespace gaia::dist
+
+#endif  // GAIA_DIST_WIRE_H_

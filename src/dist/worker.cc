@@ -1,0 +1,627 @@
+#include "dist/worker.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/gaia_model.h"
+#include "data/market_io.h"
+#include "dist/ring.h"
+#include "dist/wire.h"
+#include "obs/obs.h"
+#include "util/cancel.h"
+#include "util/fault_injector.h"
+#include "util/retry.h"
+#include "util/subprocess.h"
+#include "util/thread_pool.h"
+
+namespace gaia::dist {
+
+namespace {
+
+using core::Var;
+
+/// The worker's supervisor pipe pair. Writes are serialized (the heartbeat
+/// thread and the training thread both send frames; interleaving two frames
+/// byte-wise would corrupt the stream). Reads go through a persistent
+/// FrameBuffer, so a read abandoned by a deadline keeps its partial bytes
+/// and the next read resumes exactly where the stream left off — a timeout
+/// never desyncs the framing.
+class Channel {
+ public:
+  Channel(int read_fd, int write_fd)
+      : read_fd_(read_fd), write_fd_(write_fd) {}
+
+  Status Write(const Frame& frame) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    return WriteFrame(write_fd_, frame);
+  }
+
+  /// Next frame, blocking in short poll slices so `cancel` is honoured.
+  Result<Frame> Read(const util::CancelToken* cancel) {
+    for (;;) {
+      auto buffered = rx_.Next();
+      if (!buffered.ok()) return buffered.status();
+      if (buffered.value().has_value()) return std::move(*buffered.value());
+      if (cancel != nullptr && cancel->Cancelled()) return cancel->ToStatus();
+      struct pollfd pfd;
+      pfd.fd = read_fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int ready = ::poll(&pfd, 1, 20);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(std::string("poll: ") + std::strerror(errno));
+      }
+      if (ready == 0) continue;  // slice elapsed; re-check the token
+      Status fill = FillOnce();
+      if (!fill.ok()) return fill;
+    }
+  }
+
+  /// Next frame if one is already buffered or readable without blocking;
+  /// std::nullopt when the pipe has nothing complete yet.
+  Result<std::optional<Frame>> TryRead() {
+    for (;;) {
+      auto buffered = rx_.Next();
+      if (!buffered.ok()) return buffered.status();
+      if (buffered.value().has_value()) return buffered;
+      struct pollfd pfd;
+      pfd.fd = read_fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int ready = ::poll(&pfd, 1, 0);
+      if (ready <= 0) return std::optional<Frame>();
+      Status fill = FillOnce();
+      if (!fill.ok()) return fill;
+    }
+  }
+
+ private:
+  /// One read() into the frame buffer. Pre: poll reported readability.
+  Status FillOnce() {
+    uint8_t buf[65536];
+    const ssize_t got = ::read(read_fd_, buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN) return Status::OK();
+      return Status::IoError(std::string("read: ") + std::strerror(errno));
+    }
+    if (got == 0) return Status::Unavailable("read: peer closed the pipe");
+    rx_.Append(buf, static_cast<size_t>(got));
+    return Status::OK();
+  }
+
+  int read_fd_;
+  int write_fd_;
+  std::mutex write_mu_;
+  FrameBuffer rx_;
+};
+
+/// Periodic kHeartbeat sender. Runs until stopped or the pipe dies; a dead
+/// pipe just ends the beacon — the main thread notices the supervisor's
+/// absence through its own reads.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(Channel* channel, int rank, double interval_ms)
+      : channel_(channel), rank_(rank), interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~HeartbeatThread() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Run() {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait_for(lock,
+                     std::chrono::duration<double, std::milli>(interval_ms_),
+                     [this] { return stop_; });
+        if (stop_) return;
+      }
+      Frame beat;
+      beat.type = FrameType::kHeartbeat;
+      beat.arg0 = static_cast<uint32_t>(rank_);
+      if (!channel_->Write(beat).ok()) return;
+    }
+  }
+
+  Channel* channel_;
+  int rank_;
+  double interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// The worker's half of the training protocol: shard/exchange hooks plus
+/// the control-frame plumbing they share.
+class WorkerLoop {
+ public:
+  WorkerLoop(const WorkerOptions& options, Channel* channel,
+             core::ForecastModel* model, util::CancelToken* abort)
+      : options_(options), channel_(channel), model_(model), abort_(abort) {}
+
+  /// Live ranks as of the last applied outcome, sorted ascending.
+  void SetMembership(std::vector<int> ranks) {
+    std::sort(ranks.begin(), ranks.end());
+    live_ = std::move(ranks);
+  }
+
+  core::TrainHooks Hooks() {
+    core::TrainHooks hooks;
+    hooks.shard_batch = [this](int epoch, std::vector<int32_t>* batch) {
+      ShardBatch(epoch, batch);
+    };
+    hooks.exchange_gradients = [this](int epoch, float shard_loss,
+                                      bool local_fault) {
+      return ExchangeGradients(epoch, shard_loss, local_fault);
+    };
+    return hooks;
+  }
+
+  bool supervisor_lost() const { return supervisor_lost_; }
+
+ private:
+  void ShardBatch(int epoch, std::vector<int32_t>* batch) {
+    current_epoch_ = epoch;
+    batch_size_ = batch->size();
+    const int world = static_cast<int>(live_.size());
+    const int pos = RingPosition();
+    const BlockRange range =
+        RingBlock(static_cast<int64_t>(batch->size()), world, pos);
+    shard_size_ = range.end - range.begin;
+    if (shard_size_ == 0) {
+      // Fewer batch nodes than workers: run a one-node forward so the loss
+      // graph exists, but weight this shard's gradients by zero below.
+      *batch = {(*batch)[0]};
+    } else {
+      *batch = std::vector<int32_t>(
+          batch->begin() + static_cast<ptrdiff_t>(range.begin),
+          batch->begin() + static_cast<ptrdiff_t>(range.end));
+    }
+  }
+
+  bool ExchangeGradients(int epoch, float shard_loss, bool local_fault) {
+    GAIA_OBS_SPAN("dist.allreduce");
+    DrainControl();
+    if (supervisor_lost_ || shutdown_) {
+      Abort("supervisor lost");
+      return false;
+    }
+    bool ok = !local_fault;
+    // An already-stashed outcome means the supervisor resolved this round
+    // without us (another worker faulted first, or a peer died) — it can
+    // only be a skip, so don't bother exchanging.
+    const bool resolved_early = outcomes_.count(epoch) > 0;
+    if (ok && !resolved_early && !pending_live_.has_value() &&
+        live_.size() > 1) {
+      ok = RunRing(epoch);
+    } else if (resolved_early || pending_live_.has_value()) {
+      ok = false;
+    }
+    // world size 1 with no fault: ok stays true and no numeric work was
+    // done — the N=1 bitwise-equality contract with the in-process Trainer.
+
+    Frame report;
+    report.type = FrameType::kEpochReport;
+    report.epoch = epoch;
+    report.arg0 = static_cast<uint32_t>(options_.rank);
+    EpochReport body;
+    body.ok = ok ? 1 : 0;
+    body.shard_size = static_cast<uint32_t>(shard_size_);
+    body.shard_loss = shard_loss;
+    report.payload = EncodeStruct(body);
+    if (!channel_->Write(report).ok()) {
+      Abort("supervisor lost");
+      return false;
+    }
+
+    std::optional<Frame> outcome = WaitOutcome(epoch);
+    if (!outcome.has_value()) {
+      Abort(shutdown_ ? "shutdown" : "supervisor lost");
+      return false;
+    }
+    auto ranks = DecodeRanks(outcome->payload);
+    if (ranks.ok()) {
+      SetMembership(std::move(ranks).value());
+      if (pending_live_.has_value() && *pending_live_ == live_) {
+        pending_live_.reset();
+      }
+    }
+    return static_cast<OutcomeAction>(outcome->arg0) == OutcomeAction::kStep;
+  }
+
+  /// Flatten → scale by shard weight → ring all-reduce → unflatten. False
+  /// on any transport/fault error (the step will be skipped).
+  bool RunRing(int epoch) {
+    std::vector<Var> params = model_->Parameters();
+    int64_t total = 0;
+    for (const Var& p : params) {
+      if (!p->grad.empty()) total += p->grad.size();
+    }
+    std::vector<float> flat(static_cast<size_t>(total));
+    int64_t offset = 0;
+    for (const Var& p : params) {
+      if (p->grad.empty()) continue;
+      std::memcpy(flat.data() + offset, p->grad.data(),
+                  static_cast<size_t>(p->grad.size()) * sizeof(float));
+      offset += p->grad.size();
+    }
+    // Shard loss is a mean over the shard; the full-batch gradient is the
+    // shard-size-weighted mean of shard gradients. Weights sum to 1 across
+    // the ring, and an empty shard contributes exactly zero.
+    const float weight = static_cast<float>(shard_size_) /
+                         static_cast<float>(batch_size_);
+    for (float& g : flat) g *= weight;
+
+    const int world = static_cast<int>(live_.size());
+    const int pos = RingPosition();
+    const int succ = live_[static_cast<size_t>((pos + 1) % world)];
+    RingTransport transport;
+    transport.send = [&](int step, int block, const float* data,
+                         int64_t count) {
+      return RingSend(epoch, succ, step, block, data, count);
+    };
+    transport.recv = [&](int step, int block, float* data, int64_t count) {
+      return RingRecv(epoch, step, block, data, count);
+    };
+    const Status reduced =
+        RingAllReduceSum(pos, world, flat.data(), total, transport);
+    if (!reduced.ok()) return false;
+
+    offset = 0;
+    for (const Var& p : params) {
+      if (p->grad.empty()) continue;
+      std::memcpy(p->grad.data(), flat.data() + offset,
+                  static_cast<size_t>(p->grad.size()) * sizeof(float));
+      offset += p->grad.size();
+    }
+    return true;
+  }
+
+  Status RingSend(int epoch, int dst, int step, int block, const float* data,
+                  int64_t count) {
+    Frame frame;
+    frame.type = FrameType::kRingData;
+    frame.epoch = epoch;
+    frame.arg0 = static_cast<uint32_t>(options_.rank);
+    frame.arg1 = static_cast<uint32_t>(dst);
+    frame.arg2 = static_cast<uint32_t>(step);
+    frame.arg3 = static_cast<uint32_t>(block);
+    frame.payload.resize(static_cast<size_t>(count) * sizeof(float));
+    std::memcpy(frame.payload.data(), data, frame.payload.size());
+    // dist.allreduce_send is the injected-failure hook for a lost gradient
+    // hop; transient kinds ride the bounded retry ladder before the round
+    // is abandoned to the skip path.
+    util::FaultInjector& faults = util::FaultInjector::Global();
+    return util::RetryCall(send_retry_, [&]() -> Status {
+      if (auto fault = faults.Sample("dist.allreduce_send")) {
+        return util::FaultStatus(*fault, "dist.allreduce_send");
+      }
+      return channel_->Write(frame);
+    });
+  }
+
+  Status RingRecv(int epoch, int step, int block, float* data,
+                  int64_t count) {
+    auto deadline = util::CancelToken::WithDeadline(options_.recv_timeout_ms);
+    for (;;) {
+      if (pending_live_.has_value()) {
+        return Status::Unavailable("ring membership changed");
+      }
+      Frame f;
+      if (!ring_stash_.empty()) {
+        // A hop that arrived before we entered the exchange (stashed by
+        // DrainControl) — consume it before touching the pipe.
+        f = std::move(ring_stash_.front());
+        ring_stash_.pop_front();
+      } else {
+        auto frame = channel_->Read(deadline.get());
+        if (!frame.ok()) {
+          if (frame.status().code() == StatusCode::kUnavailable) {
+            MarkSupervisorLost("ring recv: " + frame.status().ToString());
+          } else {
+            Note("ring recv failed: " + frame.status().ToString());
+          }
+          return frame.status();
+        }
+        f = std::move(frame.value());
+      }
+      switch (f.type) {
+        case FrameType::kRingData:
+          if (f.epoch == epoch && f.arg2 == static_cast<uint32_t>(step) &&
+              f.arg3 == static_cast<uint32_t>(block) &&
+              f.payload.size() ==
+                  static_cast<size_t>(count) * sizeof(float)) {
+            std::memcpy(data, f.payload.data(), f.payload.size());
+            return Status::OK();
+          }
+          if (f.epoch == epoch) {
+            // Same round but wrong slot: a schedule bug, not a straggler.
+            Note("ring recv mismatch at epoch " + std::to_string(epoch) +
+                 ": want step " + std::to_string(step) + " block " +
+                 std::to_string(block) + ", got step " +
+                 std::to_string(f.arg2) + " block " + std::to_string(f.arg3) +
+                 " bytes " + std::to_string(f.payload.size()) + " (want " +
+                 std::to_string(count * sizeof(float)) + ")");
+          }
+          break;  // stale hop from an abandoned round: drop
+        case FrameType::kOutcome:
+          if (HandleOutcome(f) && f.epoch == epoch) {
+            return Status::Unavailable("round resolved while exchanging");
+          }
+          if (pending_live_.has_value()) {
+            return Status::Unavailable("ring membership changed");
+          }
+          break;
+        case FrameType::kShutdown:
+          shutdown_ = true;
+          return Status::Cancelled("shutdown during exchange");
+        default:
+          break;  // unexpected control frame: drop
+      }
+    }
+  }
+
+  /// Consumes whatever frames are already buffered without blocking.
+  /// Control frames are applied; ring-data frames are stashed for the
+  /// upcoming exchange — a faster peer's first hop can land before this
+  /// worker finishes its backward pass, and dropping it would stall the
+  /// ring until the recv deadline.
+  void DrainControl() {
+    for (;;) {
+      auto frame = channel_->TryRead();
+      if (!frame.ok()) {
+        if (frame.status().code() == StatusCode::kUnavailable) {
+          MarkSupervisorLost("drain: " + frame.status().ToString());
+        } else {
+          Note("drain failed: " + frame.status().ToString());
+        }
+        return;
+      }
+      if (!frame.value().has_value()) return;  // pipe drained
+      Frame& f = *frame.value();
+      switch (f.type) {
+        case FrameType::kShutdown:
+          shutdown_ = true;
+          return;
+        case FrameType::kOutcome:
+          HandleOutcome(f);
+          break;
+        case FrameType::kRingData:
+          ring_stash_.push_back(std::move(f));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  /// Stashes or applies an outcome frame. Returns true for a real (round)
+  /// outcome, false for an asynchronous death notice (epoch < 0).
+  bool HandleOutcome(const Frame& frame) {
+    if (frame.epoch < 0) {
+      auto ranks = DecodeRanks(frame.payload);
+      if (ranks.ok()) {
+        std::vector<int> live = std::move(ranks).value();
+        std::sort(live.begin(), live.end());
+        pending_live_ = std::move(live);
+      }
+      return false;
+    }
+    outcomes_[frame.epoch] = frame;
+    return true;
+  }
+
+  std::optional<Frame> WaitOutcome(int64_t epoch) {
+    auto it = outcomes_.find(epoch);
+    if (it != outcomes_.end()) {
+      Frame frame = it->second;
+      outcomes_.erase(outcomes_.begin(), std::next(it));
+      return frame;
+    }
+    auto deadline =
+        util::CancelToken::WithDeadline(options_.outcome_timeout_ms);
+    for (;;) {
+      auto frame = channel_->Read(deadline.get());
+      if (!frame.ok()) {
+        MarkSupervisorLost("await outcome: " + frame.status().ToString());
+        return std::nullopt;
+      }
+      Frame& f = frame.value();
+      if (f.type == FrameType::kShutdown) {
+        shutdown_ = true;
+        return std::nullopt;
+      }
+      if (f.type == FrameType::kOutcome && HandleOutcome(f) &&
+          f.epoch == epoch) {
+        outcomes_.erase(epoch);
+        return f;
+      }
+      // kRingData here is a straggler from a round the supervisor already
+      // resolved; drop it.
+    }
+  }
+
+  int RingPosition() const {
+    for (size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i] == options_.rank) return static_cast<int>(i);
+    }
+    GAIA_CHECK(false);  // a live worker is always in its own membership
+    return 0;
+  }
+
+  void Abort(const char* reason) { abort_->Cancel(reason); }
+
+  void Note(const std::string& message) const {
+    std::cerr << "[dist worker " << options_.rank << "] " << message << "\n";
+  }
+
+  void MarkSupervisorLost(const std::string& why) {
+    supervisor_lost_ = true;
+    Note("supervisor unreachable (" + why + ")");
+  }
+
+  const WorkerOptions& options_;
+  Channel* channel_;
+  core::ForecastModel* model_;
+  util::CancelToken* abort_;
+  util::RetryPolicy send_retry_;
+
+  std::vector<int> live_;
+  int current_epoch_ = -1;
+  size_t batch_size_ = 0;
+  int64_t shard_size_ = 0;
+  /// Live set from the latest death notice; non-empty means the current
+  /// ring is stale and every exchange aborts until an outcome catches the
+  /// membership up.
+  std::optional<std::vector<int>> pending_live_;
+  /// Ring hops that arrived ahead of the exchange (see DrainControl);
+  /// consumed in order by RingRecv, stale epochs dropped there.
+  std::deque<Frame> ring_stash_;
+  std::map<int64_t, Frame> outcomes_;
+  bool supervisor_lost_ = false;
+  bool shutdown_ = false;
+};
+
+int Fail(int rank, const std::string& message) {
+  std::cerr << "[dist worker " << rank << "] " << message << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int RunTrainWorker(const WorkerOptions& options) {
+  // The supervisor can die at any moment; a write to its pipe must surface
+  // as EPIPE, not kill the worker.
+  ::signal(SIGPIPE, SIG_IGN);
+  // Exact serial replica: every ParallelFor in the forward/backward runs
+  // inline, so worker results are the serial path bit for bit.
+  util::ThreadPool::InlineScope inline_scope;
+  GAIA_OBS_SPAN("dist.worker_fit");
+
+  auto market =
+      data::LoadMarketCsvRetry(options.market_dir, util::RetryPolicy{});
+  if (!market.ok()) return Fail(options.rank, market.status().ToString());
+  auto dataset =
+      data::ForecastDataset::Create(market.value(), data::DatasetOptions{});
+  if (!dataset.ok()) return Fail(options.rank, dataset.status().ToString());
+
+  core::GaiaConfig cfg;
+  cfg.channels = options.channels;
+  cfg.num_layers = options.num_layers;
+  cfg.tel_groups = 4;
+  while (cfg.tel_groups > 1 && cfg.channels % cfg.tel_groups != 0) {
+    --cfg.tel_groups;
+  }
+  cfg.seed = options.model_seed;
+  auto model = core::GaiaModel::Create(
+      cfg, dataset.value().history_len(), dataset.value().horizon(),
+      dataset.value().temporal_dim(), dataset.value().static_dim());
+  if (!model.ok()) return Fail(options.rank, model.status().ToString());
+
+  Channel channel(options.read_fd, options.write_fd);
+  auto abort_token = util::CancelToken::Create();
+  WorkerLoop loop(options, &channel, model.value().get(), abort_token.get());
+
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.arg0 = static_cast<uint32_t>(options.rank);
+  if (!channel.Write(hello).ok()) {
+    return Fail(options.rank, "could not reach supervisor");
+  }
+  auto start_deadline =
+      util::CancelToken::WithDeadline(options.outcome_timeout_ms);
+  auto start = channel.Read(start_deadline.get());
+  if (!start.ok() || start.value().type != FrameType::kStart) {
+    return Fail(options.rank, "no start frame from supervisor");
+  }
+  auto initial = DecodeRanks(start.value().payload);
+  if (!initial.ok()) return Fail(options.rank, initial.status().ToString());
+  loop.SetMembership(std::move(initial).value());
+
+  core::TrainResult result;
+  {
+    HeartbeatThread heartbeat(&channel, options.rank, options.heartbeat_ms);
+    util::CancelScope cancel_scope(abort_token.get());
+    core::TrainConfig train = options.train;
+    // The supervisor owns wall-clock budgets; a per-worker deadline would
+    // fire at different epochs on different workers and break lockstep.
+    train.deadline_ms = 0.0;
+    result = core::Trainer(train).Fit(model.value().get(), dataset.value(),
+                                      loop.Hooks());
+  }
+  if (loop.supervisor_lost()) {
+    return Fail(options.rank, "supervisor lost mid-training");
+  }
+
+  Frame done;
+  done.type = FrameType::kDone;
+  done.arg0 = static_cast<uint32_t>(options.rank);
+  DoneStats stats;
+  stats.epochs_run = result.epochs_run;
+  stats.skipped_steps = result.skipped_steps;
+  stats.best_val_loss = result.best_val_loss;
+  stats.final_train_loss = result.final_train_loss;
+  done.payload = EncodeStruct(stats);
+  if (!channel.Write(done).ok()) {
+    return Fail(options.rank, "supervisor lost at completion");
+  }
+
+  // Post-training service: save the checkpoint when asked, exit on
+  // shutdown. The deadline guards against an orphaned worker outliving a
+  // crashed supervisor forever.
+  for (;;) {
+    auto deadline =
+        util::CancelToken::WithDeadline(options.outcome_timeout_ms);
+    auto frame = channel.Read(deadline.get());
+    if (!frame.ok()) {
+      return Fail(options.rank, "supervisor lost before shutdown");
+    }
+    switch (frame.value().type) {
+      case FrameType::kSave: {
+        const std::string path(frame.value().payload.begin(),
+                               frame.value().payload.end());
+        const Status saved = model.value()->Save(path);
+        Frame reply;
+        reply.type = FrameType::kSaveDone;
+        reply.arg0 = saved.ok() ? 1 : 0;
+        if (!saved.ok()) {
+          const std::string text = saved.ToString();
+          reply.payload.assign(text.begin(), text.end());
+        }
+        if (!channel.Write(reply).ok()) {
+          return Fail(options.rank, "supervisor lost during save");
+        }
+        break;
+      }
+      case FrameType::kShutdown:
+        return 0;
+      default:
+        break;  // stragglers from resolved rounds: drop
+    }
+  }
+}
+
+}  // namespace gaia::dist

@@ -1,0 +1,52 @@
+#ifndef GAIA_DIST_WORKER_H_
+#define GAIA_DIST_WORKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/trainer.h"
+
+namespace gaia::dist {
+
+/// \brief One training worker process (the hidden `gaia_cli train-worker`
+/// mode spawned by DistTrainer).
+///
+/// A worker is an exact serial replica of the in-process training loop: it
+/// loads the same market, builds the same model, pins the thread pool to
+/// the inline path, and runs core::Trainer::Fit with TrainHooks that shard
+/// each epoch's batch and ring-all-reduce the gradients through the
+/// supervisor-routed pipe pair. Because every numeric decision — batch
+/// shuffle, shard split, reduced gradients, optimizer state, eval, early
+/// stopping — is a deterministic function of state all workers share,
+/// the replicas stay in bitwise lockstep without ever exchanging
+/// parameters, and at world size 1 the hooks do no numeric work at all, so
+/// the run is bit-for-bit the in-process Trainer.
+
+struct WorkerOptions {
+  int rank = 0;
+  int world = 1;        ///< workers the supervisor intends to start
+  int read_fd = -1;     ///< supervisor → worker pipe
+  int write_fd = -1;    ///< worker → supervisor pipe
+  std::string market_dir;
+  int64_t channels = 16;
+  int64_t num_layers = 2;
+  uint64_t model_seed = 1;
+  core::TrainConfig train;
+  double heartbeat_ms = 100.0;
+  /// Bound on any single blocking wait for a peer's ring payload; on expiry
+  /// the exchange aborts and the epoch is reported as failed (the
+  /// supervisor then resolves the round as skip).
+  double recv_timeout_ms = 30000.0;
+  /// Bound on waiting for the supervisor's round verdict; expiry here means
+  /// the supervisor is gone and the worker exits.
+  double outcome_timeout_ms = 120000.0;
+};
+
+/// Runs the worker protocol to completion. Returns a process exit code:
+/// 0 after a clean kShutdown, non-zero when the supervisor vanished or the
+/// dataset/model could not be built (diagnostic on stderr).
+int RunTrainWorker(const WorkerOptions& options);
+
+}  // namespace gaia::dist
+
+#endif  // GAIA_DIST_WORKER_H_

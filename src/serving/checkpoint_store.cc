@@ -11,6 +11,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 
@@ -42,6 +43,9 @@ struct StoreMetrics {
   obs::Counter& lock_conflicts = obs::MetricsRegistry::Global().GetCounter(
       "gaia_robust_checkpoint_lock_conflicts_total",
       "Publishes refused because another live process held the store lock");
+  obs::Counter& locks_broken = obs::MetricsRegistry::Global().GetCounter(
+      "gaia_robust_checkpoint_lock_broken_total",
+      "Stale store locks broken because their holder pid was dead");
   static StoreMetrics& Get() {
     static StoreMetrics* metrics = new StoreMetrics();
     return *metrics;
@@ -196,6 +200,11 @@ Result<PublishLock> PublishLock::Acquire(const std::string& dir) {
       return Status::Unavailable("checkpoint store locked by pid " +
                                  std::to_string(holder) + ": " + path);
     }
+    // Breaking a dead holder's lock is a takeover operators must be able
+    // to audit: count it unconditionally and name the stale pid.
+    StoreMetrics::Get().locks_broken.Increment();
+    std::cerr << "[checkpoint_store] breaking stale lock " << path
+              << " held by dead pid " << holder << "\n";
     std::remove(path.c_str());
     // Loop once more to race for the now-free lock.
   }

@@ -1,0 +1,191 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/cancel.h"
+
+namespace gaia::util {
+
+namespace {
+
+/// Poll slice for cancellable reads: short enough that a fired deadline
+/// token is observed promptly, long enough to stay cheap.
+constexpr int kReadPollMs = 20;
+
+}  // namespace
+
+Result<Pipe> CreatePipe() {
+  int fds[2];
+#if defined(__linux__)
+  if (::pipe2(fds, O_CLOEXEC) != 0) {
+    return Status::IoError(std::string("pipe2: ") + std::strerror(errno));
+  }
+#else
+  if (::pipe(fds) != 0) {
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+#endif
+  Pipe p;
+  p.read_fd = fds[0];
+  p.write_fd = fds[1];
+  return p;
+}
+
+void CloseFd(int* fd) {
+  if (fd == nullptr || *fd < 0) return;
+  ::close(*fd);
+  *fd = -1;
+}
+
+Status SetNonBlocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0) {
+    return Status::IoError(std::string("fcntl(F_GETFL): ") +
+                           std::strerror(errno));
+  }
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) {
+    return Status::IoError(std::string("fcntl(F_SETFL): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<pid_t> SpawnProcess(const SpawnSpec& spec) {
+  GAIA_CHECK(!spec.argv.empty());
+  std::vector<char*> argv;
+  argv.reserve(spec.argv.size() + 1);
+  for (const std::string& arg : spec.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls until exec. Clear CLOEXEC on the
+    // fds the new image must keep; everything else closes automatically.
+    for (int fd : spec.keep_fds) {
+      if (::fcntl(fd, F_SETFD, 0) < 0) _exit(126);
+    }
+    ::signal(SIGPIPE, SIG_DFL);
+    ::execv(argv[0], argv.data());
+    _exit(127);  // exec failed; the supervisor sees a code-127 death
+  }
+  return pid;
+}
+
+ExitInfo TryReap(pid_t pid) {
+  ExitInfo info;
+  int status = 0;
+  const pid_t got = ::waitpid(pid, &status, WNOHANG);
+  if (got == 0) return info;  // still running
+  if (got < 0) {
+    // ECHILD: already reaped (or never ours). Report it as exited so
+    // callers looping until exit can never spin forever on a stale pid.
+    info.exited = true;
+    info.exit_code = -1;
+    return info;
+  }
+  info.exited = true;
+  if (WIFEXITED(status)) {
+    info.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    info.signaled = true;
+    info.term_signal = WTERMSIG(status);
+  }
+  return info;
+}
+
+ExitInfo ReapWithTimeout(pid_t pid, double timeout_ms, bool kill_on_timeout) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  for (;;) {
+    ExitInfo info = TryReap(pid);
+    if (info.exited) return info;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (kill_on_timeout) {
+    ::kill(pid, SIGKILL);
+    // SIGKILL cannot be blocked; the zombie appears promptly.
+    for (;;) {
+      ExitInfo info = TryReap(pid);
+      if (info.exited) return info;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  return ExitInfo{};
+}
+
+std::string SelfExePath(const std::string& fallback) {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+#endif
+  return fallback;
+}
+
+Status WriteFull(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = n;
+  while (remaining > 0) {
+    const ssize_t wrote = ::write(fd, p, remaining);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE) {
+        return Status::Unavailable("write: peer closed the pipe");
+      }
+      return Status::IoError(std::string("write: ") + std::strerror(errno));
+    }
+    p += wrote;
+    remaining -= static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+Status ReadFull(int fd, void* data, size_t n, const CancelToken* cancel) {
+  char* p = static_cast<char*>(data);
+  size_t remaining = n;
+  while (remaining > 0) {
+    if (cancel != nullptr && cancel->Cancelled()) return cancel->ToStatus();
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, kReadPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;  // slice elapsed; re-check the token
+    const ssize_t got = ::read(fd, p, remaining);
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Status::IoError(std::string("read: ") + std::strerror(errno));
+    }
+    if (got == 0) return Status::Unavailable("read: peer closed the pipe");
+    p += got;
+    remaining -= static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+}  // namespace gaia::util

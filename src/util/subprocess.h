@@ -1,0 +1,82 @@
+#ifndef GAIA_UTIL_SUBPROCESS_H_
+#define GAIA_UTIL_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gaia::util {
+
+class CancelToken;
+
+/// \brief POSIX helpers for the multi-process training tier (src/dist):
+/// pipe plumbing, fork/exec spawning with explicit fd inheritance, and
+/// waitpid-based reaping. std-only + POSIX, no external dependencies.
+
+/// One unidirectional pipe. Both ends are created close-on-exec; a child
+/// keeps an end across exec only when it is listed in SpawnSpec::keep_fds.
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+};
+
+/// Creates a pipe with CLOEXEC set on both ends.
+Result<Pipe> CreatePipe();
+
+/// Closes `*fd` when >= 0 and resets it to -1 (idempotent).
+void CloseFd(int* fd);
+
+/// Sets or clears O_NONBLOCK on `fd`.
+Status SetNonBlocking(int fd, bool enabled);
+
+/// \brief What to exec and which inherited fds the child may keep.
+///
+/// Between fork and exec the child clears CLOEXEC on every fd in `keep_fds`
+/// (so pipe ends created by CreatePipe survive into the new image) and
+/// resets SIGPIPE to default; everything else stays close-on-exec.
+struct SpawnSpec {
+  std::vector<std::string> argv;  ///< argv[0] is the binary path
+  std::vector<int> keep_fds;
+};
+
+/// fork + execv. Returns the child pid; kIoError when fork or the pre-exec
+/// fd fixup fails (an exec failure surfaces as the child exiting 127).
+Result<pid_t> SpawnProcess(const SpawnSpec& spec);
+
+/// Outcome of a waitpid call.
+struct ExitInfo {
+  bool exited = false;       ///< child state was collected (zombie reaped)
+  int exit_code = 0;         ///< valid when exited via exit()
+  bool signaled = false;     ///< true when killed by a signal
+  int term_signal = 0;       ///< valid when signaled
+};
+
+/// Non-blocking reap (WNOHANG). exited == false means still running.
+ExitInfo TryReap(pid_t pid);
+
+/// Polls waitpid until the child exits or `timeout_ms` passes; when
+/// `kill_on_timeout` the child is SIGKILLed at the deadline and then
+/// collected, so the caller never leaks a zombie.
+ExitInfo ReapWithTimeout(pid_t pid, double timeout_ms, bool kill_on_timeout);
+
+/// Path of the running executable (/proc/self/exe), or `fallback` when the
+/// link cannot be read.
+std::string SelfExePath(const std::string& fallback);
+
+/// Writes exactly `n` bytes (blocking, EINTR-safe). A closed peer comes
+/// back as kUnavailable so the caller's supervision ladder can react.
+Status WriteFull(int fd, const void* data, size_t n);
+
+/// Reads exactly `n` bytes, polling in short slices so `cancel` (typically
+/// a util::CancelToken with a deadline — the heartbeat/receive timeout) is
+/// honoured between slices. EOF is kUnavailable ("peer closed"), a fired
+/// token kDeadlineExceeded/kCancelled via CancelToken::ToStatus.
+Status ReadFull(int fd, void* data, size_t n, const CancelToken* cancel);
+
+}  // namespace gaia::util
+
+#endif  // GAIA_UTIL_SUBPROCESS_H_

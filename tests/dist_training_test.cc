@@ -1,0 +1,582 @@
+// Distributed training layer: the deterministic ring all-reduce, the wire
+// protocol, and the DistTrainer supervisor's failure ladder (heartbeat →
+// retry → skip-step → degrade). Registered under the ctest label "dist" so
+// CI can run the suite standalone (tools/ci.sh dist) and under sanitizers.
+//
+// The spawn tests exec the real gaia_cli binary (GAIA_CLI_BIN, injected by
+// CMake) in its hidden train-worker mode, so they cover the supervisor and
+// the worker end to end: pipes, ring routing, death detection, checkpoint
+// publish. Worker-side faults are armed through the GAIA_FAULTS environment
+// (inherited across exec); supervisor-side faults are armed in-process.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+#include "core/gaia_model.h"
+#include "core/trainer.h"
+#include "data/market_io.h"
+#include "data/market_simulator.h"
+#include "dist/dist_trainer.h"
+#include "dist/ring.h"
+#include "dist/wire.h"
+#include "nn/module.h"
+#include "obs/metrics.h"
+#include "serving/checkpoint_store.h"
+#include "util/fault_injector.h"
+
+#ifndef GAIA_CLI_BIN
+#error "tests/CMakeLists.txt must define GAIA_CLI_BIN for dist_training_test"
+#endif
+
+namespace gaia::dist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+std::string TempDir(const std::string& stem) {
+  const std::string dir =
+      "/tmp/gaia_dist_" + stem + "_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Generates the small synthetic market the spawn tests train on and saves
+/// it as CSV (the workers load it back through data::LoadMarketCsvRetry).
+std::string MakeMarketDir(const std::string& stem) {
+  const std::string dir = TempDir(stem);
+  data::MarketConfig cfg;
+  cfg.num_shops = 48;
+  cfg.history_months = 12;
+  cfg.seed = 3;
+  auto market = data::MarketSimulator(cfg).Generate();
+  EXPECT_TRUE(market.ok());
+  EXPECT_TRUE(data::SaveMarketCsv(market.value(), dir).ok());
+  return dir;
+}
+
+DistTrainerConfig BaseConfig(const std::string& market_dir,
+                             const std::string& checkpoint_path) {
+  DistTrainerConfig cfg;
+  cfg.market_dir = market_dir;
+  cfg.checkpoint_path = checkpoint_path;
+  cfg.worker_binary = GAIA_CLI_BIN;
+  cfg.channels = 8;
+  cfg.num_layers = 1;
+  cfg.model_seed = 1;
+  cfg.train.max_epochs = 6;
+  cfg.train.eval_every = 2;
+  cfg.train.patience = 100;  // never early-stop: epoch counts stay exact
+  cfg.train.batch_nodes = 32;
+  cfg.train.seed = 7;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Ring all-reduce: partition and bitwise determinism
+// ---------------------------------------------------------------------------
+
+TEST(RingBlockTest, PartitionsRangeContiguouslyAndCompletely) {
+  for (int64_t len : {int64_t{0}, int64_t{1}, int64_t{5}, int64_t{16},
+                      int64_t{97}}) {
+    for (int world : {1, 2, 3, 5}) {
+      int64_t cursor = 0;
+      for (int block = 0; block < world; ++block) {
+        const BlockRange range = RingBlock(len, world, block);
+        EXPECT_EQ(range.begin, cursor) << len << "/" << world << "@" << block;
+        EXPECT_LE(range.begin, range.end);
+        cursor = range.end;
+      }
+      EXPECT_EQ(cursor, len) << len << "/" << world;
+    }
+  }
+}
+
+/// In-memory ring: rank i's sends land in rank (i+1)%world's mailbox. The
+/// fixed schedule means frames arrive in recv order, so each recv just pops
+/// its mailbox and asserts the (step, block) tag.
+class Mailboxes {
+ public:
+  explicit Mailboxes(int world) : boxes_(static_cast<size_t>(world)) {}
+
+  void Push(int dst, int step, int block, std::vector<float> data) {
+    Box& box = boxes_[static_cast<size_t>(dst)];
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.frames.push_back({step, block, std::move(data)});
+    box.cv.notify_one();
+  }
+
+  std::vector<float> Pop(int dst, int step, int block) {
+    Box& box = boxes_[static_cast<size_t>(dst)];
+    std::unique_lock<std::mutex> lock(box.mu);
+    box.cv.wait(lock, [&] { return !box.frames.empty(); });
+    Entry entry = std::move(box.frames.front());
+    box.frames.pop_front();
+    EXPECT_EQ(entry.step, step);
+    EXPECT_EQ(entry.block, block);
+    return std::move(entry.data);
+  }
+
+ private:
+  struct Entry {
+    int step;
+    int block;
+    std::vector<float> data;
+  };
+  struct Box {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Entry> frames;
+  };
+  std::vector<Box> boxes_;
+};
+
+std::vector<std::vector<float>> RunInMemoryRing(
+    const std::vector<std::vector<float>>& inputs) {
+  const int world = static_cast<int>(inputs.size());
+  const int64_t len = static_cast<int64_t>(inputs[0].size());
+  std::vector<std::vector<float>> data = inputs;
+  Mailboxes mail(world);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(world));
+  for (int pos = 0; pos < world; ++pos) {
+    threads.emplace_back([&, pos] {
+      RingTransport transport;
+      transport.send = [&, pos](int step, int block, const float* buf,
+                                int64_t count) {
+        mail.Push((pos + 1) % world, step, block,
+                  std::vector<float>(buf, buf + count));
+        return Status::OK();
+      };
+      transport.recv = [&, pos](int step, int block, float* buf,
+                                int64_t count) {
+        std::vector<float> got = mail.Pop(pos, step, block);
+        EXPECT_EQ(static_cast<int64_t>(got.size()), count);
+        std::memcpy(buf, got.data(), got.size() * sizeof(float));
+        return Status::OK();
+      };
+      EXPECT_TRUE(RingAllReduceSum(pos, world,
+                                   data[static_cast<size_t>(pos)].data(), len,
+                                   transport)
+                      .ok());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return data;
+}
+
+TEST(RingAllReduceTest, SumsExactlyOnIntegerValues) {
+  // Small integers add exactly in float32 under any association, so the
+  // result must equal the plain sum regardless of the reduction order.
+  const int world = 4;
+  const int64_t len = 13;
+  std::vector<std::vector<float>> inputs(world);
+  for (int r = 0; r < world; ++r) {
+    for (int64_t i = 0; i < len; ++i) {
+      inputs[static_cast<size_t>(r)].push_back(
+          static_cast<float>((r + 1) * 10 + i));
+    }
+  }
+  const auto out = RunInMemoryRing(inputs);
+  for (int64_t i = 0; i < len; ++i) {
+    float want = 0.0f;
+    for (int r = 0; r < world; ++r) {
+      want += inputs[static_cast<size_t>(r)][static_cast<size_t>(i)];
+    }
+    for (int r = 0; r < world; ++r) {
+      EXPECT_EQ(out[static_cast<size_t>(r)][static_cast<size_t>(i)], want)
+          << "rank " << r << " index " << i;
+    }
+  }
+}
+
+TEST(RingAllReduceTest, RoundingIsBitwiseIdenticalAcrossRunsAndRanks) {
+  // Values whose sum depends on association: determinism must come from the
+  // fixed rank-ordered schedule, not from luck.
+  const int world = 5;
+  const int64_t len = 23;
+  std::vector<std::vector<float>> inputs(world);
+  for (int r = 0; r < world; ++r) {
+    for (int64_t i = 0; i < len; ++i) {
+      inputs[static_cast<size_t>(r)].push_back(
+          1.0f / static_cast<float>(3 + r) +
+          static_cast<float>(i) * 1e-7f);
+    }
+  }
+  const auto first = RunInMemoryRing(inputs);
+  for (int run = 0; run < 3; ++run) {
+    const auto again = RunInMemoryRing(inputs);
+    for (int r = 0; r < world; ++r) {
+      ASSERT_EQ(again[static_cast<size_t>(r)], first[0])
+          << "run " << run << " rank " << r;
+    }
+  }
+}
+
+TEST(RingAllReduceTest, WorldOfOneIsANoOp) {
+  std::vector<float> data = {1.5f, -2.25f, 3.0f};
+  const std::vector<float> before = data;
+  RingTransport transport;  // never invoked at world size 1
+  EXPECT_TRUE(RingAllReduceSum(0, 1, data.data(),
+                               static_cast<int64_t>(data.size()), transport)
+                  .ok());
+  EXPECT_EQ(data, before);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(WireTest, FrameSurvivesByteAtATimeReassembly) {
+  Frame frame;
+  frame.type = FrameType::kRingData;
+  frame.epoch = 41;
+  frame.arg0 = 2;
+  frame.arg1 = 0;
+  frame.arg2 = 3;
+  frame.arg3 = 1;
+  frame.payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+  const std::vector<uint8_t> bytes = SerializeFrame(frame);
+
+  FrameBuffer buffer;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    buffer.Append(&bytes[i], 1);
+    auto next = buffer.Next();
+    ASSERT_TRUE(next.ok());
+    EXPECT_FALSE(next.value().has_value()) << "frame complete early at " << i;
+  }
+  buffer.Append(&bytes[bytes.size() - 1], 1);
+  auto next = buffer.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next.value().has_value());
+  const Frame& got = *next.value();
+  EXPECT_EQ(got.type, FrameType::kRingData);
+  EXPECT_EQ(got.epoch, 41);
+  EXPECT_EQ(got.arg0, 2u);
+  EXPECT_EQ(got.arg2, 3u);
+  EXPECT_EQ(got.payload, frame.payload);
+}
+
+TEST(WireTest, BadMagicIsDataLossNotAHang) {
+  std::vector<uint8_t> junk(64, 0);
+  FrameBuffer buffer;
+  buffer.Append(junk.data(), junk.size());
+  auto next = buffer.Next();
+  EXPECT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WireTest, StructAndRankCodecsRoundTrip) {
+  EpochReport report;
+  report.ok = 1;
+  report.shard_size = 17;
+  report.shard_loss = 0.125f;
+  auto report2 = DecodeStruct<EpochReport>(EncodeStruct(report));
+  ASSERT_TRUE(report2.ok());
+  EXPECT_EQ(report2.value().ok, 1u);
+  EXPECT_EQ(report2.value().shard_size, 17u);
+  EXPECT_EQ(report2.value().shard_loss, 0.125f);
+
+  auto truncated =
+      DecodeStruct<EpochReport>(std::vector<uint8_t>(3, 0));
+  EXPECT_EQ(truncated.status().code(), StatusCode::kDataLoss);
+
+  const std::vector<int> ranks = {0, 2, 5};
+  auto ranks2 = DecodeRanks(EncodeRanks(ranks));
+  ASSERT_TRUE(ranks2.ok());
+  EXPECT_EQ(ranks2.value(), ranks);
+}
+
+TEST(WireTest, WorkerArgvSerializesFloatsBitExactly) {
+  DistTrainerConfig cfg;
+  cfg.train.learning_rate = 0.0171f;
+  cfg.train.grad_clip = 3.5f;
+  const std::vector<std::string> argv = WorkerArgv(cfg, 1, 5, 6);
+  auto value_of = [&](const std::string& flag) -> std::string {
+    for (size_t i = 0; i + 1 < argv.size(); ++i) {
+      if (argv[i] == flag) return argv[i + 1];
+    }
+    ADD_FAILURE() << "missing " << flag;
+    return "";
+  };
+  // Hexfloat (%a) round-trips through strtod with zero rounding error —
+  // the worker's parsed TrainConfig is bit-exact.
+  EXPECT_EQ(static_cast<float>(std::strtod(value_of("--lr").c_str(), nullptr)),
+            0.0171f);
+  EXPECT_EQ(static_cast<float>(
+                std::strtod(value_of("--grad-clip").c_str(), nullptr)),
+            3.5f);
+  EXPECT_EQ(value_of("--rank"), "1");
+  EXPECT_EQ(value_of("--read-fd"), "5");
+  EXPECT_EQ(value_of("--write-fd"), "6");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: real worker processes through gaia_cli train-worker
+// ---------------------------------------------------------------------------
+
+class DistTrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::FaultInjector::Global().Reset();
+    ::unsetenv("GAIA_FAULTS");
+    ::unsetenv("GAIA_FAULTS_SEED");
+    market_dir_ = MakeMarketDir("market");
+    out_dir_ = TempDir("out");
+  }
+
+  void TearDown() override {
+    util::FaultInjector::Global().Reset();
+    ::unsetenv("GAIA_FAULTS");
+    ::unsetenv("GAIA_FAULTS_SEED");
+  }
+
+  std::string Checkpoint(const std::string& name) const {
+    return out_dir_ + "/" + name;
+  }
+
+  std::string market_dir_;
+  std::string out_dir_;
+};
+
+TEST_F(DistTrainerTest, SingleWorkerMatchesInProcessTrainerBitwise) {
+  DistTrainerConfig cfg = BaseConfig(market_dir_, Checkpoint("w1.bin"));
+  cfg.num_workers = 1;
+  auto dist = DistTrainer(cfg).Fit();
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  EXPECT_EQ(dist.value().epochs_run, cfg.train.max_epochs);
+  EXPECT_EQ(dist.value().skipped_steps, 0);
+  EXPECT_EQ(dist.value().workers_lost, 0);
+
+  // The in-process replica: same CSV round trip, same model construction as
+  // RunTrainWorker, same TrainConfig. At world size 1 the hooks do zero
+  // numeric work, so the checkpoints must agree byte for byte.
+  auto market = data::LoadMarketCsv(market_dir_);
+  ASSERT_TRUE(market.ok());
+  auto dataset =
+      data::ForecastDataset::Create(market.value(), data::DatasetOptions{});
+  ASSERT_TRUE(dataset.ok());
+  core::GaiaConfig model_cfg;
+  model_cfg.channels = cfg.channels;
+  model_cfg.num_layers = cfg.num_layers;
+  model_cfg.tel_groups = 4;
+  model_cfg.seed = cfg.model_seed;
+  auto model = core::GaiaModel::Create(
+      model_cfg, dataset.value().history_len(), dataset.value().horizon(),
+      dataset.value().temporal_dim(), dataset.value().static_dim());
+  ASSERT_TRUE(model.ok());
+  core::TrainConfig train = cfg.train;
+  train.deadline_ms = 0.0;
+  core::TrainResult result =
+      core::Trainer(train).Fit(model.value().get(), dataset.value());
+  EXPECT_EQ(result.epochs_run, cfg.train.max_epochs);
+  const std::string inproc_path = Checkpoint("inproc.bin");
+  ASSERT_TRUE(model.value()->Save(inproc_path).ok());
+
+  EXPECT_EQ(ReadFileBytes(Checkpoint("w1.bin")), ReadFileBytes(inproc_path));
+}
+
+TEST_F(DistTrainerTest, FixedWorldSizeRerunsAreBitwiseIdentical) {
+  DistTrainerConfig cfg = BaseConfig(market_dir_, Checkpoint("w3a.bin"));
+  cfg.num_workers = 3;
+  auto first = DistTrainer(cfg).Fit();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().skipped_steps, 0);
+  EXPECT_EQ(first.value().workers_lost, 0);
+  EXPECT_FALSE(first.value().degraded);
+
+  cfg.checkpoint_path = Checkpoint("w3b.bin");
+  auto second = DistTrainer(cfg).Fit();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  EXPECT_EQ(ReadFileBytes(Checkpoint("w3a.bin")),
+            ReadFileBytes(Checkpoint("w3b.bin")));
+}
+
+TEST_F(DistTrainerTest, SpawnFaultsRideTheRetryLadder) {
+  // Exactly two spawn attempts fail (probability 1, max_fires 2); the retry
+  // policy absorbs both and the run is otherwise clean.
+  util::FaultSpec spec;
+  spec.site = "dist.worker_spawn";
+  spec.kind = util::FaultKind::kUnavailable;
+  spec.probability = 1.0;
+  spec.max_fires = 2;
+  util::FaultInjector::Global().Arm(spec);
+
+  DistTrainerConfig cfg = BaseConfig(market_dir_, Checkpoint("spawn.bin"));
+  cfg.num_workers = 2;
+  cfg.spawn_retry.max_attempts = 5;
+  cfg.spawn_retry.sleep = false;
+  auto result = DistTrainer(cfg).Fit();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().spawn_retries, 2);
+  EXPECT_EQ(result.value().workers_started, 2);
+  EXPECT_EQ(result.value().skipped_steps, 0);
+  EXPECT_TRUE(nn::Module::VerifyCheckpoint(result.value().checkpoint_path)
+                  .ok());
+}
+
+TEST_F(DistTrainerTest, GradExchangeFaultsSkipStepsAndStillPublish) {
+  // Armed through the environment so the exec'd workers inherit it; the
+  // per-site PCG stream makes the fire pattern reproducible at this seed.
+  ::setenv("GAIA_FAULTS", "train.grad_exchange:unavailable:0.3", 1);
+  ::setenv("GAIA_FAULTS_SEED", "11", 1);
+
+  DistTrainerConfig cfg = BaseConfig(market_dir_, Checkpoint("faulted.bin"));
+  cfg.num_workers = 2;
+  cfg.train.max_epochs = 8;
+  auto result = DistTrainer(cfg).Fit();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().epochs_run, 8);
+  EXPECT_GT(result.value().skipped_steps, 0);
+  EXPECT_EQ(result.value().workers_lost, 0);
+  EXPECT_TRUE(nn::Module::VerifyCheckpoint(result.value().checkpoint_path)
+                  .ok());
+}
+
+TEST_F(DistTrainerTest, KilledWorkerDegradesToSurvivorsAndStillPublishes) {
+  // Chaos leg: SIGKILL one randomly chosen worker after round 2. The seed is
+  // echoed so a failure reproduces with GAIA_CHAOS_SEED=<seed>.
+  uint32_t seed;
+  if (const char* env = ::getenv("GAIA_CHAOS_SEED")) {
+    seed = static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+  } else {
+    seed = std::random_device{}();
+  }
+  std::cerr << "[dist chaos] GAIA_CHAOS_SEED=" << seed << "\n";
+  std::mt19937 rng(seed);
+
+  DistTrainerConfig cfg = BaseConfig(market_dir_, Checkpoint("chaos.bin"));
+  cfg.num_workers = 3;
+  cfg.min_workers = 1;
+  cfg.train.max_epochs = 10;
+  bool killed = false;
+  cfg.on_round = [&](int64_t epoch, const std::vector<pid_t>& pids) {
+    if (killed || epoch < 2 || pids.empty()) return;
+    const pid_t victim =
+        pids[rng() % static_cast<uint32_t>(pids.size())];
+    std::cerr << "[dist chaos] killing worker pid " << victim << " after "
+              << "round " << epoch << "\n";
+    ::kill(victim, SIGKILL);
+    killed = true;
+  };
+
+  auto result = DistTrainer(cfg).Fit();
+  ASSERT_TRUE(result.ok()) << result.status().ToString()
+                           << " (GAIA_CHAOS_SEED=" << seed << ")";
+  EXPECT_TRUE(killed);
+  EXPECT_EQ(result.value().workers_lost, 1) << "seed " << seed;
+  EXPECT_TRUE(result.value().degraded) << "seed " << seed;
+  EXPECT_GE(result.value().skipped_steps, 1) << "seed " << seed;
+  EXPECT_EQ(result.value().epochs_run, 10) << "seed " << seed;
+  EXPECT_TRUE(nn::Module::VerifyCheckpoint(result.value().checkpoint_path)
+                  .ok())
+      << "seed " << seed;
+}
+
+TEST_F(DistTrainerTest, FinalCheckpointIsAdoptedIntoStore) {
+  DistTrainerConfig cfg = BaseConfig(market_dir_, Checkpoint("stored.bin"));
+  cfg.num_workers = 2;
+  cfg.store_dir = TempDir("store");
+  auto result = DistTrainer(cfg).Fit();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // A fresh store over the same directory sees the adopted checkpoint.
+  serving::CheckpointStoreConfig store_cfg;
+  store_cfg.dir = cfg.store_dir;
+  serving::CheckpointStore store(store_cfg);
+  core::GaiaConfig model_cfg;
+  model_cfg.channels = cfg.channels;
+  model_cfg.num_layers = cfg.num_layers;
+  model_cfg.tel_groups = 4;
+  model_cfg.seed = cfg.model_seed;
+  auto market = data::LoadMarketCsv(market_dir_);
+  ASSERT_TRUE(market.ok());
+  auto dataset =
+      data::ForecastDataset::Create(market.value(), data::DatasetOptions{});
+  ASSERT_TRUE(dataset.ok());
+  auto model = core::GaiaModel::Create(
+      model_cfg, dataset.value().history_len(), dataset.value().horizon(),
+      dataset.value().temporal_dim(), dataset.value().static_dim());
+  ASSERT_TRUE(model.ok());
+  auto loaded = store.LoadLatestGood(model.value().get());
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// PublishLock: dead-holder break is counted and audited
+// ---------------------------------------------------------------------------
+
+TEST(PublishLockTest, BreakingADeadHoldersLockIncrementsTheCounter) {
+  const std::string dir = TempDir("lockbreak");
+
+  // A pid that provably lived and died: fork a child that exits at once.
+  const pid_t dead = ::fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) ::_exit(0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(dead, &wstatus, 0), dead);
+
+  const std::string lock_path = dir + "/store.lock";
+  {
+    std::ofstream out(lock_path);
+    out << dead << "\n";
+  }
+
+  const uint64_t broken_before = obs::MetricsRegistry::Global().CounterValue(
+      "gaia_robust_checkpoint_lock_broken_total");
+  auto lock = serving::PublishLock::Acquire(dir);
+  EXPECT_TRUE(lock.ok()) << lock.status().ToString();
+  EXPECT_EQ(obs::MetricsRegistry::Global().CounterValue(
+                "gaia_robust_checkpoint_lock_broken_total"),
+            broken_before + 1);
+}
+
+TEST(PublishLockTest, LiveHoldersLockIsRespectedNotBroken) {
+  const std::string dir = TempDir("lockheld");
+  const std::string lock_path = dir + "/store.lock";
+  {
+    std::ofstream out(lock_path);
+    out << ::getpid() << "\n";  // we are definitely alive
+  }
+  const uint64_t broken_before = obs::MetricsRegistry::Global().CounterValue(
+      "gaia_robust_checkpoint_lock_broken_total");
+  auto lock = serving::PublishLock::Acquire(dir);
+  EXPECT_FALSE(lock.ok());
+  EXPECT_EQ(lock.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(obs::MetricsRegistry::Global().CounterValue(
+                "gaia_robust_checkpoint_lock_broken_total"),
+            broken_before);
+  std::remove(lock_path.c_str());
+}
+
+}  // namespace
+}  // namespace gaia::dist

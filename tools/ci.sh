@@ -8,9 +8,12 @@
 # MatMul pair check; see docs/BENCHMARKING.md and docs/PERFORMANCE.md), a
 # sharded-serving pass
 # (shard-labelled concurrency tests + multi-shard CLI smoke + throughput
-# scaling check), an ASan+UBSan build running the labelled
-# robust/concurrency/golden/obs/cancel/shard subset, then a TSan build
-# running the concurrency/robust/cancel/shard subset (the concurrency
+# scaling check), a distributed-training pass (dist-labelled tests including
+# the randomized worker-kill chaos case, a fault-free multi-worker CLI smoke
+# that must skip zero steps, and a GAIA_FAULTS chaos train whose checkpoint
+# must still evaluate), an ASan+UBSan build running the labelled
+# robust/concurrency/golden/obs/cancel/shard/dist subset, then a TSan build
+# running the concurrency/robust/cancel/shard/dist subset (the concurrency
 # tentpoles' race check).
 #
 #   tools/ci.sh            # all jobs
@@ -19,6 +22,7 @@
 #   tools/ci.sh robust     # robustness job only (reuses build/)
 #   tools/ci.sh perf       # perf job only (reuses build/)
 #   tools/ci.sh shard      # sharded-serving job only (reuses build/)
+#   tools/ci.sh dist       # distributed-training job only (reuses build/)
 #   tools/ci.sh sanitize   # ASan+UBSan job only
 #   tools/ci.sh tsan       # TSan job only
 set -euo pipefail
@@ -170,20 +174,52 @@ if [[ "$job" == "shard" || "$job" == "all" ]]; then
   ./build/bench/serve_throughput --reps 3 --warmup 1 --check-scaling
 fi
 
+if [[ "$job" == "dist" || "$job" == "all" ]]; then
+  echo "=== Distributed training: dist tests + multi-worker smoke + chaos ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$jobs"
+  # Ring determinism, N=1 bitwise equality with the in-process Trainer, and
+  # the randomized SIGKILL-a-worker chaos case (the test echoes its
+  # GAIA_CHAOS_SEED so any failure reproduces exactly).
+  ctest --test-dir build --output-on-failure -L dist -j"$jobs"
+  dist_dir=$(mktemp -d)
+  ./build/tools/gaia_cli simulate --out "$dist_dir/market" --shops 80 \
+    --history 18 --seed 7
+  # Fault-free multi-worker smoke: with nothing armed, every round must step
+  # and every worker must survive.
+  ./build/tools/gaia_cli train --market "$dist_dir/market" \
+    --checkpoint "$dist_dir/ckpt2.bin" --epochs 4 --channels 8 --layers 1 \
+    --workers 2 | tee "$dist_dir/smoke.txt"
+  grep -q "0 steps skipped, 0 workers lost" "$dist_dir/smoke.txt"
+  # Chaos leg: gradient hops and exchanges fault at a randomized seed; the
+  # failure ladder (retry -> skip-step -> degrade) must still publish a
+  # checkpoint good enough for evaluate to load, so this exits 0 at any seed.
+  seed="${GAIA_FAULTS_SEED:-$RANDOM}"
+  echo "dist chaos train with GAIA_FAULTS_SEED=$seed"
+  GAIA_FAULTS_SEED="$seed" \
+  GAIA_FAULTS="dist.allreduce_send:unavailable:0.2;train.grad_exchange:unavailable:0.2" \
+    ./build/tools/gaia_cli train --market "$dist_dir/market" \
+    --checkpoint "$dist_dir/ckpt_chaos.bin" --epochs 4 --channels 8 \
+    --layers 1 --workers 3
+  ./build/tools/gaia_cli evaluate --market "$dist_dir/market" \
+    --checkpoint "$dist_dir/ckpt_chaos.bin" --channels 8 --layers 1
+  rm -rf "$dist_dir"
+fi
+
 if [[ "$job" == "sanitize" || "$job" == "all" ]]; then
-  echo "=== ASan+UBSan build + robust/concurrency/golden/obs/cancel/shard tests ==="
+  echo "=== ASan+UBSan build + robust/concurrency/golden/obs/cancel/shard/dist tests ==="
   cmake -B build-asan -S . -DGAIA_SANITIZE=ON
   cmake --build build-asan -j"$jobs"
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 GAIA_OBS=1 \
     ctest --test-dir build-asan --output-on-failure \
-    -L "robust|concurrency|golden|obs|cancel|shard"
+    -L "robust|concurrency|golden|obs|cancel|shard|dist"
 fi
 
 if [[ "$job" == "tsan" || "$job" == "all" ]]; then
-  echo "=== TSan build + concurrency/robust/cancel/shard tests ==="
+  echo "=== TSan build + concurrency/robust/cancel/shard/dist tests ==="
   cmake -B build-tsan -S . -DGAIA_SANITIZE=thread
   cmake --build build-tsan -j"$jobs"
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure \
-    -L "concurrency|robust|cancel|shard"
+    -L "concurrency|robust|cancel|shard|dist"
 fi
