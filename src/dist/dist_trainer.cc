@@ -43,6 +43,7 @@ struct DistMetrics {
   obs::Counter& ring_bytes;
   obs::Counter& rounds;
   obs::Counter& rounds_skipped;
+  obs::Counter& metric_frames;
   obs::Gauge& live_workers;
 
   static DistMetrics& Get() {
@@ -67,6 +68,8 @@ struct DistMetrics {
                        "Gradient-exchange rounds resolved"),
           r.GetCounter("gaia_dist_rounds_skipped_total",
                        "Rounds resolved as skip (fault or worker loss)"),
+          r.GetCounter("gaia_dist_metric_frames_total",
+                       "Worker metrics-delta frames merged by the supervisor"),
           r.GetGauge("gaia_dist_live_workers",
                      "Currently live training workers"),
       };
@@ -453,6 +456,28 @@ class Supervisor {
       case FrameType::kSaveDone:
         save_reply_ = std::move(f);
         break;
+      case FrameType::kMetrics: {
+        // Cross-process aggregation: fold the worker's counter deltas into
+        // supervisor-side gaia_dist_worker_* counters, so one /metrics
+        // scrape of this process covers the whole training fleet. A corrupt
+        // payload is dropped — telemetry is never worth losing a worker.
+        auto deltas = DecodeCounterDeltas(f.payload);
+        if (!deltas.ok()) break;
+        DistMetrics::Get().metric_frames.Increment();
+        obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+        for (const auto& [name, delta] : deltas.value()) {
+          // gaia_serve_requests_total → gaia_dist_worker_serve_requests_total
+          const std::string merged =
+              "gaia_dist_worker_" +
+              (name.rfind("gaia_", 0) == 0 ? name.substr(5) : name);
+          registry
+              .GetCounter(merged,
+                          "Summed across training workers (shipped at epoch "
+                          "boundaries over the wire protocol)")
+              .Increment(delta);
+        }
+        break;
+      }
       default:
         break;  // workers never send kStart/kOutcome/kSave/kShutdown
     }

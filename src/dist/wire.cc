@@ -52,7 +52,7 @@ Status UnpackHeader(const uint8_t* in, Frame* frame, uint64_t* payload_bytes) {
   }
   const uint32_t type = UnpackU32(in + 4);
   if (type < static_cast<uint32_t>(FrameType::kHello) ||
-      type > static_cast<uint32_t>(FrameType::kShutdown)) {
+      type > static_cast<uint32_t>(FrameType::kMetrics)) {
     return Status::DataLoss("frame header: unknown type " +
                             std::to_string(type));
   }
@@ -177,8 +177,70 @@ const char* FrameTypeToString(FrameType type) {
       return "save_done";
     case FrameType::kShutdown:
       return "shutdown";
+    case FrameType::kMetrics:
+      return "metrics";
   }
   return "unknown";
+}
+
+std::vector<uint8_t> EncodeCounterDeltas(
+    const std::vector<std::pair<std::string, uint64_t>>& deltas) {
+  size_t bytes = sizeof(uint32_t);
+  for (const auto& [name, delta] : deltas) {
+    (void)delta;
+    bytes += sizeof(uint32_t) + name.size() + sizeof(uint64_t);
+  }
+  std::vector<uint8_t> out(bytes);
+  uint8_t* p = out.data();
+  PackU32(p, static_cast<uint32_t>(deltas.size()));
+  p += sizeof(uint32_t);
+  for (const auto& [name, delta] : deltas) {
+    PackU32(p, static_cast<uint32_t>(name.size()));
+    p += sizeof(uint32_t);
+    std::memcpy(p, name.data(), name.size());
+    p += name.size();
+    PackU64(p, delta);
+    p += sizeof(uint64_t);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, uint64_t>>> DecodeCounterDeltas(
+    const std::vector<uint8_t>& payload) {
+  constexpr size_t kMaxNameBytes = 256;
+  size_t pos = 0;
+  auto remaining = [&] { return payload.size() - pos; };
+  if (remaining() < sizeof(uint32_t)) {
+    return Status::DataLoss("counter deltas: truncated count");
+  }
+  const uint32_t count = UnpackU32(payload.data() + pos);
+  pos += sizeof(uint32_t);
+  std::vector<std::pair<std::string, uint64_t>> deltas;
+  deltas.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (remaining() < sizeof(uint32_t)) {
+      return Status::DataLoss("counter deltas: truncated name length");
+    }
+    const uint32_t name_len = UnpackU32(payload.data() + pos);
+    pos += sizeof(uint32_t);
+    if (name_len == 0 || name_len > kMaxNameBytes) {
+      return Status::DataLoss("counter deltas: bad name length " +
+                              std::to_string(name_len));
+    }
+    if (remaining() < name_len + sizeof(uint64_t)) {
+      return Status::DataLoss("counter deltas: truncated entry");
+    }
+    std::string name(reinterpret_cast<const char*>(payload.data() + pos),
+                     name_len);
+    pos += name_len;
+    const uint64_t delta = UnpackU64(payload.data() + pos);
+    pos += sizeof(uint64_t);
+    deltas.emplace_back(std::move(name), delta);
+  }
+  if (pos != payload.size()) {
+    return Status::DataLoss("counter deltas: trailing bytes");
+  }
+  return deltas;
 }
 
 }  // namespace gaia::dist

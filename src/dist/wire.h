@@ -5,6 +5,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -36,6 +37,9 @@ enum class FrameType : uint32_t {
   kSave,         ///< sup → worker: write the checkpoint (payload = path)
   kSaveDone,     ///< worker → sup: save verdict (arg0 = ok, payload = error)
   kShutdown,     ///< sup → worker: exit cleanly
+  kMetrics,      ///< worker → sup: MetricsRegistry counter deltas since the
+                 ///< last report (payload = EncodeCounterDeltas); merged
+                 ///< into supervisor-side gaia_dist_worker_* metrics
 };
 
 /// kOutcome arg0 values.
@@ -106,6 +110,14 @@ class FrameBuffer {
 /// Typed payload helpers. Decode errors are kDataLoss.
 std::vector<uint8_t> EncodeRanks(const std::vector<int>& ranks);
 Result<std::vector<int>> DecodeRanks(const std::vector<uint8_t>& payload);
+
+/// kMetrics payload: a list of (counter name, delta) pairs. Layout: u32
+/// count, then per entry u32 name length + name bytes + u64 delta. Names
+/// are capped at 256 bytes on decode (a longer name means a corrupt frame).
+std::vector<uint8_t> EncodeCounterDeltas(
+    const std::vector<std::pair<std::string, uint64_t>>& deltas);
+Result<std::vector<std::pair<std::string, uint64_t>>> DecodeCounterDeltas(
+    const std::vector<uint8_t>& payload);
 
 template <typename T>
 std::vector<uint8_t> EncodeStruct(const T& value) {

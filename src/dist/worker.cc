@@ -204,6 +204,14 @@ class WorkerLoop {
 
   bool ExchangeGradients(int epoch, float shard_loss, bool local_fault) {
     GAIA_OBS_SPAN("dist.allreduce");
+    // Unconditional (gaia_robust_* discipline) — and it guarantees every
+    // epoch produces at least one nonzero counter delta to ship, so the
+    // supervisor-side gaia_dist_worker_* merge is observable even in a
+    // fault-free run with GAIA_OBS off.
+    obs::MetricsRegistry::Global()
+        .GetCounter("gaia_epoch_exchanges_total",
+                    "Training epochs this worker exchanged gradients for")
+        .Increment();
     DrainControl();
     if (supervisor_lost_ || shutdown_) {
       Abort("supervisor lost");
@@ -236,6 +244,7 @@ class WorkerLoop {
       Abort("supervisor lost");
       return false;
     }
+    ShipMetricsDeltas(epoch);
 
     std::optional<Frame> outcome = WaitOutcome(epoch);
     if (!outcome.has_value()) {
@@ -298,6 +307,29 @@ class WorkerLoop {
       offset += p->grad.size();
     }
     return true;
+  }
+
+  /// Ships this worker's MetricsRegistry counter deltas (vs the last ship)
+  /// to the supervisor for the fleet-wide gaia_dist_worker_* merge.
+  /// Best-effort: a failed write is the heartbeat/report path's problem to
+  /// notice, and an empty delta set sends nothing.
+  void ShipMetricsDeltas(int epoch) {
+    std::vector<std::pair<std::string, uint64_t>> deltas;
+    for (const auto& [name, value] :
+         obs::MetricsRegistry::Global().CounterSamples()) {
+      uint64_t& sent = metrics_sent_[name];
+      if (value > sent) {
+        deltas.emplace_back(name, value - sent);
+        sent = value;
+      }
+    }
+    if (deltas.empty()) return;
+    Frame frame;
+    frame.type = FrameType::kMetrics;
+    frame.epoch = epoch;
+    frame.arg0 = static_cast<uint32_t>(options_.rank);
+    frame.payload = EncodeCounterDeltas(deltas);
+    (void)channel_->Write(frame);
   }
 
   Status RingSend(int epoch, int dst, int step, int block, const float* data,
@@ -501,6 +533,9 @@ class WorkerLoop {
   /// consumed in order by RingRecv, stale epochs dropped there.
   std::deque<Frame> ring_stash_;
   std::map<int64_t, Frame> outcomes_;
+  /// Counter values already shipped upstream, per metric name; the next
+  /// kMetrics frame carries only the increase since these.
+  std::map<std::string, uint64_t> metrics_sent_;
   bool supervisor_lost_ = false;
   bool shutdown_ = false;
 };

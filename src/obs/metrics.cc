@@ -56,6 +56,39 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// Prometheus text-format HELP escaping: backslash and newline must be
+/// escaped so a multi-line help string cannot break the exposition framing.
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Prometheus metric names are restricted to [a-zA-Z_:][a-zA-Z0-9_:]*; any
+/// other byte is replaced with '_' at export time so a stray registration
+/// can never produce an unscrapable page. Well-formed names pass through
+/// untouched (the export stays byte-identical for every gaia_* metric).
+std::string SanitizeName(const std::string& s) {
+  if (s.empty()) return "_";
+  std::string out = s;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) out[i] = '_';
+  }
+  return out;
+}
+
 }  // namespace
 
 Level CurrentLevel() {
@@ -200,8 +233,11 @@ std::string MetricsRegistry::ExportPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os.imbue(std::locale::classic());
-  for (const auto& [name, entry] : metrics_) {
-    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
+  for (const auto& [raw_name, entry] : metrics_) {
+    const std::string name = SanitizeName(raw_name);
+    if (!entry.help.empty()) {
+      os << "# HELP " << name << " " << EscapeHelp(entry.help) << "\n";
+    }
     if (entry.counter != nullptr) {
       os << "# TYPE " << name << " counter\n";
       os << name << " " << entry.counter->value() << "\n";
@@ -280,6 +316,26 @@ uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
   const auto it = metrics_.find(name);
   if (it == metrics_.end() || it->second.counter == nullptr) return 0;
   return it->second.counter->value();
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.gauge == nullptr) return 0.0;
+  return it->second.gauge->value();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterSamples()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> samples;
+  samples.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    if (entry.counter != nullptr) {
+      samples.emplace_back(name, entry.counter->value());
+    }
+  }
+  return samples;
 }
 
 void MetricsRegistry::ResetAll() {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gaia::obs {
@@ -131,6 +132,15 @@ class MetricsRegistry {
   /// attribute pool/allocation counters to a case without registering
   /// instruments the workload itself never touched.
   uint64_t CounterValue(const std::string& name) const;
+
+  /// Read-only snapshot of a gauge's current value without creating it;
+  /// returns 0.0 when `name` is unregistered. /statusz uses this to report
+  /// arena high-water marks without registering them itself.
+  double GaugeValue(const std::string& name) const;
+
+  /// Name/value snapshot of every registered counter, sorted by name. The
+  /// dist worker diffs two snapshots to ship per-epoch deltas upstream.
+  std::vector<std::pair<std::string, uint64_t>> CounterSamples() const;
 
   /// Zeroes every registered metric (tools and tests isolate runs with
   /// this); registrations themselves are kept.

@@ -4,8 +4,10 @@
 /// \file Umbrella header for the observability layer: include this from
 /// instrumentation sites. See docs/OBSERVABILITY.md for the metric/span
 /// naming conventions and the operator workflow (GAIA_OBS levels, exporters,
-/// Chrome traces, tools/metrics_snapshot and tools/trace_dump).
+/// Chrome traces, the live admin endpoints, tools/metrics_snapshot and
+/// tools/trace_dump).
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 

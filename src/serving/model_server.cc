@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <optional>
 #include <thread>
 
@@ -102,6 +103,25 @@ void ObservePrediction(const ModelServer::Prediction& prediction) {
   metrics.requests.Increment();
   metrics.latency.Observe(prediction.latency_ms * 1e-3);
   metrics.ego_nodes.Observe(static_cast<double>(prediction.ego_nodes));
+}
+
+/// Flight-recorder append for one served request. One relaxed load when the
+/// log is disabled; never touches the numeric path.
+void LogServedRequest(const ModelServer::Prediction& prediction,
+                      const obs::RequestContext& ctx) {
+  obs::EventLog& log = obs::EventLog::Global();
+  if (!log.enabled()) return;
+  obs::EventRecord record;
+  record.request_id = ctx.request_id;
+  record.shop = prediction.shop;
+  record.shard = ctx.shard;
+  record.served_by =
+      prediction.served_by == ModelServer::ServePath::kFallback ? 1u : 0u;
+  record.queue_wait_ms = ctx.queue_wait_ms;
+  record.latency_ms = prediction.latency_ms;
+  std::strncpy(record.reason, prediction.degraded_reason.c_str(),
+               sizeof(record.reason) - 1);
+  log.Append(record);
 }
 
 }  // namespace
@@ -272,6 +292,13 @@ ModelServer::Prediction ModelServer::PredictOne(
 
 ModelServer::Prediction ModelServer::Serve(int32_t shop,
                                            double deadline_ms) const {
+  obs::RequestContext ctx;
+  ctx.request_id = obs::NextRequestId();
+  return Serve(shop, deadline_ms, ctx);
+}
+
+ModelServer::Prediction ModelServer::Serve(
+    int32_t shop, double deadline_ms, const obs::RequestContext& ctx) const {
   // Arena scope for the whole request: in steady state the forward's tensor
   // buffers are all cache hits, so a Predict allocates ~nothing from the
   // system heap (see docs/PERFORMANCE.md).
@@ -283,7 +310,9 @@ ModelServer::Prediction ModelServer::Serve(int32_t shop,
       graph::ExtractEgoSubgraph(dataset_->graph(), shop, config_.ego_hops,
                                 config_.max_fanout, &rng);
   Prediction prediction = PredictOne(shop, ego, deadline_ms);
+  prediction.request_id = ctx.request_id;
   ObservePrediction(prediction);
+  LogServedRequest(prediction, ctx);
   return prediction;
 }
 

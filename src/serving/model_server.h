@@ -10,6 +10,7 @@
 #include "core/gaia_model.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
+#include "obs/event_log.h"
 #include "util/retry.h"
 #include "util/status.h"
 
@@ -87,6 +88,10 @@ class ModelServer {
     ServePath served_by = ServePath::kModel;
     /// Why the model path was abandoned (empty when served_by == kModel).
     std::string degraded_reason;
+    /// Correlation id stamped by Serve (splitmix64-derived, process-unique).
+    /// Matches the request's obs::EventLog record, so an operator can join a
+    /// degraded answer to its /requestz entry. Never feeds the numeric path.
+    uint64_t request_id = 0;
   };
 
   ModelServer(std::shared_ptr<core::GaiaModel> model,
@@ -111,7 +116,17 @@ class ModelServer {
   /// thread-safe — any number of threads may call it concurrently — and it
   /// does not touch the per-server request totals, so callers that need
   /// them keep their own. Results are bitwise identical to Predict's.
+  /// Generates a fresh request id and delegates to the context overload.
   Prediction Serve(int32_t shop, double deadline_ms) const;
+
+  /// Same pipeline with caller-provided request correlation: the context's
+  /// request id is stamped on the Prediction and, together with queue wait
+  /// and shard routing, into obs::EventLog::Global() (one lock-free append,
+  /// skipped entirely when the log is disabled). The sharded tier threads
+  /// its queue items through here so /requestz can answer "why did request
+  /// X degrade?". Forecast bytes are identical to the two-arg overload.
+  Prediction Serve(int32_t shop, double deadline_ms,
+                   const obs::RequestContext& ctx) const;
 
   /// Serves a batch of requests (the deployed system predicts millions of
   /// e-sellers in a monthly sweep); Serve calls fan out across the global

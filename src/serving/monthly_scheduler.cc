@@ -28,6 +28,16 @@ struct SchedulerMetrics {
   obs::Histogram& serve_seconds = obs::MetricsRegistry::Global().GetHistogram(
       "gaia_scheduler_serve_seconds", {},
       "Online serve sweep wall time per cycle");
+  // Drift gauges are operational signals like the gaia_robust_* counters:
+  // set unconditionally (once per cycle, not hot-path) so an operator sees
+  // drift with GAIA_OBS off. Groundwork for drift-triggered retraining.
+  obs::Gauge& drift_score = obs::MetricsRegistry::Global().GetGauge(
+      "gaia_drift_score",
+      "Relative excess of the latest served cycle's online MAE over the "
+      "trailing-window mean ((mae - baseline) / baseline; positive = worse)");
+  obs::Gauge& drift_window = obs::MetricsRegistry::Global().GetGauge(
+      "gaia_drift_window_cycles",
+      "Served cycles in the drift baseline window");
   static SchedulerMetrics& Get() {
     static SchedulerMetrics* metrics = new SchedulerMetrics();
     return *metrics;
@@ -50,6 +60,10 @@ Result<std::vector<MonthlyScheduler::CycleReport>> MonthlyScheduler::Run()
     store_cfg.retry = config_.server.checkpoint_retry;
     store.emplace(store_cfg);
   }
+
+  // Trailing MAEs of served cycles, newest last; the drift baseline for a
+  // cycle is the mean over this window *before* the cycle is pushed.
+  std::vector<double> drift_window_maes;
 
   for (int cycle = 0; cycle < config_.num_cycles; ++cycle) {
     GAIA_OBS_SPAN("scheduler.cycle");
@@ -201,6 +215,28 @@ Result<std::vector<MonthlyScheduler::CycleReport>> MonthlyScheduler::Run()
         report.mean_latency_ms =
             server.total_latency_ms() /
             static_cast<double>(std::max<int64_t>(server.total_requests(), 1));
+        // Online drift: this cycle's MAE vs the trailing-window mean of
+        // previously served cycles. The first served cycle has no baseline
+        // and scores 0 by definition.
+        if (config_.drift_window_cycles > 0) {
+          const double mae = report.online.overall.mae;
+          if (!drift_window_maes.empty()) {
+            double baseline = 0.0;
+            for (double m : drift_window_maes) baseline += m;
+            baseline /= static_cast<double>(drift_window_maes.size());
+            report.drift_baseline_mae = baseline;
+            report.drift_score =
+                (mae - baseline) / std::max(baseline, 1e-12);
+          }
+          drift_window_maes.push_back(mae);
+          if (drift_window_maes.size() >
+              static_cast<size_t>(config_.drift_window_cycles)) {
+            drift_window_maes.erase(drift_window_maes.begin());
+          }
+          SchedulerMetrics::Get().drift_score.Set(report.drift_score);
+          SchedulerMetrics::Get().drift_window.Set(
+              static_cast<double>(drift_window_maes.size()));
+        }
       }
     }
     if (!can_serve) SchedulerMetrics::Get().cycles_skipped.Increment();

@@ -46,6 +46,12 @@ class MonthlyScheduler {
     /// point), publishes nothing, and the cycle serves the last good
     /// checkpoint via the rollback path.
     double train_deadline_ms = 0.0;
+    /// Trailing window (in served cycles) for the online drift score: each
+    /// cycle's forecast MAE is compared against the mean MAE of the last N
+    /// served cycles and the relative excess is exported as
+    /// `gaia_drift_score` (groundwork for drift-triggered retraining; no
+    /// trigger is wired yet). <= 0 disables the gauge.
+    int drift_window_cycles = 3;
   };
 
   struct CycleReport {
@@ -63,6 +69,14 @@ class MonthlyScheduler {
     int64_t fallback_requests = 0;  ///< requests degraded to the fallback
     std::string checkpoint_path;    ///< checkpoint that served this cycle
     Status error;             ///< first failure observed (OK when healthy)
+    // --- online drift (served cycles only) ----------------------------------
+    /// Relative excess of this cycle's online MAE over the trailing-window
+    /// mean: (mae - baseline) / baseline. 0 for the first served cycle
+    /// (no baseline yet) and for unserved cycles; positive = drifting worse.
+    double drift_score = 0.0;
+    /// The trailing-window mean MAE this cycle was scored against (0 when
+    /// no baseline existed yet).
+    double drift_baseline_mae = 0.0;
   };
 
   explicit MonthlyScheduler(const Config& config) : config_(config) {}

@@ -1,6 +1,7 @@
 #include "serving/sharded_server.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "obs/obs.h"
@@ -188,6 +189,7 @@ std::future<ShardedServer::Prediction> ShardedServer::Submit(
   request->shop = shop;
   request->deadline_ms = deadline_ms;
   request->cancel = cancel;
+  request->request_id = obs::NextRequestId();
   request->enqueued_at = std::chrono::steady_clock::now();
   std::future<Prediction> future = request->promise.get_future();
   const int shard_index = partitioner_->ShardOf(shop);
@@ -198,7 +200,7 @@ std::future<ShardedServer::Prediction> ShardedServer::Submit(
     // the caller against the current generation — accepted requests are
     // never dropped, even during shutdown.
     std::shared_ptr<const Generation> generation = shard.cell.Load();
-    Prediction prediction = ServeOne(*generation, *request);
+    Prediction prediction = ServeOne(*generation, *request, shard_index);
     RecordAnswer(shard_index, prediction);
     request->promise.set_value(std::move(prediction));
   }
@@ -251,14 +253,15 @@ void ShardedServer::ServeWindow(
     shard.queue_depth->Set(static_cast<double>(shard.queue->size()));
   }
   for (auto& request : window) {
-    Prediction prediction = ServeOne(*generation, *request);
+    Prediction prediction = ServeOne(*generation, *request, shard_index);
     RecordAnswer(shard_index, prediction);
     request->promise.set_value(std::move(prediction));
   }
 }
 
 ShardedServer::Prediction ShardedServer::ServeOne(const Generation& gen,
-                                                  PendingRequest& request) {
+                                                  PendingRequest& request,
+                                                  int shard_index) {
   const auto now = std::chrono::steady_clock::now();
   const double waited_ms =
       std::chrono::duration<double, std::milli>(now - request.enqueued_at)
@@ -276,6 +279,22 @@ ShardedServer::Prediction ShardedServer::ServeOne(const Generation& gen,
     prediction.gmv.assign(static_cast<size_t>(dataset_->horizon()), 0.0);
     prediction.served_by = ModelServer::ServePath::kFallback;
     prediction.degraded_reason = "cancelled while queued";
+    prediction.request_id = request.request_id;
+    // This request never reaches Serve, so the flight recorder is written
+    // here: /requestz must cover dropped requests, not just answered ones.
+    obs::EventLog& log = obs::EventLog::Global();
+    if (log.enabled()) {
+      obs::EventRecord record;
+      record.request_id = request.request_id;
+      record.shop = request.shop;
+      record.shard = shard_index;
+      record.served_by = 1;
+      record.cancelled = 1;
+      record.queue_wait_ms = waited_ms;
+      std::strncpy(record.reason, prediction.degraded_reason.c_str(),
+                   sizeof(record.reason) - 1);
+      log.Append(record);
+    }
     return prediction;
   }
   double budget_ms = request.deadline_ms;
@@ -291,7 +310,11 @@ ShardedServer::Prediction ShardedServer::ServeOne(const Generation& gen,
   // Install the request token as the ambient parent so Serve's own deadline
   // child observes it: a cancel fired mid-forward aborts at the next chunk.
   util::CancelScope scope(request.cancel);
-  Prediction prediction = gen.server->Serve(request.shop, budget_ms);
+  obs::RequestContext ctx;
+  ctx.request_id = request.request_id;
+  ctx.queue_wait_ms = waited_ms;
+  ctx.shard = shard_index;
+  Prediction prediction = gen.server->Serve(request.shop, budget_ms, ctx);
   if (consumed_in_queue &&
       prediction.served_by == ModelServer::ServePath::kFallback) {
     prediction.degraded_reason =

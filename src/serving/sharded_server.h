@@ -182,6 +182,9 @@ class ShardedServer {
     int32_t shop = 0;
     double deadline_ms = 0.0;  ///< 0 = no deadline
     const util::CancelToken* cancel = nullptr;
+    /// Correlation id assigned at Submit; stamped on the answer and into
+    /// the obs::EventLog record together with queue wait and shard.
+    uint64_t request_id = 0;
     std::chrono::steady_clock::time_point enqueued_at;
     std::promise<Prediction> promise;
   };
@@ -218,7 +221,9 @@ class ShardedServer {
   void ServeWindow(int shard_index,
                    std::vector<std::unique_ptr<PendingRequest>>& window);
   /// Answers one request (steps 1-4 of the lifecycle above) using `gen`.
-  Prediction ServeOne(const Generation& gen, PendingRequest& request);
+  /// `shard_index` only tags the request's flight-recorder record.
+  Prediction ServeOne(const Generation& gen, PendingRequest& request,
+                      int shard_index);
   void RecordAnswer(int shard_index, const Prediction& prediction);
 
   ShardedServerConfig config_;

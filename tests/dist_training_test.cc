@@ -315,6 +315,43 @@ TEST(WireTest, StructAndRankCodecsRoundTrip) {
   EXPECT_EQ(ranks2.value(), ranks);
 }
 
+TEST(WireTest, CounterDeltaCodecRoundTrips) {
+  const std::vector<std::pair<std::string, uint64_t>> deltas = {
+      {"gaia_worker_epochs_total", 3},
+      {"gaia_alloc_bytes_total", 123456789012345ull},
+  };
+  auto decoded = DecodeCounterDeltas(EncodeCounterDeltas(deltas));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value(), deltas);
+  // Empty set is a valid (if pointless) frame.
+  auto empty = DecodeCounterDeltas(EncodeCounterDeltas({}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(WireTest, CorruptCounterDeltaPayloadIsDataLossNotACrash) {
+  std::vector<uint8_t> good =
+      EncodeCounterDeltas({{"gaia_worker_epochs_total", 1}});
+  // Truncated mid-entry.
+  std::vector<uint8_t> truncated(good.begin(), good.end() - 3);
+  EXPECT_EQ(DecodeCounterDeltas(truncated).status().code(),
+            StatusCode::kDataLoss);
+  // A name length that claims more bytes than the payload holds.
+  std::vector<uint8_t> lying = good;
+  lying[4] = 0xff;  // first entry's name_len LSB
+  lying[5] = 0xff;
+  EXPECT_EQ(DecodeCounterDeltas(lying).status().code(),
+            StatusCode::kDataLoss);
+  // Trailing junk after the declared entries.
+  std::vector<uint8_t> padded = good;
+  padded.push_back(0);
+  EXPECT_EQ(DecodeCounterDeltas(padded).status().code(),
+            StatusCode::kDataLoss);
+  // Too short to even hold the count.
+  EXPECT_EQ(DecodeCounterDeltas(std::vector<uint8_t>(2, 0)).status().code(),
+            StatusCode::kDataLoss);
+}
+
 TEST(WireTest, WorkerArgvSerializesFloatsBitExactly) {
   DistTrainerConfig cfg;
   cfg.train.learning_rate = 0.0171f;
@@ -402,6 +439,29 @@ TEST_F(DistTrainerTest, SingleWorkerMatchesInProcessTrainerBitwise) {
   ASSERT_TRUE(model.value()->Save(inproc_path).ok());
 
   EXPECT_EQ(ReadFileBytes(Checkpoint("w1.bin")), ReadFileBytes(inproc_path));
+}
+
+TEST_F(DistTrainerTest, WorkerMetricsAreAggregatedBySupervisor) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t frames_before =
+      registry.CounterValue("gaia_dist_metric_frames_total");
+  const uint64_t epochs_before =
+      registry.CounterValue("gaia_dist_worker_epoch_exchanges_total");
+  DistTrainerConfig cfg = BaseConfig(market_dir_, Checkpoint("wm.bin"));
+  cfg.num_workers = 2;
+  auto dist = DistTrainer(cfg).Fit();
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  // Every worker ships a counter-delta frame per epoch; the supervisor
+  // merges them under the gaia_dist_worker_ prefix (gaia_ stripped first).
+  // gaia_epoch_exchanges_total is bumped unconditionally in
+  // ExchangeGradients, so even a run with no faults and observability off
+  // produces nonzero deltas.
+  EXPECT_GT(registry.CounterValue("gaia_dist_metric_frames_total"),
+            frames_before);
+  const uint64_t epochs_after =
+      registry.CounterValue("gaia_dist_worker_epoch_exchanges_total");
+  EXPECT_GE(epochs_after - epochs_before,
+            static_cast<uint64_t>(cfg.train.max_epochs * cfg.num_workers));
 }
 
 TEST_F(DistTrainerTest, FixedWorldSizeRerunsAreBitwiseIdentical) {

@@ -217,6 +217,85 @@ TEST_F(ObsTest, JsonExportMatchesGolden) {
 }
 
 // ---------------------------------------------------------------------------
+// Prometheus text-format edge cases (exposition format 0.0.4)
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, PrometheusHelpEscapesBackslashAndNewline) {
+  MetricsRegistry registry;
+  registry.GetCounter("gaia_weird_total", "line1\nline2 has a \\ slash")
+      .Increment();
+  const std::string out = registry.ExportPrometheus();
+  // HELP text must escape backslash and newline per the exposition format;
+  // the literal newline must NOT appear inside the HELP line.
+  EXPECT_NE(out.find("# HELP gaia_weird_total line1\\nline2 has a \\\\ slash"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(ObsTest, PrometheusSanitizesInvalidMetricNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("gaia.dotted-name", "").Increment(2);
+  registry.GetCounter("0starts_with_digit", "").Increment(1);
+  const std::string out = registry.ExportPrometheus();
+  // Invalid chars map to '_' at export time; a leading digit is escaped too.
+  EXPECT_NE(out.find("gaia_dotted_name 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("_starts_with_digit 1"), std::string::npos) << out;
+  EXPECT_EQ(out.find("gaia.dotted-name"), std::string::npos) << out;
+}
+
+TEST_F(ObsTest, PrometheusWellFormedNamesAreByteIdentical) {
+  // Sanitization must be a no-op for names already matching the grammar:
+  // the golden-export byte contract depends on it.
+  MetricsRegistry registry;
+  registry.GetCounter("gaia_ok_total", "fine").Increment();
+  const std::string out = registry.ExportPrometheus();
+  EXPECT_EQ(out,
+            "# HELP gaia_ok_total fine\n"
+            "# TYPE gaia_ok_total counter\n"
+            "gaia_ok_total 1\n");
+}
+
+TEST_F(ObsTest, PrometheusHistogramInfBucketEqualsCount) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram("gaia_h_seconds", {0.5});
+  hist.Observe(-1.0);  // below every bound: lands in the first bucket
+  hist.Observe(0.25);
+  hist.Observe(100.0);  // above every bound: only +Inf catches it
+  const std::string out = registry.ExportPrometheus();
+  // The +Inf cumulative bucket must equal _count, and _sum is the exact
+  // running total including out-of-range observations.
+  EXPECT_NE(out.find("gaia_h_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("gaia_h_seconds_count 3"), std::string::npos) << out;
+  EXPECT_NE(out.find("gaia_h_seconds_sum 99.25"), std::string::npos) << out;
+}
+
+// ---------------------------------------------------------------------------
+// Empty-process exports (regression: tools --empty must emit valid docs)
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, EmptyTraceBufferDumpsWellFormedChromeTrace) {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  std::ostringstream os;
+  buffer.DumpChromeTrace(os);
+  const std::string json = os.str();
+  // Zero spans must still produce a complete document (trace_dump --empty).
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find(",]"), std::string::npos) << "trailing comma: " << json;
+}
+
+TEST_F(ObsTest, EmptyRegistryExportsAreWellFormed) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.ExportPrometheus(), "");
+  EXPECT_EQ(registry.ExportJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+// ---------------------------------------------------------------------------
 // Trace spans
 // ---------------------------------------------------------------------------
 

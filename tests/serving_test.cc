@@ -4,11 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <memory>
 
 #include "data/market_simulator.h"
+#include "obs/metrics.h"
 
 namespace gaia::serving {
 namespace {
@@ -148,7 +150,52 @@ TEST_F(ServingTest, MonthlySchedulerRunsAllCycles) {
   }
   // The graph population actually changes between cycles.
   EXPECT_NE(reports.value()[0].graph_edges, reports.value()[1].graph_edges);
+
+  // Drift accounting: the first served cycle has no baseline and scores 0;
+  // every later cycle's baseline is the mean MAE of the window before it.
+  const auto& r0 = reports.value()[0];
+  const auto& r1 = reports.value()[1];
+  const auto& r2 = reports.value()[2];
+  EXPECT_EQ(r0.drift_score, 0.0);
+  EXPECT_EQ(r0.drift_baseline_mae, 0.0);
+  EXPECT_DOUBLE_EQ(r1.drift_baseline_mae, r0.online.overall.mae);
+  EXPECT_DOUBLE_EQ(
+      r1.drift_score,
+      (r1.online.overall.mae - r1.drift_baseline_mae) /
+          std::max(r1.drift_baseline_mae, 1e-12));
+  EXPECT_DOUBLE_EQ(
+      r2.drift_baseline_mae,
+      (r0.online.overall.mae + r1.online.overall.mae) / 2.0);
+  // The gauges mirror the last cycle (set unconditionally, like the
+  // gaia_robust_* counters, so drift is visible with GAIA_OBS off).
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  EXPECT_DOUBLE_EQ(registry.GetGauge("gaia_drift_score").value(),
+                   r2.drift_score);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("gaia_drift_window_cycles").value(),
+                   3.0);
   std::remove("/tmp/gaia_scheduler_test_ckpt.bin");
+}
+
+TEST_F(ServingTest, MonthlySchedulerDriftDisabledLeavesReportsAtZero) {
+  MonthlyScheduler::Config cfg;
+  cfg.market.num_shops = 40;
+  cfg.market.history_months = 12;
+  cfg.market.seed = 17;
+  cfg.offline.model.channels = 8;
+  cfg.offline.model.tel_groups = 2;
+  cfg.offline.model.num_layers = 1;
+  cfg.offline.train.max_epochs = 2;
+  cfg.offline.train.eval_every = 2;
+  cfg.offline.checkpoint_path = "/tmp/gaia_scheduler_drift_off_ckpt.bin";
+  cfg.num_cycles = 2;
+  cfg.drift_window_cycles = 0;  // <= 0 disables the tracker entirely
+  auto reports = MonthlyScheduler(cfg).Run();
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+  for (const auto& report : reports.value()) {
+    EXPECT_EQ(report.drift_score, 0.0);
+    EXPECT_EQ(report.drift_baseline_mae, 0.0);
+  }
+  std::remove("/tmp/gaia_scheduler_drift_off_ckpt.bin");
 }
 
 TEST_F(ServingTest, MonthlySchedulerPropagatesBadConfig) {

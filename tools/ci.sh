@@ -11,10 +11,13 @@
 # scaling check), a distributed-training pass (dist-labelled tests including
 # the randomized worker-kill chaos case, a fault-free multi-worker CLI smoke
 # that must skip zero steps, and a GAIA_FAULTS chaos train whose checkpoint
-# must still evaluate), an ASan+UBSan build running the labelled
-# robust/concurrency/golden/obs/cancel/shard/dist subset, then a TSan build
-# running the concurrency/robust/cancel/shard/dist subset (the concurrency
-# tentpoles' race check).
+# must still evaluate), an admin-plane pass (admin-labelled tests + a live
+# serve with --admin-port driven over HTTP: /healthz flip, /metrics scrape,
+# /requestz, /quitz shutdown, plus the tools' --empty dumps), an ASan+UBSan
+# build running the labelled
+# robust/concurrency/golden/obs/cancel/shard/dist/admin subset, then a TSan
+# build running the concurrency/robust/cancel/shard/dist/admin subset (the
+# concurrency tentpoles' race check).
 #
 #   tools/ci.sh            # all jobs
 #   tools/ci.sh release    # release job only
@@ -23,6 +26,7 @@
 #   tools/ci.sh perf       # perf job only (reuses build/)
 #   tools/ci.sh shard      # sharded-serving job only (reuses build/)
 #   tools/ci.sh dist       # distributed-training job only (reuses build/)
+#   tools/ci.sh admin      # admin-plane job only (reuses build/)
 #   tools/ci.sh sanitize   # ASan+UBSan job only
 #   tools/ci.sh tsan       # TSan job only
 set -euo pipefail
@@ -206,20 +210,103 @@ if [[ "$job" == "dist" || "$job" == "all" ]]; then
   rm -rf "$dist_dir"
 fi
 
+if [[ "$job" == "admin" || "$job" == "all" ]]; then
+  echo "=== Admin plane: admin tests + live endpoint smoke over HTTP ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$jobs"
+  # EventLog ring, endpoint routing, /metrics byte-identity and request-id
+  # correlation (tests/admin_server_test, label admin).
+  ctest --test-dir build --output-on-failure -L admin -j"$jobs"
+  # End-to-end smoke: a real serve with --admin-port, driven over HTTP.
+  admin_dir=$(mktemp -d)
+  ./build/tools/gaia_cli simulate --out "$admin_dir/market" --shops 80 \
+    --history 18 --seed 7
+  ./build/tools/gaia_cli train --market "$admin_dir/market" \
+    --checkpoint "$admin_dir/ckpt.bin" --epochs 3 --channels 8 --layers 1
+  # --admin-wait 1 parks the process after the replay until GET /quitz, so
+  # the scrapes below observe the finished run's counters and event log.
+  ./build/tools/gaia_cli serve --market "$admin_dir/market" \
+    --checkpoint "$admin_dir/ckpt.bin" --requests 50 --channels 8 --layers 1 \
+    --shards 2 --admin-port 0 --admin-wait 1 2> "$admin_dir/admin.log" &
+  serve_pid=$!
+  # The ephemeral port is announced on stderr once the listener is up.
+  port=""
+  for _ in $(seq 1 50); do
+    port=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$admin_dir/admin.log" | head -1)
+    [[ -n "$port" ]] && break
+    sleep 0.2
+  done
+  [[ -n "$port" ]] || { echo "admin port never announced" >&2; exit 1; }
+  python3 - "$port" <<'EOF'
+import json, sys, time, urllib.request
+
+port = sys.argv[1]
+base = f"http://127.0.0.1:{port}"
+
+def get(path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=5) as r:
+            return r.status, r.read().decode()
+    except urllib.error.HTTPError as e:
+        return e.code, e.read().decode()
+
+# /healthz flips to 200 once the checkpoint generation is adopted.
+for _ in range(100):
+    status, _ = get("/healthz")
+    if status == 200:
+        break
+    time.sleep(0.2)
+assert status == 200, f"/healthz never turned healthy: {status}"
+
+status, body = get("/metrics")
+assert status == 200
+assert "gaia_serve_requests_total" in body, body[:400]
+assert "gaia_admin_requests_total" in body, body[:400]
+
+status, body = get("/requestz?n=10")
+assert status == 200
+doc = json.loads(body)
+assert doc["total_appended"] >= 50, doc["total_appended"]
+assert len(doc["events"]) > 0 and "request_id" in doc["events"][0]
+
+status, body = get("/statusz")
+assert status == 200
+doc = json.loads(body)
+assert doc["checks"]["checkpoint_loaded"] is True
+assert "checkpoint_crc32" in doc["info"]
+
+assert get("/quitz")[0] == 200
+print("admin endpoints OK on port", port)
+EOF
+  wait "$serve_pid"
+  # The --empty tool paths: an idle process must still dump valid documents.
+  ./build/tools/metrics_snapshot --empty > "$admin_dir/empty_snap.json"
+  ./build/tools/trace_dump --empty --out "$admin_dir/empty_trace.json"
+  python3 - "$admin_dir/empty_snap.json" "$admin_dir/empty_trace.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["phases"] == {}, snap["phases"]
+trace = json.load(open(sys.argv[2]))
+assert trace["traceEvents"] == [], trace["traceEvents"]
+print("empty-process dumps OK")
+EOF
+  rm -rf "$admin_dir"
+fi
+
 if [[ "$job" == "sanitize" || "$job" == "all" ]]; then
-  echo "=== ASan+UBSan build + robust/concurrency/golden/obs/cancel/shard/dist tests ==="
+  echo "=== ASan+UBSan build + robust/concurrency/golden/obs/cancel/shard/dist/admin tests ==="
   cmake -B build-asan -S . -DGAIA_SANITIZE=ON
   cmake --build build-asan -j"$jobs"
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 GAIA_OBS=1 \
     ctest --test-dir build-asan --output-on-failure \
-    -L "robust|concurrency|golden|obs|cancel|shard|dist"
+    -L "robust|concurrency|golden|obs|cancel|shard|dist|admin"
 fi
 
 if [[ "$job" == "tsan" || "$job" == "all" ]]; then
-  echo "=== TSan build + concurrency/robust/cancel/shard/dist tests ==="
+  echo "=== TSan build + concurrency/robust/cancel/shard/dist/admin tests ==="
   cmake -B build-tsan -S . -DGAIA_SANITIZE=thread
   cmake --build build-tsan -j"$jobs"
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure \
-    -L "concurrency|robust|cancel|shard|dist"
+    -L "concurrency|robust|cancel|shard|dist|admin"
 fi

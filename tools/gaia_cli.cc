@@ -20,6 +20,7 @@
 //   gaia_cli serve --market DIR --checkpoint FILE [--requests N]
 //       [--deadline-ms D] [--shards K] [--clients C] [--max-batch B]
 //       [--max-wait-us W] [--metrics-out FILE]
+//       [--admin-port P] [--admin-wait 1]
 //       Replay N online requests through the model server and report
 //       latency statistics. --deadline-ms arms a per-request budget: an
 //       overrunning forward is aborted mid-flight (cooperative cancel) and
@@ -33,15 +34,26 @@
 // (chaos/CI runs keep an inspectable artifact). It forces the observability
 // level to at least "on" so the dump is populated even without GAIA_OBS.
 //
+// --admin-port P (train and serve) starts the embedded admin HTTP server on
+// 127.0.0.1:P (0 = ephemeral; the bound port is echoed to stderr as
+// "admin: listening on ..."). It exposes /metrics, /metrics.json, /healthz,
+// /readyz, /statusz, /tracez and /requestz (docs/OBSERVABILITY.md, "Live
+// endpoints"); /healthz answers 503 until the checkpoint generation is
+// adopted, then 200. It forces the observability level on and enables the
+// request EventLog. --admin-wait 1 parks the process after the replay until
+// GET /quitz arrives (CI scrapes the endpoints, then releases it).
+//
 // Exit code 0 on success; a diagnostic on stderr otherwise.
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,9 +65,11 @@
 #include "data/market_simulator.h"
 #include "dist/dist_trainer.h"
 #include "dist/worker.h"
+#include "obs/admin_server.h"
 #include "obs/obs.h"
 #include "serving/model_server.h"
 #include "serving/sharded_server.h"
+#include "util/crc32.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 
@@ -128,6 +142,88 @@ class MetricsDump {
   std::string path_;
 };
 
+/// Scoped --admin-port support: starts the embedded obs::AdminServer before
+/// the heavy lifting, so /healthz is already reachable (answering 503) while
+/// the dataset and checkpoint load; MarkReady() flips it to 200 once the
+/// serving generation is adopted. Forces the observability level on and
+/// enables the request EventLog, mirroring MetricsDump's contract. The
+/// caller must destroy (or not outlive) the objects its info lambdas close
+/// over — Serve/Train stop the plane before their servers go out of scope.
+class AdminPlane {
+ public:
+  explicit AdminPlane(const Args& args) : enabled_(args.Has("admin-port")) {
+    if (!enabled_) return;
+    if (!obs::Enabled()) obs::SetLevel(obs::Level::kOn);
+    obs::EventLog::Global().SetEnabled(true);
+    obs::AdminServerOptions opts;
+    opts.port = static_cast<int>(args.GetInt("admin-port", 0));
+    server_.AddCheck("checkpoint_loaded", [this](std::string* detail) {
+      if (ready_.load(std::memory_order_acquire)) return true;
+      if (detail != nullptr) *detail = "no serving generation adopted yet";
+      return false;
+    });
+    std::string error;
+    if (!server_.Start(opts, &error)) {
+      failed_ = "admin server: " + error;
+      enabled_ = false;
+      return;
+    }
+    std::cerr << "admin: listening on http://127.0.0.1:" << server_.port()
+              << "\n";
+  }
+
+  ~AdminPlane() { Stop(); }
+
+  bool enabled() const { return enabled_; }
+  /// Non-empty when --admin-port was given but the server could not start.
+  const std::string& failed() const { return failed_; }
+
+  /// Marks the serving generation adopted: /healthz flips 503 -> 200.
+  void MarkReady() { ready_.store(true, std::memory_order_release); }
+
+  /// /statusz info: checkpoint path + CRC32 of its bytes (computed once,
+  /// here, so the info lambda captures a plain string).
+  void NoteCheckpoint(const std::string& path) {
+    if (!enabled_) return;
+    std::string crc = "unreadable";
+    std::ifstream file(path, std::ios::binary);
+    if (file.good()) {
+      std::ostringstream bytes;
+      bytes << file.rdbuf();
+      const std::string data = bytes.str();
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%08x",
+                    util::Crc32(data.data(), data.size()));
+      crc = buf;
+    }
+    server_.AddInfo("checkpoint", [path] { return path; });
+    server_.AddInfo("checkpoint_crc32", [crc] { return crc; });
+  }
+
+  void AddInfo(const std::string& key, obs::AdminServer::Info info) {
+    if (enabled_) server_.AddInfo(key, std::move(info));
+  }
+
+  /// Parks until GET /quitz when --admin-wait is set (CI drives the
+  /// endpoints, then releases the process).
+  void MaybeWait(const Args& args) {
+    if (!enabled_ || args.GetInt("admin-wait", 0) == 0) return;
+    std::cerr << "admin: waiting for GET /quitz\n";
+    server_.WaitForQuit();
+  }
+
+  void Stop() {
+    if (enabled_) server_.Stop();
+    enabled_ = false;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::string failed_;
+  std::atomic<bool> ready_{false};
+  obs::AdminServer server_;
+};
+
 Result<data::ForecastDataset> LoadDataset(const std::string& dir) {
   // Transient I/O (including injected market.read faults) is retried with
   // backoff; malformed data fails on the first attempt.
@@ -189,6 +285,10 @@ int Train(const Args& args) {
     return Fail("train requires --market DIR and --checkpoint FILE");
   }
   MetricsDump metrics_dump(args);
+  // Training exposes the same admin plane (health stays 503 until the
+  // checkpoint is written, /metrics shows dist aggregation live).
+  AdminPlane admin(args);
+  if (!admin.failed().empty()) return Fail(admin.failed());
   auto dataset = LoadDataset(args.Get("market", ""));
   if (!dataset.ok()) return Fail(dataset.status().ToString());
   auto model = BuildModel(dataset.value(), args);
@@ -223,10 +323,13 @@ int Train(const Args& args) {
               << " workers lost" << (dr.degraded ? " (degraded)" : "")
               << "\n";
     std::cout << "checkpoint written to " << dr.checkpoint_path << "\n";
+    admin.NoteCheckpoint(dr.checkpoint_path);
+    admin.MarkReady();
     Status loaded = model.value()->Load(dr.checkpoint_path);
     if (!loaded.ok()) return Fail(loaded.ToString());
     PrintReport(core::Evaluator::Evaluate(
         model.value().get(), dataset.value(), dataset.value().test_nodes()));
+    admin.MaybeWait(args);
     return 0;
   }
   core::TrainResult result =
@@ -238,8 +341,11 @@ int Train(const Args& args) {
   Status saved = model.value()->Save(args.Get("checkpoint", ""));
   if (!saved.ok()) return Fail(saved.ToString());
   std::cout << "checkpoint written to " << args.Get("checkpoint", "") << "\n";
+  admin.NoteCheckpoint(args.Get("checkpoint", ""));
+  admin.MarkReady();
   PrintReport(core::Evaluator::Evaluate(model.value().get(), dataset.value(),
                                         dataset.value().test_nodes()));
+  admin.MaybeWait(args);
   return 0;
 }
 
@@ -263,6 +369,10 @@ int Serve(const Args& args) {
     return Fail("serve requires --market DIR and --checkpoint FILE");
   }
   MetricsDump metrics_dump(args);
+  // The admin plane comes up first: /healthz is reachable (503) while the
+  // dataset and checkpoint load, and flips to 200 at adoption.
+  AdminPlane admin(args);
+  if (!admin.failed().empty()) return Fail(admin.failed());
   auto dataset_result = LoadDataset(args.Get("market", ""));
   if (!dataset_result.ok()) return Fail(dataset_result.status().ToString());
   auto dataset = std::make_shared<data::ForecastDataset>(
@@ -289,6 +399,11 @@ int Serve(const Args& args) {
         sharded_cfg);
     Status loaded = server.LoadCheckpoint(args.Get("checkpoint", ""));
     if (!loaded.ok()) return Fail(loaded.ToString());
+    admin.NoteCheckpoint(args.Get("checkpoint", ""));
+    admin.AddInfo("serving_mode", [shards] {
+      return "sharded(" + std::to_string(shards) + ")";
+    });
+    admin.MarkReady();
     const int clients =
         std::max<int>(1, static_cast<int>(args.GetInt("clients", 4)));
     std::vector<std::thread> client_threads;
@@ -305,11 +420,15 @@ int Serve(const Args& args) {
     }
     for (auto& t : client_threads) t.join();
     const double elapsed_ms = watch.ElapsedMillis();
-    server.Stop();
     std::cout << "served " << server.total_requests() << " requests across "
               << shards << " shards (" << clients << " clients) in "
               << TablePrinter::FormatDouble(elapsed_ms, 1) << " ms, "
               << server.fallback_requests() << " degraded to fallback\n";
+    // Park here with the tier still live so /metrics and /requestz reflect
+    // the replay; the plane must stop before `server` goes out of scope.
+    admin.MaybeWait(args);
+    admin.Stop();
+    server.Stop();
     return 0;
   }
   serving::ModelServer server(
@@ -319,6 +438,9 @@ int Serve(const Args& args) {
   // verify-then-swap, so a flaky read never serves half-loaded weights.
   Status loaded = server.LoadCheckpoint(args.Get("checkpoint", ""));
   if (!loaded.ok()) return Fail(loaded.ToString());
+  admin.NoteCheckpoint(args.Get("checkpoint", ""));
+  admin.AddInfo("serving_mode", [] { return std::string("single"); });
+  admin.MarkReady();
   for (int64_t i = 0; i < requests; ++i) {
     server.Predict(shops[static_cast<size_t>(i) % shops.size()]);
   }
@@ -327,6 +449,8 @@ int Serve(const Args& args) {
                    server.total_latency_ms() / server.total_requests(), 2)
             << " ms each, " << server.fallback_requests()
             << " degraded to fallback\n";
+  admin.MaybeWait(args);
+  admin.Stop();
   return 0;
 }
 

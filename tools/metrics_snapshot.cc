@@ -9,6 +9,8 @@
 //   ./build/tools/metrics_snapshot --out snap.json --threads 4
 //
 // Flags: --out <path>  --threads <n>  --epochs <n>  --shops <n>  --seed <n>
+//        --empty (skip the workload; the snapshot of an idle process must
+//        still be a valid JSON document with an empty "phases" object)
 
 #include <cstdint>
 #include <cstdlib>
@@ -38,6 +40,7 @@ struct Options {
   int epochs = 3;
   int64_t shops = 80;
   uint64_t seed = 7;
+  bool empty = false;  // no workload: prove the empty snapshot is valid
 };
 
 Options ParseArgs(int argc, char** argv) {
@@ -58,6 +61,8 @@ Options ParseArgs(int argc, char** argv) {
       options.shops = std::atoll(next());
     } else if (arg == "--seed") {
       options.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--empty") {
+      options.empty = true;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       std::exit(2);
@@ -125,7 +130,7 @@ int main(int argc, char** argv) {
   const int threads = util::ThreadPool::GlobalThreads();
 
   Stopwatch wall;
-  RunWorkload(options);
+  if (!options.empty) RunWorkload(options);
   const double wall_seconds = wall.ElapsedSeconds();
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
