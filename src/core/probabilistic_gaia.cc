@@ -1,6 +1,8 @@
 #include "core/probabilistic_gaia.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "autograd/ops.h"
 #include "nn/init.h"
@@ -123,6 +125,64 @@ Var ProbabilisticGaia::TrainingLoss(const data::ForecastDataset& dataset,
   }
   return ag::ScalarMul(ag::AddN(losses),
                        1.0f / static_cast<float>(losses.size()));
+}
+
+Result<QuantileBandTable> CalibrateQuantileBands(
+    ProbabilisticGaia* model, const data::ForecastDataset& dataset,
+    const std::vector<int32_t>& calibration_nodes, double coverage) {
+  GAIA_CHECK(model != nullptr);
+  if (coverage <= 0.0 || coverage >= 1.0) {
+    return Status::InvalidArgument("band coverage must be in (0, 1)");
+  }
+  if (calibration_nodes.empty()) {
+    return Status::InvalidArgument("band calibration needs held-out nodes");
+  }
+  const auto n = static_cast<int32_t>(dataset.num_nodes());
+  std::vector<int32_t> all(static_cast<size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<ProbabilisticGaia::Distribution> dists =
+      model->PredictDistribution(dataset, all);
+
+  QuantileBandTable table;
+  table.coverage = coverage;
+  table.sigma.resize(static_cast<size_t>(n));
+  for (int32_t v = 0; v < n; ++v) {
+    const Tensor& stddev = dists[static_cast<size_t>(v)].stddev;
+    std::vector<double>& row = table.sigma[static_cast<size_t>(v)];
+    row.reserve(static_cast<size_t>(stddev.size()));
+    for (int64_t h = 0; h < stddev.size(); ++h) {
+      row.push_back(static_cast<double>(stddev.data()[h]));
+    }
+  }
+
+  // Conformity scores on the held-out nodes: |target - mean| in sigma
+  // units, one score per (node, month).
+  constexpr double kSigmaFloor = 1e-9;
+  std::vector<double> scores;
+  for (int32_t v : calibration_nodes) {
+    if (v < 0 || v >= n) {
+      return Status::InvalidArgument("calibration node out of range");
+    }
+    const auto& dist = dists[static_cast<size_t>(v)];
+    const Tensor& target = dataset.target(v);
+    for (int64_t h = 0; h < target.size(); ++h) {
+      const double residual = std::abs(
+          static_cast<double>(target.data()[h]) -
+          static_cast<double>(dist.mean.data()[h]));
+      const double sigma = std::max(
+          static_cast<double>(dist.stddev.data()[h]), kSigmaFloor);
+      scores.push_back(residual / sigma);
+    }
+  }
+  // The classic split-conformal quantile: k-th order statistic with
+  // k = ceil((n + 1) * coverage), clamped to the sample.
+  std::sort(scores.begin(), scores.end());
+  const auto count = scores.size();
+  size_t k = static_cast<size_t>(std::ceil(
+      (static_cast<double>(count) + 1.0) * coverage));
+  k = std::min(std::max<size_t>(k, 1), count);
+  table.scale = scores[k - 1];
+  return table;
 }
 
 std::vector<ProbabilisticGaia::Distribution>

@@ -87,6 +87,40 @@ class ProbabilisticGaia : public ForecastModel {
 autograd::Var GaussianNll(const autograd::Var& mean,
                           const autograd::Var& logvar, const Tensor& target);
 
+/// \brief Conformally calibrated per-shop uncertainty widths, ready for the
+/// serving tier: ModelServer::EnableQuantileBands turns every answer's point
+/// forecast into p10/p50/p90 bands from this table.
+///
+/// `sigma[shop][h]` is ProbabilisticGaia's predictive stddev in normalized
+/// units; `scale` is the split-conformal multiplier chosen so that the
+/// central band `mean ± scale * sigma` covered a `coverage` fraction of the
+/// held-out calibration targets. The table is a pure value: cheap to copy,
+/// safe to share across generations and shards.
+struct QuantileBandTable {
+  /// Central coverage the bands were calibrated to (p90 - p10 mass).
+  double coverage = 0.8;
+  /// Conformal half-width multiplier on sigma.
+  double scale = 1.0;
+  /// Extra width multiplier for degraded/fallback answers: a Holt-Winters
+  /// answer carries the model's uncertainty *plus* the uncertainty of not
+  /// being the model, so its bands are honestly wider.
+  double degraded_inflation = 1.5;
+  /// [num_nodes][horizon] predictive stddevs, normalized units.
+  std::vector<std::vector<double>> sigma;
+
+  bool empty() const { return sigma.empty(); }
+};
+
+/// Split-conformal calibration (Kozodoi et al.-style probabilistic demand
+/// forecasting): runs the probabilistic model over the whole graph, scores
+/// the calibration nodes' absolute residuals in sigma units, and picks the
+/// ceil((n+1)*coverage)-th order statistic as the band multiplier — a
+/// distribution-free finite-sample coverage guarantee on exchangeable data.
+/// The calibration nodes must be disjoint from training (val split).
+Result<QuantileBandTable> CalibrateQuantileBands(
+    ProbabilisticGaia* model, const data::ForecastDataset& dataset,
+    const std::vector<int32_t>& calibration_nodes, double coverage = 0.8);
+
 }  // namespace gaia::core
 
 #endif  // GAIA_CORE_PROBABILISTIC_GAIA_H_

@@ -82,7 +82,8 @@ Result<ForecastDataset> ForecastDataset::Create(const MarketData& market,
       temporal.at(m, 3) = static_cast<float>(
           std::log1p(shop.customers[static_cast<size_t>(m)]) * 0.1);
       temporal.at(m, 4) = m >= shop.birth_month ? 1.0f : 0.0f;
-      temporal.at(m, 5) = cal == 10 ? 1.0f : 0.0f;  // November festival
+      temporal.at(m, 5) =
+          cal == cfg.festival_calendar_month ? 1.0f : 0.0f;  // festival flag
     }
     ds.z_.push_back(std::move(z));
     ds.temporal_.push_back(std::move(temporal));

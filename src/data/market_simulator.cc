@@ -59,6 +59,10 @@ Status MarketConfig::Validate() const {
   if (noise_level < 0.0 || noise_level > 1.0) {
     return Status::InvalidArgument("noise_level must be in [0, 1]");
   }
+  if (festival_calendar_month < 0 || festival_calendar_month > 11) {
+    return Status::InvalidArgument(
+        "festival_calendar_month must be in [0, 11]");
+  }
   return Status::OK();
 }
 
@@ -125,7 +129,8 @@ Result<MarketData> MarketSimulator::Generate() const {
       const double season =
           cfg.seasonal_amplitude *
           std::sin(2.0 * kPi * (static_cast<double>(cal) + phase) / 12.0);
-      const double festival = (cal == 10) ? cfg.festival_boost : 0.0;
+      const double festival =
+          (cal == cfg.festival_calendar_month) ? cfg.festival_boost : 0.0;
       shock = 0.6 * shock + demand_rng.Normal(0.0, cfg.noise_level);
       const double level = 1.0 + season + festival + 0.3 * macro[static_cast<size_t>(m)] +
                            trend * static_cast<double>(m) /
@@ -305,6 +310,10 @@ Result<MarketData> MarketSimulator::Generate() const {
   Result<graph::EsellerGraph> graph = builder.Build();
   if (!graph.ok()) return graph.status();
   market.graph = std::move(graph).value();
+
+  if (!regime_.empty()) {
+    GAIA_RETURN_NOT_OK(regime_.ApplyPostGeneration(&market));
+  }
   return market;
 }
 

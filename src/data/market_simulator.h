@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "data/regime.h"
 #include "graph/eseller_graph.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -55,6 +56,9 @@ struct MarketConfig {
   double noise_level = 0.12;
   /// November festival demand spike (fraction of base level).
   double festival_boost = 0.9;
+  /// Calendar month (0 = January) carrying the festival spike. November by
+  /// default; a RegimeScript festival_shift event moves it.
+  int festival_calendar_month = 10;
   /// Amplitude of the industry seasonal component.
   double seasonal_amplitude = 0.45;
   /// Log-normal location/scale of per-shop GMV magnitude; exp(11.0) ~ 60k,
@@ -115,11 +119,21 @@ class MarketSimulator {
  public:
   explicit MarketSimulator(MarketConfig config) : config_(config) {}
 
+  /// Simulator with an adversarial regime layered on top. Config-level
+  /// events (festival shifts) are folded into the config here; series-level
+  /// events are applied after generation. An empty script makes this
+  /// bitwise identical to the plain constructor.
+  MarketSimulator(MarketConfig config, RegimeScript regime)
+      : config_(config), regime_(std::move(regime)) {
+    regime_.ApplyPreGeneration(&config_);
+  }
+
   /// Generates the market; fails when the config is invalid.
   Result<MarketData> Generate() const;
 
  private:
   MarketConfig config_;
+  RegimeScript regime_;
 };
 
 }  // namespace gaia::data

@@ -1,0 +1,326 @@
+#include "data/regime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "data/market_simulator.h"
+#include "util/rng.h"
+
+namespace gaia::data {
+
+namespace {
+
+const char* KindName(RegimeEventKind kind) {
+  switch (kind) {
+    case RegimeEventKind::kDemandShock:
+      return "demand_shock";
+    case RegimeEventKind::kSupplierFailure:
+      return "supplier_failure";
+    case RegimeEventKind::kFestivalShift:
+      return "festival_shift";
+    case RegimeEventKind::kColdstartFlood:
+      return "coldstart_flood";
+  }
+  return "unknown";
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+Status ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty() ||
+      !std::isfinite(*out)) {
+    return Status::InvalidArgument("regime: bad number '" + text + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseInt(const std::string& text, int* out) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    return Status::InvalidArgument("regime: bad integer '" + text + "'");
+  }
+  *out = static_cast<int>(value);
+  return Status::OK();
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+/// Picks `count` distinct elements from `pool` with a seeded shuffle; the
+/// draw order (not the pool order) decides who is hit, so the same seed
+/// always shocks the same shops.
+std::vector<int32_t> PickSubset(const std::vector<int32_t>& pool,
+                                size_t count, Rng* rng) {
+  std::vector<int32_t> shuffled(pool);
+  rng->Shuffle(&shuffled);
+  count = std::min(count, shuffled.size());
+  shuffled.resize(count);
+  return shuffled;
+}
+
+void ScaleFromMonth(Shop* shop, int month, double factor) {
+  const auto total = static_cast<int>(shop->gmv.size());
+  for (int m = std::max(month, 0); m < total; ++m) {
+    const auto i = static_cast<size_t>(m);
+    shop->gmv[i] = std::max(shop->gmv[i] * factor, 0.0);
+    shop->orders[i] = std::max(shop->orders[i] * factor, 0.0);
+    shop->customers[i] = std::max(shop->customers[i] * factor, 0.0);
+  }
+}
+
+}  // namespace
+
+Result<RegimeScript> RegimeScript::Parse(const std::string& spec) {
+  RegimeScript script;
+  for (const std::string& raw : SplitOn(spec, ';')) {
+    if (raw.empty()) continue;
+    const size_t colon = raw.find(':');
+    const std::string head = raw.substr(0, colon);
+    const std::string tail =
+        colon == std::string::npos ? "" : raw.substr(colon + 1);
+    if (head == "seed") {
+      char* end = nullptr;
+      script.seed_ = std::strtoull(tail.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || tail.empty()) {
+        return Status::InvalidArgument("regime: bad seed '" + tail + "'");
+      }
+      continue;
+    }
+    RegimeEvent event;
+    if (head == "demand_shock") {
+      event.kind = RegimeEventKind::kDemandShock;
+    } else if (head == "supplier_failure") {
+      event.kind = RegimeEventKind::kSupplierFailure;
+    } else if (head == "festival_shift") {
+      event.kind = RegimeEventKind::kFestivalShift;
+    } else if (head == "coldstart_flood") {
+      event.kind = RegimeEventKind::kColdstartFlood;
+    } else {
+      return Status::InvalidArgument("regime: unknown event '" + head + "'");
+    }
+    for (const std::string& pair : SplitOn(tail, ',')) {
+      if (pair.empty()) continue;
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("regime: expected key=value, got '" +
+                                       pair + "'");
+      }
+      const std::string key = pair.substr(0, eq);
+      const std::string value = pair.substr(eq + 1);
+      if (key == "month") {
+        GAIA_RETURN_NOT_OK(ParseInt(value, &event.month));
+      } else if (key == "magnitude") {
+        GAIA_RETURN_NOT_OK(ParseDouble(value, &event.magnitude));
+      } else if (key == "fraction") {
+        GAIA_RETURN_NOT_OK(ParseDouble(value, &event.fraction));
+      } else if (key == "delta") {
+        GAIA_RETURN_NOT_OK(ParseInt(value, &event.delta));
+      } else {
+        return Status::InvalidArgument("regime: unknown key '" + key + "'");
+      }
+    }
+    if (event.kind == RegimeEventKind::kDemandShock &&
+        event.magnitude <= -1.0) {
+      return Status::InvalidArgument(
+          "regime: demand_shock magnitude must be > -1");
+    }
+    if (event.kind == RegimeEventKind::kSupplierFailure ||
+        event.kind == RegimeEventKind::kColdstartFlood) {
+      if (event.fraction < 0.0 || event.fraction > 1.0) {
+        return Status::InvalidArgument("regime: fraction must be in [0, 1]");
+      }
+    }
+    if (event.kind == RegimeEventKind::kSupplierFailure &&
+        (event.magnitude < 0.0 || event.magnitude > 1.0)) {
+      return Status::InvalidArgument(
+          "regime: supplier_failure magnitude must be in [0, 1]");
+    }
+    script.events_.push_back(event);
+  }
+  return script;
+}
+
+RegimeScript RegimeScript::Random(uint64_t seed, int total_months) {
+  RegimeScript script;
+  script.seed_ = seed;
+  Rng rng(seed);
+  const int num_events = 1 + static_cast<int>(rng.UniformInt(3));
+  const int last_month = std::max(total_months - 1, 1);
+  for (int e = 0; e < num_events; ++e) {
+    RegimeEvent event;
+    switch (rng.UniformInt(4)) {
+      case 0:
+        event.kind = RegimeEventKind::kDemandShock;
+        event.month = static_cast<int>(
+            rng.UniformInt(static_cast<uint32_t>(last_month)));
+        // In (-0.6, 0.8): crashes and booms, never a full wipe-out.
+        event.magnitude = rng.Uniform(-0.6, 0.8);
+        break;
+      case 1:
+        event.kind = RegimeEventKind::kSupplierFailure;
+        event.month = static_cast<int>(
+            rng.UniformInt(static_cast<uint32_t>(last_month)));
+        event.fraction = rng.Uniform(0.1, 0.5);
+        event.magnitude = rng.Uniform(0.3, 1.0);
+        break;
+      case 2:
+        event.kind = RegimeEventKind::kFestivalShift;
+        event.delta = 1 + static_cast<int>(rng.UniformInt(3));
+        if (rng.Bernoulli(0.5)) event.delta = -event.delta;
+        break;
+      default:
+        event.kind = RegimeEventKind::kColdstartFlood;
+        event.month = 1 + static_cast<int>(
+            rng.UniformInt(static_cast<uint32_t>(last_month)));
+        event.fraction = rng.Uniform(0.05, 0.3);
+        break;
+    }
+    script.events_.push_back(event);
+  }
+  return script;
+}
+
+std::string RegimeScript::ToString() const {
+  std::string out = "seed:" + std::to_string(seed_);
+  for (const RegimeEvent& event : events_) {
+    out += ';';
+    out += KindName(event.kind);
+    out += ':';
+    switch (event.kind) {
+      case RegimeEventKind::kDemandShock:
+        out += "month=" + std::to_string(event.month) +
+               ",magnitude=" + FormatDouble(event.magnitude);
+        break;
+      case RegimeEventKind::kSupplierFailure:
+        out += "month=" + std::to_string(event.month) +
+               ",fraction=" + FormatDouble(event.fraction) +
+               ",magnitude=" + FormatDouble(event.magnitude);
+        break;
+      case RegimeEventKind::kFestivalShift:
+        out += "delta=" + std::to_string(event.delta);
+        break;
+      case RegimeEventKind::kColdstartFlood:
+        out += "month=" + std::to_string(event.month) +
+               ",fraction=" + FormatDouble(event.fraction);
+        break;
+    }
+  }
+  return out;
+}
+
+void RegimeScript::ApplyPreGeneration(MarketConfig* config) const {
+  for (const RegimeEvent& event : events_) {
+    if (event.kind != RegimeEventKind::kFestivalShift) continue;
+    config->festival_calendar_month =
+        ((config->festival_calendar_month + event.delta) % 12 + 12) % 12;
+  }
+}
+
+Status RegimeScript::ApplyPostGeneration(MarketData* market) const {
+  if (empty()) return Status::OK();
+  GAIA_CHECK(market != nullptr);
+  const int total = market->config.total_months();
+  const auto n = static_cast<int32_t>(market->shops.size());
+  // One child stream per event, split in event order, so adding an event to
+  // the end of a script never changes which shops earlier events hit.
+  Rng root(seed_);
+  for (const RegimeEvent& event : events_) {
+    Rng rng = root.Split();
+    const int month = std::clamp(event.month, 0, std::max(total - 1, 0));
+    switch (event.kind) {
+      case RegimeEventKind::kDemandShock: {
+        // Market-wide step: every shop's volume scales by (1 + magnitude)
+        // from the shock month — exactly linear, so tests can pin ratios.
+        const double factor = 1.0 + event.magnitude;
+        for (Shop& shop : market->shops) {
+          ScaleFromMonth(&shop, month, factor);
+        }
+        break;
+      }
+      case RegimeEventKind::kSupplierFailure: {
+        std::vector<int32_t> suppliers;
+        for (const Shop& shop : market->shops) {
+          if (shop.is_supplier) suppliers.push_back(shop.id);
+        }
+        const auto count = static_cast<size_t>(std::ceil(
+            event.fraction * static_cast<double>(suppliers.size())));
+        const std::vector<int32_t> failed =
+            PickSubset(suppliers, count, &rng);
+        // Per-shop survival factor; a shop hit along several paths keeps the
+        // worst one. The loss attenuates by half per supply-chain hop.
+        std::vector<double> factor(static_cast<size_t>(n), 1.0);
+        for (int32_t s : failed) {
+          factor[static_cast<size_t>(s)] = std::min(
+              factor[static_cast<size_t>(s)], 1.0 - event.magnitude);
+        }
+        for (const SupplyLink& link : market->supply_links) {
+          if (factor[static_cast<size_t>(link.supplier)] < 1.0 &&
+              std::find(failed.begin(), failed.end(), link.supplier) !=
+                  failed.end()) {
+            factor[static_cast<size_t>(link.retailer)] =
+                std::min(factor[static_cast<size_t>(link.retailer)],
+                         1.0 - event.magnitude * 0.5);
+          }
+        }
+        for (int32_t v = 0; v < n; ++v) {
+          if (factor[static_cast<size_t>(v)] < 1.0) {
+            ScaleFromMonth(&market->shops[static_cast<size_t>(v)], month,
+                           factor[static_cast<size_t>(v)]);
+          }
+        }
+        break;
+      }
+      case RegimeEventKind::kFestivalShift:
+        // Handled in ApplyPreGeneration; nothing to do on the series. The
+        // stream split above still happens so event order stays stable.
+        break;
+      case RegimeEventKind::kColdstartFlood: {
+        std::vector<int32_t> all(static_cast<size_t>(n));
+        std::iota(all.begin(), all.end(), 0);
+        const auto count = static_cast<size_t>(std::floor(
+            event.fraction * static_cast<double>(n)));
+        // Re-birth at `month`, capped one month before the forecast origin
+        // so every shop keeps at least one observed month of history.
+        const int birth =
+            std::clamp(month, 0, market->config.history_months - 1);
+        for (int32_t v : PickSubset(all, count, &rng)) {
+          Shop& shop = market->shops[static_cast<size_t>(v)];
+          if (shop.birth_month >= birth) continue;  // already younger
+          shop.birth_month = birth;
+          shop.age_months = market->config.history_months - birth;
+          for (int m = 0; m < birth; ++m) {
+            shop.gmv[static_cast<size_t>(m)] = 0.0;
+            shop.orders[static_cast<size_t>(m)] = 0.0;
+            shop.customers[static_cast<size_t>(m)] = 0.0;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gaia::data

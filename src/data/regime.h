@@ -1,0 +1,98 @@
+#ifndef GAIA_DATA_REGIME_H_
+#define GAIA_DATA_REGIME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gaia::data {
+
+struct MarketConfig;
+struct MarketData;
+
+/// \brief Kinds of adversarial market events a regime can compose.
+enum class RegimeEventKind {
+  /// Market-wide multiplicative demand step from a given month onward
+  /// (pandemic-style shock; magnitude -0.5 halves demand, +0.5 adds 50%).
+  kDemandShock,
+  /// A seeded fraction of suppliers lose `magnitude` of their volume from a
+  /// given month; the loss cascades one supply-chain hop downstream at half
+  /// strength (retailers sourcing from a failed supplier).
+  kSupplierFailure,
+  /// Moves the festival spike by `delta` calendar months (applied before
+  /// generation; the simulator plants the spike at the shifted month).
+  kFestivalShift,
+  /// A seeded fraction of shops are re-born at a given month: their history
+  /// before it is erased, creating a flood of cold-start shops.
+  kColdstartFlood,
+};
+
+/// \brief One scripted event. Fields not used by a kind stay at defaults.
+struct RegimeEvent {
+  RegimeEventKind kind = RegimeEventKind::kDemandShock;
+  /// Month index into [0, total_months) at which the event takes effect.
+  int month = 0;
+  /// Shock strength; see the kind's docs for its sign convention.
+  double magnitude = 0.0;
+  /// Fraction of the affected population (suppliers / all shops) hit.
+  double fraction = 0.0;
+  /// Calendar-month displacement for kFestivalShift.
+  int delta = 0;
+};
+
+/// \brief A seeded, deterministic script of adversarial market regimes.
+///
+/// A script is replayable from its spec string: `ToString()` round-trips
+/// through `Parse()` bit-exactly (doubles are printed with %.17g), and every
+/// random choice (which suppliers fail, which shops flood) flows through a
+/// PCG32 stream seeded from the script's own seed — so the same spec applied
+/// to the same market yields the same shocked market on any machine.
+///
+/// Spec grammar (clauses separated by ';', key=value pairs by ','):
+///
+///   seed:123;
+///   demand_shock:month=8,magnitude=-0.5;
+///   supplier_failure:month=6,fraction=0.25,magnitude=0.8;
+///   festival_shift:delta=1;
+///   coldstart_flood:month=10,fraction=0.2
+///
+/// An empty script is an exact no-op: applying it leaves the market bitwise
+/// identical to a plain `MarketSimulator` run.
+class RegimeScript {
+ public:
+  RegimeScript() = default;
+
+  /// Parses a spec string. Unknown clause/key names and malformed numbers
+  /// are InvalidArgument. The empty string parses to an empty script.
+  static Result<RegimeScript> Parse(const std::string& spec);
+
+  /// Draws a random 1–3 event script, replayable from the seed. Used by the
+  /// chaos CI leg: any seed must produce a spec the full pipeline survives.
+  static RegimeScript Random(uint64_t seed, int total_months);
+
+  /// Canonical spec string; `Parse(ToString())` reproduces this script.
+  std::string ToString() const;
+
+  bool empty() const { return events_.empty(); }
+  uint64_t seed() const { return seed_; }
+  void set_seed(uint64_t seed) { seed_ = seed; }
+  const std::vector<RegimeEvent>& events() const { return events_; }
+  void add_event(const RegimeEvent& event) { events_.push_back(event); }
+
+  /// Config-level events (festival shift) — call before generation.
+  void ApplyPreGeneration(MarketConfig* config) const;
+
+  /// Series-level events — call on a fully generated market. Deterministic
+  /// given (script, market); a no-op for an empty script.
+  Status ApplyPostGeneration(MarketData* market) const;
+
+ private:
+  uint64_t seed_ = 0;
+  std::vector<RegimeEvent> events_;
+};
+
+}  // namespace gaia::data
+
+#endif  // GAIA_DATA_REGIME_H_

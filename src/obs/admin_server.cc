@@ -372,7 +372,14 @@ AdminServer::Route AdminServer::StatusRoute() {
      << registry.GaugeValue("gaia_arena_bytes_in_use")
      << ",\"high_water\":" << registry.GaugeValue("gaia_arena_high_water")
      << ",\"reuse_total\":" << registry.CounterValue("gaia_arena_reuse_total")
-     << "}";
+     << "}"
+     << ",\"drift\":{\"score\":" << registry.GaugeValue("gaia_drift_score")
+     << ",\"window_cycles\":"
+     << registry.GaugeValue("gaia_drift_window_cycles")
+     << ",\"retrains_total\":"
+     << registry.CounterValue("gaia_drift_retrains_total")
+     << ",\"retrains_suppressed_total\":"
+     << registry.CounterValue("gaia_drift_retrains_suppressed_total") << "}";
   {
     std::lock_guard<std::mutex> lock(reg_mu_);
     os << ",\"checks\":{";

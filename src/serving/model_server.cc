@@ -297,6 +297,34 @@ ModelServer::Prediction ModelServer::Serve(int32_t shop,
   return Serve(shop, deadline_ms, ctx);
 }
 
+void ModelServer::EnableQuantileBands(core::QuantileBandTable table) {
+  bands_ = std::make_shared<const core::QuantileBandTable>(std::move(table));
+}
+
+void ModelServer::ApplyQuantileBands(Prediction* prediction) const {
+  const auto shop = static_cast<size_t>(prediction->shop);
+  if (shop >= bands_->sigma.size()) return;
+  const std::vector<double>& sigma = bands_->sigma[shop];
+  const double inflate = prediction->served_by == ServePath::kFallback
+                             ? bands_->degraded_inflation
+                             : 1.0;
+  const size_t horizon = prediction->gmv.size();
+  prediction->p50 = prediction->gmv;
+  prediction->p10.resize(horizon);
+  prediction->p90.resize(horizon);
+  for (size_t h = 0; h < horizon; ++h) {
+    const double s = h < sigma.size() ? sigma[h] : 0.0;
+    // Denormalize is purely multiplicative (value * scale(shop)), so a
+    // normalized-units stddev denormalizes exactly like a forecast.
+    const double width = std::max(
+        bands_->scale * inflate *
+            dataset_->Denormalize(prediction->shop, s),
+        0.0);
+    prediction->p10[h] = std::max(0.0, prediction->gmv[h] - width);
+    prediction->p90[h] = prediction->gmv[h] + width;
+  }
+}
+
 ModelServer::Prediction ModelServer::Serve(
     int32_t shop, double deadline_ms, const obs::RequestContext& ctx) const {
   // Arena scope for the whole request: in steady state the forward's tensor
@@ -311,6 +339,7 @@ ModelServer::Prediction ModelServer::Serve(
                                 config_.max_fanout, &rng);
   Prediction prediction = PredictOne(shop, ego, deadline_ms);
   prediction.request_id = ctx.request_id;
+  if (bands_ != nullptr) ApplyQuantileBands(&prediction);
   ObservePrediction(prediction);
   LogServedRequest(prediction, ctx);
   return prediction;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/gaia_model.h"
+#include "core/probabilistic_gaia.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
 #include "obs/event_log.h"
@@ -92,6 +93,14 @@ class ModelServer {
     /// Matches the request's obs::EventLog record, so an operator can join a
     /// degraded answer to its /requestz entry. Never feeds the numeric path.
     uint64_t request_id = 0;
+    /// Calibrated quantile bands in GMV units, one value per forecast month
+    /// (empty unless EnableQuantileBands installed a table). p50 mirrors
+    /// gmv; p10/p90 bound the central `coverage` mass. Degraded/fallback
+    /// answers carry wider bands (the table's degraded_inflation), so an
+    /// operator can read honest uncertainty off any rung of the ladder.
+    std::vector<double> p10;
+    std::vector<double> p50;
+    std::vector<double> p90;
   };
 
   ModelServer(std::shared_ptr<core::GaiaModel> model,
@@ -142,6 +151,14 @@ class ModelServer {
   /// the newest checkpoint that verifies (see CheckpointStore).
   Status LoadCheckpoint(const CheckpointStore& store);
 
+  /// Installs a calibrated band table (core::CalibrateQuantileBands): every
+  /// later answer carries p10/p50/p90 in GMV units. Call before serving
+  /// starts — Serve reads the table without synchronization. The point
+  /// forecast (gmv) is untouched, so forecasts stay bitwise identical with
+  /// bands on or off.
+  void EnableQuantileBands(core::QuantileBandTable table);
+  bool quantile_bands_enabled() const { return bands_ != nullptr; }
+
   int64_t total_requests() const { return total_requests_; }
   double total_latency_ms() const { return total_latency_ms_; }
   /// Requests answered by the fallback forecaster since construction.
@@ -160,9 +177,16 @@ class ModelServer {
   /// shop's own normalized history, denormalized and clamped to >= 0.
   std::vector<double> FallbackForecast(int32_t shop) const;
 
+  /// Attaches p10/p50/p90 from the installed band table (no-op without
+  /// one). Width = scale * sigma[shop][h], denormalized, inflated for
+  /// fallback answers; p10 is floored at zero like every GMV value.
+  void ApplyQuantileBands(Prediction* prediction) const;
+
   std::shared_ptr<core::GaiaModel> model_;
   std::shared_ptr<const data::ForecastDataset> dataset_;
   ServerConfig config_;
+  /// Calibrated uncertainty table; null until EnableQuantileBands.
+  std::shared_ptr<const core::QuantileBandTable> bands_;
   int64_t total_requests_ = 0;
   double total_latency_ms_ = 0.0;
   int64_t fallback_requests_ = 0;

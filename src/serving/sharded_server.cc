@@ -109,10 +109,21 @@ std::shared_ptr<const ShardedServer::Generation> ShardedServer::MakeGeneration(
     std::shared_ptr<core::GaiaModel> model, int64_t epoch) const {
   auto generation = std::make_shared<Generation>();
   generation->model = std::move(model);
-  generation->server = std::make_unique<const ModelServer>(
-      generation->model, dataset_, config_.server);
+  auto server = std::make_unique<ModelServer>(generation->model, dataset_,
+                                              config_.server);
+  if (bands_ != nullptr) server->EnableQuantileBands(*bands_);
+  generation->server = std::move(server);
   generation->epoch = epoch;
   return generation;
+}
+
+void ShardedServer::EnableQuantileBands(core::QuantileBandTable table) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  bands_ = std::make_shared<const core::QuantileBandTable>(std::move(table));
+  // Rebuild the live generation around the same model/epoch so bands take
+  // effect without waiting for the next checkpoint publish.
+  std::shared_ptr<const Generation> current = shards_.front()->cell.Load();
+  FlipGenerations(MakeGeneration(current->model, current->epoch));
 }
 
 void ShardedServer::FlipGenerations(std::shared_ptr<const Generation> next) {

@@ -98,6 +98,7 @@ void FaultInjector::Arm(const FaultSpec& spec) {
   }
   state.specs.push_back(spec);
   state.fires_per_spec.push_back(0);
+  state.samples_per_spec.push_back(0);
   armed_.store(1, std::memory_order_relaxed);
 }
 
@@ -108,14 +109,15 @@ Status FaultInjector::ArmFromString(const std::string& text) {
   while (std::getline(rules, rule, ';')) {
     if (rule.empty()) continue;
     std::stringstream fields(rule);
-    std::string site, kind_text, prob_text, count_text;
+    std::string site, kind_text, prob_text, count_text, skip_text;
     std::getline(fields, site, ':');
     std::getline(fields, kind_text, ':');
     std::getline(fields, prob_text, ':');
     std::getline(fields, count_text, ':');
+    std::getline(fields, skip_text, ':');
     if (site.empty() || kind_text.empty()) {
-      return Status::InvalidArgument("fault rule needs site:kind[:prob[:count]]: " +
-                                     rule);
+      return Status::InvalidArgument(
+          "fault rule needs site:kind[:prob[:count[:skip]]]: " + rule);
     }
     FaultSpec spec;
     spec.site = site;
@@ -133,6 +135,13 @@ Status FaultInjector::ArmFromString(const std::string& text) {
       spec.max_fires = std::strtoll(count_text.c_str(), &end, 10);
       if (end == nullptr || *end != '\0' || spec.max_fires < 0) {
         return Status::InvalidArgument("bad fault count: " + count_text);
+      }
+    }
+    if (!skip_text.empty()) {
+      char* end = nullptr;
+      spec.skip = std::strtoll(skip_text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || spec.skip < 0) {
+        return Status::InvalidArgument("bad fault skip: " + skip_text);
       }
     }
     Arm(spec);
@@ -166,6 +175,8 @@ std::optional<FaultKind> FaultInjector::Sample(const std::string& site) {
   SiteState& state = it->second;
   for (size_t i = 0; i < state.specs.size(); ++i) {
     const FaultSpec& spec = state.specs[i];
+    const int64_t seen = state.samples_per_spec[i]++;
+    if (seen < spec.skip) continue;  // not this occurrence yet; no draw
     if (spec.max_fires >= 0 && state.fires_per_spec[i] >= spec.max_fires) {
       continue;
     }

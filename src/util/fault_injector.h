@@ -36,6 +36,11 @@ struct FaultSpec {
   FaultKind kind = FaultKind::kIoError;
   double probability = 1.0; ///< chance of firing per Sample() call, in [0, 1]
   int64_t max_fires = -1;   ///< stop firing after this many hits (-1 = never)
+  /// Let this many Sample() calls at the site pass before the rule becomes
+  /// eligible — targets the Nth occurrence ("corrupt only cycle 1's
+  /// publish") deterministically. Skipped calls do not draw, matching how
+  /// exhausted (max_fires) rules behave.
+  int64_t skip = 0;
 };
 
 /// \brief Deterministic, process-wide fault injection registry.
@@ -47,7 +52,7 @@ struct FaultSpec {
 ///
 /// Arming is either programmatic (Arm / ArmFromString) or via the
 /// environment:
-///   GAIA_FAULTS="site:kind:prob[:count][;site:kind:prob[:count]]..."
+///   GAIA_FAULTS="site:kind:prob[:count[:skip]][;...]"
 ///   GAIA_FAULTS_SEED=<uint64>   (default 0)
 /// e.g. GAIA_FAULTS="checkpoint.read:corrupt:1.0:2;serving.forward:nan:0.25"
 ///
@@ -94,6 +99,7 @@ class FaultInjector {
   struct SiteState {
     std::vector<FaultSpec> specs;
     std::vector<int64_t> fires_per_spec;
+    std::vector<int64_t> samples_per_spec;
     Rng rng{0};
     int64_t fired = 0;
   };

@@ -283,6 +283,35 @@ TEST_F(AdminServerTest, StatuszCarriesChecksAndInfoProviders) {
       << response.body;
 }
 
+TEST_F(AdminServerTest, StatuszCarriesDriftBlock) {
+  // The drift lifecycle (score, window, trigger counters) is first-class
+  // status: the block is always present, fed by the unconditional scheduler
+  // gauges/counters, so an operator can see drift state with GAIA_OBS off.
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("gaia_drift_score").Set(1.25);
+  registry.GetGauge("gaia_drift_window_cycles").Set(3.0);
+  const uint64_t fired =
+      registry.CounterValue("gaia_drift_retrains_total");
+  const uint64_t suppressed =
+      registry.CounterValue("gaia_drift_retrains_suppressed_total");
+  const HttpResponse response = HttpGet(server_.port(), "/statusz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"drift\""), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"score\":1.25"), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"window_cycles\":3"), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"retrains_total\":" +
+                               std::to_string(fired)),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"retrains_suppressed_total\":" +
+                               std::to_string(suppressed)),
+            std::string::npos)
+      << response.body;
+}
+
 TEST_F(AdminServerTest, MetricsJsonAndTracezAreServed) {
   const HttpResponse json = HttpGet(server_.port(), "/metrics.json");
   EXPECT_EQ(json.status, 200);

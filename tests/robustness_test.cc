@@ -28,8 +28,10 @@
 #include "serving/checkpoint_store.h"
 #include "serving/model_server.h"
 #include "serving/monthly_scheduler.h"
+#include "ts/holt_winters.h"
 #include "util/crc32.h"
 #include "util/fault_injector.h"
+#include "util/rng.h"
 
 namespace gaia {
 namespace {
@@ -702,6 +704,78 @@ TEST_F(ChaosTrainingTest, CancelledRetrainPublishesNoCheckpoint) {
   EXPECT_TRUE(report.train.cancelled);
   std::ifstream published(path, std::ios::binary);
   EXPECT_FALSE(published.good()) << "cancelled retrain published " << path;
+}
+
+// ---------------------------------------------------------------------------
+// Holt-Winters fallback under shocked series: the degradation ladder's last
+// real rung must stay finite and non-negative on exactly the series an
+// adversarial regime produces (step changes, zeroed history, cold starts).
+// ---------------------------------------------------------------------------
+
+void ExpectFiniteNonNegativeForecast(const std::vector<double>& series,
+                                     const std::string& label) {
+  auto fit = ts::AutoHoltWinters(series, 12);
+  ASSERT_TRUE(fit.ok()) << label << ": " << fit.status().ToString();
+  const std::vector<double> forecast = fit.value().Forecast(6);
+  ASSERT_EQ(forecast.size(), 6u);
+  for (double v : forecast) {
+    EXPECT_TRUE(std::isfinite(v)) << label;
+    EXPECT_GE(v, 0.0) << label;
+  }
+}
+
+TEST(HoltWintersShockPropertyTest, StepChangedSeriesStaysFiniteNonNegative) {
+  // Property sweep: random base series with a random multiplicative step
+  // (crash to 0.05x or boom to 6x) at a random month — the demand-shock
+  // regime shape. Every draw must forecast finite, non-negative values.
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    const int len = 8 + static_cast<int>(rng.UniformInt(20));
+    std::vector<double> series(static_cast<size_t>(len));
+    const double scale = rng.LogNormal(9.0, 1.0);
+    for (auto& v : series) v = scale * rng.Uniform(0.5, 1.5);
+    const int step = 1 + static_cast<int>(
+                             rng.UniformInt(static_cast<uint32_t>(len - 1)));
+    const double factor = rng.Bernoulli(0.5) ? rng.Uniform(0.05, 0.5)
+                                             : rng.Uniform(2.0, 6.0);
+    for (int m = step; m < len; ++m) {
+      series[static_cast<size_t>(m)] *= factor;
+    }
+    ExpectFiniteNonNegativeForecast(
+        series, "seed " + std::to_string(seed) + " step at " +
+                    std::to_string(step) + " factor " +
+                    std::to_string(factor));
+  }
+}
+
+TEST(HoltWintersShockPropertyTest, ZeroedSeriesForecastsZeroes) {
+  // A supplier wiped out at magnitude 1.0 produces an all-zero tail — or an
+  // all-zero series outright. Neither may go negative or non-finite.
+  ExpectFiniteNonNegativeForecast(std::vector<double>(14, 0.0), "all zero");
+  std::vector<double> tail_zero(14, 50000.0);
+  for (size_t m = 6; m < tail_zero.size(); ++m) tail_zero[m] = 0.0;
+  ExpectFiniteNonNegativeForecast(tail_zero, "zeroed tail");
+  // A crashed tail extrapolates a *decaying* trend that the zero floor must
+  // clip rather than extrapolate below zero.
+  std::vector<double> crashing;
+  for (int m = 0; m < 14; ++m) {
+    crashing.push_back(std::max(100000.0 - 9000.0 * m, 0.0));
+  }
+  ExpectFiniteNonNegativeForecast(crashing, "crashing trend");
+}
+
+TEST(HoltWintersShockPropertyTest, ColdStartShortSeriesStaysFinite) {
+  // Coldstart-flood shops keep as little as one observed month.
+  for (int len = 1; len <= 5; ++len) {
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      Rng rng(100 * static_cast<uint64_t>(len) + seed);
+      std::vector<double> series(static_cast<size_t>(len));
+      for (auto& v : series) v = rng.LogNormal(9.0, 1.2);
+      ExpectFiniteNonNegativeForecast(
+          series, "cold start len " + std::to_string(len) + " seed " +
+                      std::to_string(seed));
+    }
+  }
 }
 
 TEST(ChaosScheduleTest, AllCyclesBrokenStillReportsFirstError) {

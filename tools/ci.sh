@@ -13,11 +13,13 @@
 # that must skip zero steps, and a GAIA_FAULTS chaos train whose checkpoint
 # must still evaluate), an admin-plane pass (admin-labelled tests + a live
 # serve with --admin-port driven over HTTP: /healthz flip, /metrics scrape,
-# /requestz, /quitz shutdown, plus the tools' --empty dumps), an ASan+UBSan
-# build running the labelled
-# robust/concurrency/golden/obs/cancel/shard/dist/admin subset, then a TSan
-# build running the concurrency/robust/cancel/shard/dist/admin subset (the
-# concurrency tentpoles' race check).
+# /requestz, /quitz shutdown, plus the tools' --empty dumps), a scenario
+# pass (scenario-labelled regime/drift chaos tests + a randomized adversarial
+# regime with an echoed GAIA_REGIME_SEED that the full simulate/train/serve
+# pipeline must survive), an ASan+UBSan build running the labelled
+# robust/concurrency/golden/obs/cancel/shard/dist/admin/scenario subset, then
+# a TSan build running the concurrency/robust/cancel/shard/dist/admin/
+# scenario subset (the concurrency tentpoles' race check).
 #
 #   tools/ci.sh            # all jobs
 #   tools/ci.sh release    # release job only
@@ -27,6 +29,7 @@
 #   tools/ci.sh shard      # sharded-serving job only (reuses build/)
 #   tools/ci.sh dist       # distributed-training job only (reuses build/)
 #   tools/ci.sh admin      # admin-plane job only (reuses build/)
+#   tools/ci.sh scenario   # scenario/chaos regime job only (reuses build/)
 #   tools/ci.sh sanitize   # ASan+UBSan job only
 #   tools/ci.sh tsan       # TSan job only
 set -euo pipefail
@@ -293,20 +296,53 @@ EOF
   rm -rf "$admin_dir"
 fi
 
+if [[ "$job" == "scenario" || "$job" == "all" ]]; then
+  echo "=== Scenario: adversarial regimes + drift-triggered retraining ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$jobs"
+  # The scripted scenario suite: regime grammar/determinism, shocked-market
+  # invariants, the drift trigger + cooldown closed loop, quantile bands.
+  ctest --test-dir build --output-on-failure -L scenario -j"$jobs"
+  # Randomized-regime chaos: a random adversarial script (demand shocks,
+  # supplier cascades, festival shifts, cold-start floods) drawn from an
+  # echoed seed must survive the full simulate -> train -> serve pipeline.
+  # Any failure replays exactly with GAIA_REGIME_SEED=<seed> tools/ci.sh
+  # scenario — the CLI prints the regime spec it resolved the seed to.
+  scen_dir=$(mktemp -d)
+  seed="${GAIA_REGIME_SEED:-$RANDOM}"
+  echo "regime chaos with GAIA_REGIME_SEED=$seed"
+  GAIA_REGIME_SEED="$seed" ./build/tools/gaia_cli simulate \
+    --out "$scen_dir/market" --shops 80 --history 18 --seed 7 \
+    --regime random
+  ./build/tools/gaia_cli train --market "$scen_dir/market" \
+    --checkpoint "$scen_dir/ckpt.bin" --epochs 3 --channels 8 --layers 1
+  ./build/tools/gaia_cli serve --market "$scen_dir/market" \
+    --checkpoint "$scen_dir/ckpt.bin" --requests 100 --channels 8 --layers 1
+  # Scripted-regime determinism: the same spec twice must produce
+  # byte-identical market files.
+  regime_spec="seed:11;demand_shock:month=9,magnitude=-0.5;coldstart_flood:month=12,fraction=0.2"
+  ./build/tools/gaia_cli simulate --out "$scen_dir/market_a" --shops 80 \
+    --history 18 --seed 7 --regime "$regime_spec"
+  ./build/tools/gaia_cli simulate --out "$scen_dir/market_b" --shops 80 \
+    --history 18 --seed 7 --regime "$regime_spec"
+  diff -r "$scen_dir/market_a" "$scen_dir/market_b"
+  rm -rf "$scen_dir"
+fi
+
 if [[ "$job" == "sanitize" || "$job" == "all" ]]; then
-  echo "=== ASan+UBSan build + robust/concurrency/golden/obs/cancel/shard/dist/admin tests ==="
+  echo "=== ASan+UBSan build + robust/concurrency/golden/obs/cancel/shard/dist/admin/scenario tests ==="
   cmake -B build-asan -S . -DGAIA_SANITIZE=ON
   cmake --build build-asan -j"$jobs"
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 GAIA_OBS=1 \
     ctest --test-dir build-asan --output-on-failure \
-    -L "robust|concurrency|golden|obs|cancel|shard|dist|admin"
+    -L "robust|concurrency|golden|obs|cancel|shard|dist|admin|scenario"
 fi
 
 if [[ "$job" == "tsan" || "$job" == "all" ]]; then
-  echo "=== TSan build + concurrency/robust/cancel/shard/dist/admin tests ==="
+  echo "=== TSan build + concurrency/robust/cancel/shard/dist/admin/scenario tests ==="
   cmake -B build-tsan -S . -DGAIA_SANITIZE=thread
   cmake --build build-tsan -j"$jobs"
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure \
-    -L "concurrency|robust|cancel|shard|dist|admin"
+    -L "concurrency|robust|cancel|shard|dist|admin|scenario"
 fi

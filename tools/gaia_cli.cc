@@ -1,7 +1,15 @@
 // gaia_cli — command-line workflow around the library:
 //
 //   gaia_cli simulate --out DIR [--shops N] [--seed S] [--history T]
-//       Generate a synthetic market and write it as CSVs.
+//       [--regime SPEC|random] [--regime-seed R]
+//       Generate a synthetic market and write it as CSVs. --regime layers a
+//       scripted adversarial regime (demand shocks, supplier-failure
+//       cascades, festival shifts, cold-start floods; see
+//       data::RegimeScript) onto the market; "random" draws a script from
+//       the regime seed (--regime-seed, else GAIA_REGIME_SEED, else the
+//       market seed). The resolved spec is echoed to stderr as
+//       "regime: ..." so any shocked market — e.g. one that failed a
+//       scenario test — can be re-dumped exactly for offline repro.
 //   gaia_cli train --market DIR --checkpoint FILE [--epochs N]
 //       [--channels C] [--layers L] [--metrics-out FILE]
 //       [--workers N] [--min-workers M] [--store DIR]
@@ -270,7 +278,38 @@ int Simulate(const Args& args) {
   cfg.num_shops = args.GetInt("shops", 300);
   cfg.history_months = static_cast<int>(args.GetInt("history", 24));
   cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
-  auto market = data::MarketSimulator(cfg).Generate();
+  // Adversarial regime: --regime SPEC layers scripted shocks onto the
+  // market ("random" draws a script from the regime seed). Seed precedence:
+  // --regime-seed, then GAIA_REGIME_SEED, then the market seed. The
+  // resolved spec + seed are echoed to stderr so any run — in particular a
+  // failing chaos CI leg — can be replayed exactly.
+  data::RegimeScript regime;
+  if (args.Has("regime")) {
+    uint64_t regime_seed = cfg.seed;
+    bool seed_overridden = false;
+    if (const char* env = std::getenv("GAIA_REGIME_SEED")) {
+      regime_seed = std::strtoull(env, nullptr, 10);
+      seed_overridden = true;
+    }
+    if (args.Has("regime-seed")) {
+      regime_seed = static_cast<uint64_t>(args.GetInt("regime-seed", 0));
+      seed_overridden = true;
+    }
+    const std::string spec = args.Get("regime", "");
+    if (spec == "random") {
+      regime = data::RegimeScript::Random(regime_seed, cfg.total_months());
+    } else {
+      auto parsed = data::RegimeScript::Parse(spec);
+      if (!parsed.ok()) return Fail(parsed.status().ToString());
+      regime = std::move(parsed).value();
+      // An explicit seed beats the spec's own seed: clause; otherwise the
+      // spec stays authoritative (it round-trips through ToString).
+      if (seed_overridden) regime.set_seed(regime_seed);
+    }
+    std::cerr << "regime: " << regime.ToString()
+              << " (GAIA_REGIME_SEED=" << regime.seed() << ")\n";
+  }
+  auto market = data::MarketSimulator(cfg, regime).Generate();
   if (!market.ok()) return Fail(market.status().ToString());
   const std::string dir = args.Get("out", "");
   Status saved = data::SaveMarketCsv(market.value(), dir);
